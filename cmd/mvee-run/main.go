@@ -1,0 +1,123 @@
+// Command mvee-run executes one modelled benchmark under the MVEE.
+//
+// Usage:
+//
+//	mvee-run -list
+//	mvee-run -workload dedup -agent woc -variants 2
+//	mvee-run -workload radiosity -agent to -variants 4 -policy sensitive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "benchmark to run (see -list)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	agentName := flag.String("agent", "woc", "sync agent: to | po | woc | none")
+	variants := flag.Int("variants", 2, "number of variants")
+	workers := flag.Int("workers", 4, "worker threads")
+	units := flag.Int("units", 0, "work units (0 = benchmark default)")
+	policyName := flag.String("policy", "strict", "monitor policy: strict | sensitive")
+	seed := flag.Int64("seed", 1, "layout randomization seed")
+	recordPath := flag.String("record", "", "record the execution trace to this file")
+	replayPath := flag.String("replay", "", "replay a recorded execution trace from this file")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available benchmarks (PARSEC 2.1 + SPLASH-2x models):")
+		for _, b := range workload.All() {
+			fmt.Printf("  %-16s %-7s %s\n", b.Name, b.Suite, b.Shape)
+		}
+		return
+	}
+	b, err := workload.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "use -list to see available benchmarks")
+		os.Exit(2)
+	}
+	kind, err := parseAgent(*agentName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	policy := monitor.PolicyStrictLockstep
+	if strings.HasPrefix(*policyName, "sens") {
+		policy = monitor.PolicySecuritySensitive
+	}
+
+	opts := core.Options{
+		Variants: *variants, Agent: kind, Policy: policy,
+		ASLR: true, Seed: *seed, MaxThreads: 64,
+		Record: *recordPath != "",
+	}
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Replay = tr
+		fmt.Printf("replaying trace of %q (%d sync ops, %d syscalls)\n",
+			tr.Program, tr.Ops(), tr.Calls())
+	}
+	res := core.Run(opts, b.Build(workload.Params{Workers: *workers, Units: *units}))
+	if res.Trace != nil {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Trace.Encode(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace     : %d sync ops, %d syscalls -> %s\n",
+			res.Trace.Ops(), res.Trace.Calls(), *recordPath)
+	}
+
+	fmt.Printf("benchmark : %s (%s, %s)\n", b.Name, b.Suite, b.Shape)
+	fmt.Printf("agent     : %v, %d variants, policy %v\n", kind, *variants, policy)
+	fmt.Printf("duration  : %v\n", res.Duration)
+	fmt.Printf("syscalls  : %d (%.0f/s)\n", res.Syscalls,
+		float64(res.Syscalls)/res.Duration.Seconds())
+	fmt.Printf("sync ops  : %d (%.0f/s)\n", res.SyncOps,
+		float64(res.SyncOps)/res.Duration.Seconds())
+	fmt.Printf("stalls    : %d\n", res.Stalls)
+	if res.Divergence != nil {
+		fmt.Printf("DIVERGED  : %v\n", res.Divergence)
+		os.Exit(1)
+	}
+	fmt.Println("status    : all variants in lockstep, no divergence")
+}
+
+func parseAgent(s string) (agent.Kind, error) {
+	switch strings.ToLower(s) {
+	case "to", "total", "total-order":
+		return agent.TotalOrder, nil
+	case "po", "partial", "partial-order":
+		return agent.PartialOrder, nil
+	case "woc", "wall", "wall-of-clocks":
+		return agent.WallOfClocks, nil
+	case "none":
+		return agent.None, nil
+	}
+	return agent.None, fmt.Errorf("unknown agent %q (want to|po|woc|none)", s)
+}

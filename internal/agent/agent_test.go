@@ -1,0 +1,423 @@
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// replayHarness drives a master and N slave variants through a scripted or
+// randomized sequence of sync ops and checks replay equivalence.
+//
+// The shared state is a bank of counters, one per "synchronization
+// variable". Each op is modelled as a read-modify-write on one counter;
+// after the run, every variant's observation log per variable must match
+// the master's — which holds iff the agent enforced the same per-variable
+// order.
+type replayHarness struct {
+	kind    Kind
+	threads int
+	slaves  int
+	vars    []uint64 // master-local addresses of the variables
+}
+
+// opScript: per thread, the sequence of variable indices it touches.
+type opScript [][]int
+
+// run executes the script in the master and all slaves concurrently and
+// returns, per variant and per thread, the sequence of values each of the
+// thread's ops observed before incrementing. If replay is equivalent, the
+// per-thread observation sequences match the master's exactly: thread t's
+// k-th op on a variable saw the same predecessor count in every variant.
+func (h *replayHarness) run(t *testing.T, script opScript) [][][]uint64 {
+	t.Helper()
+	ex := NewExchange(h.kind, Config{Slaves: h.slaves, MaxThreads: h.threads, BufCap: 64, WallSize: 64})
+	defer ex.Stop()
+
+	results := make([][][]uint64, 1+h.slaves)
+	var wg sync.WaitGroup
+	runVariant := func(vi int, ag Agent, addrBase uint64) {
+		defer wg.Done()
+		counters := make([]atomic.Uint64, len(h.vars))
+		obs := make([][]uint64, h.threads)
+		var tw sync.WaitGroup
+		for tid := 0; tid < h.threads; tid++ {
+			tw.Add(1)
+			go func(tid int) {
+				defer tw.Done()
+				for _, v := range script[tid] {
+					addr := addrBase + h.vars[v]
+					ag.Before(tid, addr)
+					old := counters[v].Load()  // the "atomic instruction":
+					counters[v].Store(old + 1) // RMW made atomic by the agent's ordering
+					ag.After(tid, addr)
+					obs[tid] = append(obs[tid], old)
+				}
+			}(tid)
+		}
+		tw.Wait()
+		results[vi] = obs
+	}
+
+	wg.Add(1 + h.slaves)
+	go runVariant(0, ex.MasterAgent(), 0)
+	for g := 0; g < h.slaves; g++ {
+		// Slaves get different address bases: replay must be positional,
+		// never address-based (ASLR property, §4.5.1).
+		go runVariant(1+g, ex.SlaveAgent(g), uint64(1+g)*0x1000_0000)
+	}
+	wg.Wait()
+	return results
+}
+
+// checkEquivalent asserts every slave's per-thread observation sequence is
+// exactly the master's.
+func checkEquivalent(t *testing.T, res [][][]uint64) {
+	t.Helper()
+	master := res[0]
+	for g := 1; g < len(res); g++ {
+		for tid := range master {
+			if len(master[tid]) != len(res[g][tid]) {
+				t.Fatalf("variant %d thread %d: %d ops vs master %d",
+					g, tid, len(res[g][tid]), len(master[tid]))
+			}
+			for k := range master[tid] {
+				if master[tid][k] != res[g][tid][k] {
+					t.Fatalf("variant %d thread %d op %d observed %d, master observed %d\nmaster %v\nslave  %v",
+						g, tid, k, res[g][tid][k], master[tid][k], master[tid], res[g][tid])
+				}
+			}
+		}
+	}
+}
+
+func agentKinds() []Kind { return []Kind{TotalOrder, PartialOrder, WallOfClocks} }
+
+func TestReplayEquivalenceScripted(t *testing.T) {
+	// Two threads, two variables, interleaved accesses: the Figure 4
+	// scenario shape.
+	script := opScript{
+		{0, 0, 1, 1, 0}, // thread 0: A A B B A
+		{1, 1, 0, 0, 1}, // thread 1: B B A A B
+	}
+	for _, k := range agentKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			h := &replayHarness{kind: k, threads: 2, slaves: 2,
+				vars: []uint64{0x1000, 0x2000}}
+			checkEquivalent(t, h.run(t, script))
+		})
+	}
+}
+
+func TestReplayEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range agentKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			for trial := 0; trial < 5; trial++ {
+				threads := 2 + rng.Intn(3)
+				nvars := 1 + rng.Intn(4)
+				vars := make([]uint64, nvars)
+				for i := range vars {
+					vars[i] = uint64(0x1000 * (i + 1))
+				}
+				script := make(opScript, threads)
+				for tid := range script {
+					n := 5 + rng.Intn(20)
+					for i := 0; i < n; i++ {
+						script[tid] = append(script[tid], rng.Intn(nvars))
+					}
+				}
+				h := &replayHarness{kind: k, threads: threads, slaves: 2, vars: vars}
+				checkEquivalent(t, h.run(t, script))
+			}
+		})
+	}
+}
+
+// TestTotalOrderIsExact verifies the TO agent's defining property: slaves
+// replay the *global* recorded order, not merely per-variable orders. We
+// record a known global order by running master threads one at a time.
+func TestTotalOrderIsExact(t *testing.T) {
+	ex := NewExchange(TotalOrder, Config{Slaves: 1, MaxThreads: 2, BufCap: 16})
+	defer ex.Stop()
+	m := ex.MasterAgent()
+	// Master: t0 op on A, then t1 op on B (sequential, so the recorded
+	// global order is exactly [t0/A, t1/B]).
+	m.Before(0, 0xA0)
+	m.After(0, 0xA0)
+	m.Before(1, 0xB0)
+	m.After(1, 0xB0)
+
+	s := ex.SlaveAgent(0)
+	// Slave: thread 1 arrives first. Under TO it must stall until thread
+	// 0 consumed its entry, even though the ops are unrelated.
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	t1Started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(t1Started)
+		s.Before(1, 0xB1) // different address than master: positional replay
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+		s.After(1, 0xB1)
+	}()
+	go func() {
+		defer wg.Done()
+		<-t1Started
+		s.Before(0, 0xA1)
+		mu.Lock()
+		order = append(order, 0)
+		mu.Unlock()
+		s.After(0, 0xA1)
+	}()
+	wg.Wait()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("TO replay order = %v, want [0 1]", order)
+	}
+	if s.Stalls() == 0 {
+		t.Fatal("TO slave reported no stalls; thread 1 must have stalled")
+	}
+}
+
+// TestPartialOrderAllowsIndependentReorder verifies Figure 4(b): under PO a
+// slave thread may enter an unrelated critical section without waiting for
+// recorded-earlier independent ops.
+func TestPartialOrderAllowsIndependentReorder(t *testing.T) {
+	ex := NewExchange(PartialOrder, Config{Slaves: 1, MaxThreads: 2, BufCap: 16})
+	defer ex.Stop()
+	m := ex.MasterAgent()
+	// Recorded order: t0/A then t1/B.
+	m.Before(0, 0xA0)
+	m.After(0, 0xA0)
+	m.Before(1, 0xB0)
+	m.After(1, 0xB0)
+
+	s := ex.SlaveAgent(0)
+	// Slave thread 1 (the later, independent op) must proceed immediately
+	// even though thread 0 has not replayed yet.
+	done := make(chan struct{})
+	go func() {
+		s.Before(1, 0xB1)
+		s.After(1, 0xB1)
+		close(done)
+	}()
+	<-done // would deadlock under TO semantics; PO must not stall here
+	// Thread 0 still replays fine afterwards.
+	s.Before(0, 0xA1)
+	s.After(0, 0xA1)
+	if got := s.Ops(); got != 2 {
+		t.Fatalf("slave ops = %d, want 2", got)
+	}
+}
+
+// TestPartialOrderBlocksDependentOps verifies that PO still serializes ops
+// on the same variable in recorded order.
+func TestPartialOrderBlocksDependentOps(t *testing.T) {
+	ex := NewExchange(PartialOrder, Config{Slaves: 1, MaxThreads: 2, BufCap: 16})
+	defer ex.Stop()
+	m := ex.MasterAgent()
+	// Recorded order on the SAME variable: t0 then t1.
+	m.Before(0, 0xA0)
+	m.After(0, 0xA0)
+	m.Before(1, 0xA0)
+	m.After(1, 0xA0)
+
+	s := ex.SlaveAgent(0)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	t1Started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(t1Started)
+		s.Before(1, 0xA1)
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+		s.After(1, 0xA1)
+	}()
+	go func() {
+		defer wg.Done()
+		<-t1Started
+		s.Before(0, 0xA1)
+		mu.Lock()
+		order = append(order, 0)
+		mu.Unlock()
+		s.After(0, 0xA1)
+	}()
+	wg.Wait()
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("PO dependent replay order = %v, want [0 1]", order)
+	}
+}
+
+// TestWoCIndependentClocksDoNotStall verifies Figure 4(c): ops on variables
+// assigned to different clocks replay without cross-thread waiting.
+func TestWoCIndependentClocksDoNotStall(t *testing.T) {
+	ex := newWoCExchange(Config{Slaves: 1, MaxThreads: 2, BufCap: 16, WallSize: 4096})
+	defer ex.Stop()
+	// Find two addresses on distinct clocks.
+	a, b := uint64(0x1000), uint64(0x2000)
+	for ex.wall.ClockOf(a) == ex.wall.ClockOf(b) {
+		b += 0x1000
+	}
+	m := ex.MasterAgent()
+	m.Before(0, a)
+	m.After(0, a)
+	m.Before(1, b)
+	m.After(1, b)
+
+	s := ex.SlaveAgent(0)
+	done := make(chan struct{})
+	go func() {
+		s.Before(1, b+1) // independent clock: must not wait for thread 0
+		s.After(1, b+1)
+		close(done)
+	}()
+	<-done
+	s.Before(0, a+1)
+	s.After(0, a+1)
+}
+
+// TestWoCSameClockOrder verifies the t8..t10 scenario of Figure 4(c): a
+// thread whose ticket demands clock time 2 waits until other threads have
+// advanced that clock.
+func TestWoCSameClockOrder(t *testing.T) {
+	ex := newWoCExchange(Config{Slaves: 1, MaxThreads: 2, BufCap: 16, WallSize: 4096})
+	defer ex.Stop()
+	b := uint64(0x2000)
+	m := ex.MasterAgent()
+	// Master: t1 enters+leaves section on B (times 0,1), then t0 enters B
+	// (time 2).
+	m.Before(1, b)
+	m.After(1, b)
+	m.Before(1, b)
+	m.After(1, b)
+	m.Before(0, b)
+	m.After(0, b)
+
+	s := ex.SlaveAgent(0)
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	t0Started := make(chan struct{})
+	go func() { // slave thread 0 arrives first but needs clock time 2
+		defer wg.Done()
+		close(t0Started)
+		s.Before(0, b+7)
+		mu.Lock()
+		order = append(order, "t0")
+		mu.Unlock()
+		s.After(0, b+7)
+	}()
+	go func() {
+		defer wg.Done()
+		<-t0Started
+		for i := 0; i < 2; i++ {
+			s.Before(1, b+7)
+			mu.Lock()
+			order = append(order, "t1")
+			mu.Unlock()
+			s.After(1, b+7)
+		}
+	}()
+	wg.Wait()
+	want := []string{"t1", "t1", "t0"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("WoC same-clock order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestStopUnblocksWaiters ensures a stalled slave panics with ErrStopped
+// after Stop — the mechanism the monitor uses to tear down variants on
+// divergence.
+func TestStopUnblocksWaiters(t *testing.T) {
+	for _, k := range agentKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			ex := NewExchange(k, Config{Slaves: 1, MaxThreads: 1, BufCap: 8, WallSize: 64})
+			s := ex.SlaveAgent(0)
+			unblocked := make(chan any, 1)
+			go func() {
+				defer func() { unblocked <- recover() }()
+				s.Before(0, 0x1000) // nothing recorded: blocks forever
+			}()
+			ex.Stop()
+			if got := <-unblocked; got != ErrStopped {
+				t.Fatalf("recovered %v, want ErrStopped", got)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "none", TotalOrder: "total-order",
+		PartialOrder: "partial-order", WallOfClocks: "wall-of-clocks",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	ex := NewExchange(WallOfClocks, Config{Slaves: 1, MaxThreads: 1, BufCap: 8, WallSize: 64})
+	defer ex.Stop()
+	m := ex.MasterAgent()
+	for i := 0; i < 5; i++ {
+		m.Before(0, 0x1000)
+		m.After(0, 0x1000)
+	}
+	if m.Ops() != 5 {
+		t.Fatalf("master ops = %d, want 5", m.Ops())
+	}
+	s := ex.SlaveAgent(0)
+	for i := 0; i < 5; i++ {
+		s.Before(0, 0x9000)
+		s.After(0, 0x9000)
+	}
+	if s.Ops() != 5 {
+		t.Fatalf("slave ops = %d, want 5", s.Ops())
+	}
+}
+
+// Heavier soak: many threads hammering few variables through each agent,
+// with two slave variants, checking final counter equality.
+func TestReplaySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, k := range agentKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			script := make(opScript, 4)
+			for tid := range script {
+				for i := 0; i < 200; i++ {
+					script[tid] = append(script[tid], rng.Intn(3))
+				}
+			}
+			h := &replayHarness{kind: k, threads: 4, slaves: 2,
+				vars: []uint64{0x10, 0x20, 0x30}}
+			checkEquivalent(t, h.run(t, script))
+		})
+	}
+}
+
+func ExampleKind_String() {
+	fmt.Println(WallOfClocks)
+	// Output: wall-of-clocks
+}

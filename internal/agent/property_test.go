@@ -1,0 +1,172 @@
+package agent
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestWoCTicketInvariants records a random multi-threaded op mix with a
+// master-only WoC exchange and validates the DESIGN.md invariants directly
+// on the buffers:
+//
+//   - per clock, the recorded times are exactly 0..n-1 (no gaps, no dups);
+//   - within each per-thread buffer, times of any one clock are strictly
+//     increasing (program order respects clock order).
+func TestWoCTicketInvariants(t *testing.T) {
+	f := func(seed int64, threadsRaw, opsRaw uint8) bool {
+		threads := 1 + int(threadsRaw%4)
+		ops := 1 + int(opsRaw%64)
+		ex := newWoCExchange(Config{Slaves: 1, MaxThreads: threads, BufCap: 1024, WallSize: 16})
+		defer ex.Stop()
+		m := ex.MasterAgent()
+		rng := rand.New(rand.NewSource(seed))
+		addrs := make([][]uint64, threads)
+		for tid := range addrs {
+			for i := 0; i < ops; i++ {
+				addrs[tid] = append(addrs[tid], uint64(0x1000*(1+rng.Intn(8))))
+			}
+		}
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for _, a := range addrs[tid] {
+					m.Before(tid, a)
+					m.After(tid, a)
+				}
+			}(tid)
+		}
+		wg.Wait()
+
+		// Walk the buffers.
+		perClock := map[uint32][]uint64{}
+		for tid := 0; tid < threads; tid++ {
+			lastPerClock := map[uint32]uint64{}
+			buf := ex.bufs[tid]
+			for seq := uint64(0); seq < buf.Produced(); seq++ {
+				e, ok := buf.TryGet(seq)
+				if !ok {
+					return false
+				}
+				if last, seen := lastPerClock[e.Clock]; seen && e.Time <= last {
+					return false // per-thread, per-clock times must increase
+				}
+				lastPerClock[e.Clock] = e.Time
+				perClock[e.Clock] = append(perClock[e.Clock], e.Time)
+			}
+		}
+		for _, times := range perClock {
+			seen := make([]bool, len(times))
+			for _, ti := range times {
+				if ti >= uint64(len(times)) || seen[ti] {
+					return false // not a permutation of 0..n-1
+				}
+				seen[ti] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderBufferIsSerializationOfMaster validates the TO/PO shared
+// buffer invariant: the recorded entries per thread appear in that thread's
+// program order.
+func TestOrderBufferIsSerializationOfMaster(t *testing.T) {
+	f := func(seed int64, threadsRaw uint8) bool {
+		threads := 1 + int(threadsRaw%4)
+		const ops = 32
+		ex := newTOExchange(Config{Slaves: 1, MaxThreads: threads, BufCap: 4096}, false)
+		defer ex.Stop()
+		m := ex.MasterAgent()
+		rng := rand.New(rand.NewSource(seed))
+		scripts := make([][]uint64, threads)
+		for tid := range scripts {
+			for i := 0; i < ops; i++ {
+				scripts[tid] = append(scripts[tid], uint64(0x40*(1+rng.Intn(6))))
+			}
+		}
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for _, a := range scripts[tid] {
+					m.Before(tid, a)
+					m.After(tid, a)
+				}
+			}(tid)
+		}
+		wg.Wait()
+		// Per-thread order in the buffer == script order.
+		idx := make([]int, threads)
+		for seq := uint64(0); seq < ex.log.Produced(); seq++ {
+			e, ok := ex.log.TryGet(seq)
+			if !ok {
+				return false
+			}
+			tid := int(e.Tid)
+			if idx[tid] >= len(scripts[tid]) || scripts[tid][idx[tid]] != e.Addr {
+				return false
+			}
+			idx[tid]++
+		}
+		for tid := range idx {
+			if idx[tid] != len(scripts[tid]) {
+				return false // lost entries
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayEquivalenceQuick is the randomized version of the replay
+// harness: arbitrary scripts, all three agents, exact per-thread
+// observation equality.
+func TestReplayEquivalenceQuick(t *testing.T) {
+	for _, k := range agentKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			f := func(seed int64, threadsRaw, varsRaw uint8) bool {
+				threads := 1 + int(threadsRaw%4)
+				nvars := 1 + int(varsRaw%3)
+				rng := rand.New(rand.NewSource(seed))
+				vars := make([]uint64, nvars)
+				for i := range vars {
+					vars[i] = uint64(0x100 * (i + 1))
+				}
+				script := make(opScript, threads)
+				for tid := range script {
+					n := 1 + rng.Intn(24)
+					for i := 0; i < n; i++ {
+						script[tid] = append(script[tid], rng.Intn(nvars))
+					}
+				}
+				h := &replayHarness{kind: k, threads: threads, slaves: 1, vars: vars}
+				res := h.run(t, script)
+				for tid := range res[0] {
+					if len(res[0][tid]) != len(res[1][tid]) {
+						return false
+					}
+					for i := range res[0][tid] {
+						if res[0][tid][i] != res[1][tid][i] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

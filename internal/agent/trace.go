@@ -1,0 +1,124 @@
+package agent
+
+import (
+	"sync"
+	"time"
+)
+
+// This file adds offline record/replay support to the wall-of-clocks
+// exchange, in the spirit of RecPlay [35] (§6): the same (clock, time)
+// tickets that drive online replication can be drained to a trace during
+// recording and replayed later against a fresh run — deterministic
+// re-execution for debugging, without a live master.
+
+// Capture continuously drains a dedicated consumer group of a WoC exchange
+// into memory. Create it with NewCapturingExchange; call Stop after the
+// session finished to collect the per-thread ticket streams.
+type Capture struct {
+	ex    *wocExchange
+	group int
+	mu    sync.Mutex
+	ops   [][]WEntry
+	stop  chan struct{}
+	done  sync.WaitGroup
+}
+
+// NewCapturingExchange returns a wall-of-clocks exchange for cfg.Slaves
+// live slaves plus a Capture that records every ticket the master logs.
+// The capture behaves like one more (invisible) slave variant: it has its
+// own consumer group, so it applies the same back-pressure a slow slave
+// would.
+func NewCapturingExchange(cfg Config) (Exchange, *Capture) {
+	cfg.fill()
+	live := cfg.Slaves
+	cfg.Slaves = live + 1 // the tape is the last consumer group
+	ex := newWoCExchange(cfg)
+	c := &Capture{
+		ex:    ex,
+		group: live,
+		ops:   make([][]WEntry, cfg.MaxThreads),
+		stop:  make(chan struct{}),
+	}
+	for tid := 0; tid < cfg.MaxThreads; tid++ {
+		c.done.Add(1)
+		go c.drain(tid)
+	}
+	return ex, c
+}
+
+// drain consumes buffer tid on the tape group as entries appear.
+func (c *Capture) drain(tid int) {
+	defer c.done.Done()
+	buf := c.ex.bufs[tid]
+	seq := uint64(0)
+	var local []WEntry
+	for {
+		e, ok := buf.TryGet(seq)
+		if !ok {
+			select {
+			case <-c.stop:
+				// Final sweep: collect anything published after the
+				// last poll.
+				for {
+					e, ok := buf.TryGet(seq)
+					if !ok {
+						break
+					}
+					local = append(local, e)
+					buf.Advance(c.group, seq)
+					seq++
+				}
+				c.mu.Lock()
+				c.ops[tid] = local
+				c.mu.Unlock()
+				return
+			default:
+				// Poll gently: the tape must not steal the (possibly
+				// single) CPU from the variants it is recording.
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+		}
+		local = append(local, e)
+		buf.Advance(c.group, seq)
+		seq++
+	}
+}
+
+// Stop ends the capture and returns the recorded per-thread ticket
+// streams. Call it only after the recorded session has finished.
+func (c *Capture) Stop() [][]WEntry {
+	close(c.stop)
+	c.done.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// NewReplayExchange builds an exchange whose recorded side is pre-filled
+// from a captured trace. Only SlaveAgent(0) is meaningful: the replayed
+// variant consumes the trace exactly as an online slave consumes a live
+// master. MasterAgent must not be used.
+func NewReplayExchange(ops [][]WEntry, cfg Config) Exchange {
+	cfg.fill()
+	cfg.Slaves = 1
+	// Size the buffers to hold the whole trace: replay has no live
+	// producer to apply back-pressure to.
+	maxLen := 2
+	for _, stream := range ops {
+		if len(stream) > maxLen {
+			maxLen = len(stream)
+		}
+	}
+	cfg.BufCap = maxLen
+	ex := newWoCExchange(cfg)
+	for tid, stream := range ops {
+		if tid >= len(ex.bufs) {
+			break
+		}
+		for _, e := range stream {
+			ex.bufs[tid].Append(e)
+		}
+	}
+	return ex
+}

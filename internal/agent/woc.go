@@ -1,0 +1,161 @@
+package agent
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/ring"
+)
+
+// WEntry is one recorded sync op in a wall-of-clocks per-thread buffer: the
+// logical clock the op's variable hashed to, and that clock's time when the
+// master executed the op (Figure 4(c)).
+type WEntry struct {
+	Clock uint32
+	Time  uint64
+}
+
+// wocExchange implements the wall-of-clocks strategy (§4.5):
+//
+//   - Synchronization variables are hashed onto a fixed wall of logical
+//     clocks (the agents may not allocate memory dynamically, §3.3, so the
+//     wall is pre-allocated and collisions are accepted).
+//   - There is one sync buffer per master thread, so every buffer has a
+//     single producer; corresponding slave threads are its only consumers.
+//     No buffer-position word is shared between threads — the design's
+//     whole point is eliminating that cache contention.
+//   - Slaves keep local copies of every clock and replay the recorded
+//     (clock, time) tickets against them; the master's clocks are never
+//     read by slaves.
+type wocExchange struct {
+	cfg  Config
+	wall *clock.Wall
+	// locks[c] makes (op, record, tick) atomic per master clock. Master
+	// threads contend here only if the original program already contended
+	// on variables hashing to c.
+	locks []sync.Mutex
+	bufs  []*ring.Log[WEntry] // one per master thread
+	walls []*clock.Wall       // one local wall per slave group
+	stop  stopFlag
+}
+
+func newWoCExchange(cfg Config) *wocExchange {
+	ex := &wocExchange{
+		cfg:   cfg,
+		wall:  clock.NewWall(cfg.WallSize),
+		locks: make([]sync.Mutex, cfg.WallSize),
+		bufs:  make([]*ring.Log[WEntry], cfg.MaxThreads),
+		walls: make([]*clock.Wall, cfg.Slaves),
+	}
+	for i := range ex.bufs {
+		ex.bufs[i] = ring.NewLog[WEntry](cfg.BufCap, max(cfg.Slaves, 1))
+		ex.bufs[i].SetStop(ex.stop.stopped.Load)
+	}
+	for g := range ex.walls {
+		ex.walls[g] = clock.NewWall(cfg.WallSize)
+	}
+	publishBuffers(cfg, ex.bufs, cfg.MaxThreads*cfg.BufCap*12)
+	return ex
+}
+
+func (ex *wocExchange) Kind() Kind { return WallOfClocks }
+func (ex *wocExchange) Stop()      { ex.stop.stopped.Store(true) }
+
+func (ex *wocExchange) MasterAgent() Agent {
+	return &wocMaster{ex: ex, held: make([]int32, ex.cfg.MaxThreads)}
+}
+
+func (ex *wocExchange) SlaveAgent(g int) Agent {
+	return &wocSlave{
+		ex:    ex,
+		group: g,
+		wall:  ex.walls[g],
+		cur:   make([]WEntry, ex.cfg.MaxThreads),
+		seqs:  make([]uint64, ex.cfg.MaxThreads),
+	}
+}
+
+// wocMaster records (clock, time) tickets into its per-thread buffers.
+type wocMaster struct {
+	ex   *wocExchange
+	held []int32 // per tid: clock locked in Before
+	ops  atomic.Uint64
+}
+
+func (m *wocMaster) Before(tid int, addr uint64) {
+	m.ex.stop.check()
+	cid := m.ex.wall.ClockOf(addr)
+	m.ex.locks[cid].Lock()
+	m.held[tid] = int32(cid)
+}
+
+func (m *wocMaster) After(tid int, addr uint64) {
+	cid := int(m.held[tid])
+	t := m.ex.wall.Tick(cid) // returns pre-increment time, i.e. the ticket
+	m.ex.bufs[tid].Append(WEntry{Clock: uint32(cid), Time: t})
+	m.ex.locks[cid].Unlock()
+	m.ops.Add(1)
+}
+
+func (m *wocMaster) Ops() uint64    { return m.ops.Load() }
+func (m *wocMaster) Stalls() uint64 { return 0 }
+
+// wocSlave replays tickets: thread tid reads the next entry from its own
+// buffer and waits until the slave's local copy of that clock reaches the
+// recorded time. Threads whose variables hash to different clocks never
+// wait on one another.
+type wocSlave struct {
+	ex     *wocExchange
+	group  int
+	wall   *clock.Wall
+	cur    []WEntry // per tid: entry claimed in Before
+	seqs   []uint64 // per tid: next sequence in this thread's buffer
+	ops    atomic.Uint64
+	stalls atomic.Uint64
+}
+
+func (s *wocSlave) Before(tid int, addr uint64) {
+	buf := s.ex.bufs[tid]
+	seq := s.seqs[tid]
+	// Fetch this thread's next ticket.
+	var e WEntry
+	for spins := 0; ; spins++ {
+		s.ex.stop.check()
+		var ok bool
+		if e, ok = buf.TryGet(seq); ok {
+			break
+		}
+		if spins == 0 {
+			s.stalls.Add(1)
+		}
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+	// Wait for the local clock to reach the ticket's time.
+	if s.wall.Now(int(e.Clock)) < e.Time {
+		s.stalls.Add(1)
+	}
+	spins := 0
+	s.wall.WaitFor(int(e.Clock), e.Time, func() {
+		s.ex.stop.check()
+		spins++
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	})
+	s.cur[tid] = e
+}
+
+func (s *wocSlave) After(tid int, addr uint64) {
+	e := s.cur[tid]
+	s.ex.bufs[tid].Advance(s.group, s.seqs[tid])
+	s.seqs[tid]++
+	s.wall.Tick(int(e.Clock))
+	s.ops.Add(1)
+}
+
+func (s *wocSlave) Ops() uint64    { return s.ops.Load() }
+func (s *wocSlave) Stalls() uint64 { return s.stalls.Load() }

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// SyncOpType classifies an identified sync op per the paper's taxonomy.
+type SyncOpType int
+
+const (
+	// TypeI is a LOCK-prefixed instruction.
+	TypeI SyncOpType = iota + 1
+	// TypeII is an XCHG instruction (implicit LOCK).
+	TypeII
+	// TypeIII is an aligned load/store that may alias a variable accessed
+	// by type (i)/(ii) instructions elsewhere.
+	TypeIII
+)
+
+// String implements fmt.Stringer.
+func (t SyncOpType) String() string {
+	switch t {
+	case TypeI:
+		return "type-i"
+	case TypeII:
+		return "type-ii"
+	case TypeIII:
+		return "type-iii"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// SyncOp is one identified synchronization operation.
+type SyncOp struct {
+	Type SyncOpType
+	Func string
+	Idx  int // instruction index within the function body
+	Line int // source line (debug info)
+}
+
+// Report is the per-unit analysis result — one row of Table 3.
+type Report struct {
+	Unit     string
+	Ops      []SyncOp
+	SyncVars []string // sorted synchronization roots
+	// Counts per type, indexable by SyncOpType.
+	CountI, CountII, CountIII int
+}
+
+// PointsToKind selects which stage-2 analysis runs.
+type PointsToKind int
+
+const (
+	// UseAndersen selects the subset-based analysis (the SVF prototype).
+	UseAndersen PointsToKind = iota
+	// UseSteensgaard selects the unification-based analysis (the
+	// DSA/poolalloc prototype).
+	UseSteensgaard
+)
+
+// Options tunes Analyze beyond the stage-2 analysis choice.
+type Options struct {
+	PointsTo PointsToKind
+	// MarkVolatile enables the paper's proposed extension (§4.3): treat
+	// volatile-declared variables as synchronization roots prior to the
+	// points-to stage, catching load/store-only primitives like Listing 2
+	// at the cost of a (usually minor) over-approximation.
+	MarkVolatile bool
+}
+
+// Analyze runs the full two-stage identification on a unit with the given
+// stage-2 points-to analysis and no extensions.
+func Analyze(u *asm.Unit, kind PointsToKind) *Report {
+	return AnalyzeOpts(u, Options{PointsTo: kind})
+}
+
+// AnalyzeOpts runs the full two-stage identification with options.
+func AnalyzeOpts(u *asm.Unit, opts Options) *Report {
+	kind := opts.PointsTo
+	rep := &Report{Unit: u.Name}
+
+	// Stage 1: mark type (i) and (ii) instructions and collect the
+	// synchronization roots they touch (directly or through pointers,
+	// which requires the points-to solution for indirect operands).
+	var pts PointsTo
+	if kind == UseSteensgaard {
+		pts = Steensgaard(u)
+	} else {
+		pts = Andersen(u)
+	}
+	roots := map[string]bool{}
+	if opts.MarkVolatile {
+		for _, sym := range u.Volatile {
+			roots[sym] = true
+		}
+	}
+	touch := func(op asm.Operand) {
+		if op.Sym != "" {
+			roots[op.Sym] = true
+		}
+		if op.Reg != "" {
+			for _, s := range pts.Set(op.Reg) {
+				roots[s] = true
+			}
+		}
+	}
+	for _, f := range u.Funcs {
+		for i, in := range f.Body {
+			switch in.Op {
+			case asm.OpLockRMW:
+				rep.Ops = append(rep.Ops, SyncOp{Type: TypeI, Func: f.Name, Idx: i, Line: in.Line})
+				rep.CountI++
+				touch(in.Dst)
+			case asm.OpXchg:
+				rep.Ops = append(rep.Ops, SyncOp{Type: TypeII, Func: f.Name, Idx: i, Line: in.Line})
+				rep.CountII++
+				touch(in.Dst)
+			}
+		}
+	}
+
+	// Stage 2: aligned loads/stores that may alias a root are type (iii).
+	mayAliasRoot := func(op asm.Operand) bool {
+		if op.Sym != "" {
+			return roots[op.Sym]
+		}
+		if op.Reg != "" {
+			for _, s := range pts.Set(op.Reg) {
+				if roots[s] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range u.Funcs {
+		for i, in := range f.Body {
+			var mem asm.Operand
+			switch in.Op {
+			case asm.OpLoad:
+				mem = in.Src
+			case asm.OpStore:
+				mem = in.Dst
+			default:
+				continue
+			}
+			if !mem.Aligned {
+				continue // unaligned accesses cannot be atomic
+			}
+			if mayAliasRoot(mem) {
+				rep.Ops = append(rep.Ops, SyncOp{Type: TypeIII, Func: f.Name, Idx: i, Line: in.Line})
+				rep.CountIII++
+			}
+		}
+	}
+
+	for s := range roots {
+		rep.SyncVars = append(rep.SyncVars, s)
+	}
+	sortStrings(rep.SyncVars)
+	return rep
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

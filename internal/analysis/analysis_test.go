@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// listing1Unit models Listing 1: an ad-hoc spinlock with a LOCK CMPXCHG
+// acquire and a plain store release.
+func listing1Unit() *asm.Unit {
+	return &asm.Unit{
+		Name:    "listing1",
+		Symbols: []string{"spinlock", "other"},
+		Funcs: []asm.Func{
+			{
+				Name:   "spinlock_lock",
+				Params: []string{"rdi"},
+				Body: []asm.Instr{
+					{Op: asm.OpLockRMW, Dst: asm.Operand{Reg: "rdi", Aligned: true}, Line: 4},
+					{Op: asm.OpRet},
+				},
+			},
+			{
+				Name:   "spinlock_unlock",
+				Params: []string{"rdi"},
+				Body: []asm.Instr{
+					{Op: asm.OpStore, Dst: asm.Operand{Reg: "rdi", Aligned: true}, Line: 9},
+					{Op: asm.OpRet},
+				},
+			},
+			{
+				Name: "main",
+				Body: []asm.Instr{
+					{Op: asm.OpLea, Dst: asm.Operand{Reg: "rax"}, Src: asm.Operand{Sym: "spinlock"}, Line: 12},
+					{Op: asm.OpCall, Callee: "spinlock_lock", Src: asm.Operand{Reg: "rax"}, Line: 12},
+					{Op: asm.OpLoad, Src: asm.Operand{Sym: "other", Aligned: true}, Line: 13},
+					{Op: asm.OpCall, Callee: "spinlock_unlock", Src: asm.Operand{Reg: "rax"}, Line: 14},
+					{Op: asm.OpRet},
+				},
+			},
+		},
+	}
+}
+
+func TestListing1BothAnalyses(t *testing.T) {
+	// The paper's worked example: the CAS at line 4 is type (i); the
+	// points-to stage must then find the store at line 9 (through the
+	// pointer parameter) to be type (iii). The unrelated load at line 13
+	// must not be flagged.
+	for _, kind := range []PointsToKind{UseAndersen, UseSteensgaard} {
+		rep := Analyze(listing1Unit(), kind)
+		if rep.CountI != 1 || rep.CountII != 0 || rep.CountIII != 1 {
+			t.Fatalf("kind %v: counts = %d/%d/%d, want 1/0/1",
+				kind, rep.CountI, rep.CountII, rep.CountIII)
+		}
+		if len(rep.SyncVars) != 1 || rep.SyncVars[0] != "spinlock" {
+			t.Fatalf("kind %v: sync vars = %v", kind, rep.SyncVars)
+		}
+		for _, op := range rep.Ops {
+			if op.Type == TypeIII && op.Func != "spinlock_unlock" {
+				t.Fatalf("type (iii) op found in %s, want spinlock_unlock", op.Func)
+			}
+		}
+	}
+}
+
+func TestListing2LimitationIsReproduced(t *testing.T) {
+	// Listing 2: a condition flag accessed only by plain loads/stores.
+	// The paper's analysis misses it — ours must too (the limitation is
+	// part of the design).
+	u := &asm.Unit{
+		Name:    "listing2",
+		Symbols: []string{"flag"},
+		Funcs: []asm.Func{
+			{Name: "signal_thread", Body: []asm.Instr{
+				{Op: asm.OpStore, Dst: asm.Operand{Sym: "flag", Aligned: true}, Line: 4},
+				{Op: asm.OpRet},
+			}},
+			{Name: "wait_until_signaled", Body: []asm.Instr{
+				{Op: asm.OpLoad, Src: asm.Operand{Sym: "flag", Aligned: true}, Line: 8},
+				{Op: asm.OpRet},
+			}},
+		},
+	}
+	rep := Analyze(u, UseAndersen)
+	if len(rep.Ops) != 0 {
+		t.Fatalf("volatile-only primitive was detected (%d ops); the analysis "+
+			"is documented as unable to find these", len(rep.Ops))
+	}
+}
+
+func TestUnalignedAccessesExcluded(t *testing.T) {
+	u := &asm.Unit{
+		Name: "unaligned",
+		Funcs: []asm.Func{{Name: "f", Body: []asm.Instr{
+			{Op: asm.OpLockRMW, Dst: asm.Operand{Sym: "l", Aligned: true}},
+			{Op: asm.OpStore, Dst: asm.Operand{Sym: "l", Aligned: false}}, // unaligned: not atomic
+			{Op: asm.OpStore, Dst: asm.Operand{Sym: "l", Aligned: true}},
+		}}},
+	}
+	rep := Analyze(u, UseAndersen)
+	if rep.CountIII != 1 {
+		t.Fatalf("type (iii) count = %d, want 1 (unaligned store must be excluded)", rep.CountIII)
+	}
+}
+
+func TestXchgIsTypeII(t *testing.T) {
+	u := &asm.Unit{
+		Name: "xchg",
+		Funcs: []asm.Func{{Name: "f", Body: []asm.Instr{
+			{Op: asm.OpXchg, Dst: asm.Operand{Sym: "l", Aligned: true}},
+			{Op: asm.OpLoad, Src: asm.Operand{Sym: "l", Aligned: true}},
+		}}},
+	}
+	rep := Analyze(u, UseAndersen)
+	if rep.CountII != 1 || rep.CountIII != 1 {
+		t.Fatalf("counts = %d/%d/%d", rep.CountI, rep.CountII, rep.CountIII)
+	}
+}
+
+func TestSteensgaardIsCoarserThanAndersen(t *testing.T) {
+	// r1 -> {A}, r2 -> {B}, both flow into r3. Andersen keeps r1 and r2
+	// precise; Steensgaard unifies all three. A load through r2 is then
+	// wrongly flagged by Steensgaard when only A is a sync root.
+	u := &asm.Unit{
+		Name:    "precision",
+		Symbols: []string{"A", "B"},
+		Funcs: []asm.Func{{Name: "f", Body: []asm.Instr{
+			{Op: asm.OpLea, Dst: asm.Operand{Reg: "r1"}, Src: asm.Operand{Sym: "A"}},
+			{Op: asm.OpLea, Dst: asm.Operand{Reg: "r2"}, Src: asm.Operand{Sym: "B"}},
+			{Op: asm.OpMovReg, Dst: asm.Operand{Reg: "r3"}, Src: asm.Operand{Reg: "r1"}},
+			{Op: asm.OpMovReg, Dst: asm.Operand{Reg: "r3"}, Src: asm.Operand{Reg: "r2"}},
+			{Op: asm.OpLockRMW, Dst: asm.Operand{Sym: "A", Aligned: true}},
+			{Op: asm.OpLoad, Src: asm.Operand{Reg: "r2", Aligned: true}}, // only B under Andersen
+		}}},
+	}
+	and := Analyze(u, UseAndersen)
+	ste := Analyze(u, UseSteensgaard)
+	if and.CountIII != 0 {
+		t.Fatalf("Andersen flagged %d type (iii) ops, want 0", and.CountIII)
+	}
+	if ste.CountIII != 1 {
+		t.Fatalf("Steensgaard flagged %d type (iii) ops, want 1 (over-approximation)", ste.CountIII)
+	}
+}
+
+func TestAndersenSubsetOfSteensgaard(t *testing.T) {
+	// Soundness ordering: on every generated corpus, every op Andersen
+	// reports must also be reported by Steensgaard.
+	for _, spec := range Table3Specs() {
+		u := Generate(spec)
+		and := Analyze(u, UseAndersen)
+		ste := Analyze(u, UseSteensgaard)
+		steSet := map[SyncOp]bool{}
+		for _, op := range ste.Ops {
+			steSet[op] = true
+		}
+		for _, op := range and.Ops {
+			if !steSet[op] {
+				t.Fatalf("%s: Andersen op %+v missing from Steensgaard", spec.Name, op)
+			}
+		}
+	}
+}
+
+func TestGeneratedCorporaMatchPlantedCounts(t *testing.T) {
+	// The Table 3 experiment: the analysis must recover exactly the
+	// planted sync op populations from each library model.
+	for _, spec := range Table3Specs() {
+		u := Generate(spec)
+		wi, wii, wiii := PlantedCounts(spec)
+		rep := Analyze(u, UseAndersen)
+		if rep.CountI != wi || rep.CountII != wii || rep.CountIII != wiii {
+			t.Errorf("%s: recovered %d/%d/%d, planted %d/%d/%d",
+				spec.Name, rep.CountI, rep.CountII, rep.CountIII, wi, wii, wiii)
+		}
+	}
+}
+
+func TestGeneratedCorporaAreDeterministic(t *testing.T) {
+	spec := Table3Specs()[0]
+	a := Generate(spec)
+	b := Generate(spec)
+	if a.NumInstrs() != b.NumInstrs() {
+		t.Fatalf("same seed produced %d vs %d instructions", a.NumInstrs(), b.NumInstrs())
+	}
+}
+
+func TestReportSyncVarsSorted(t *testing.T) {
+	rep := Analyze(Generate(UnitSpec{Name: "t", I: 8, II: 4, III: 4, Noise: 100, Seed: 9}), UseAndersen)
+	for i := 1; i < len(rep.SyncVars); i++ {
+		if rep.SyncVars[i] < rep.SyncVars[i-1] {
+			t.Fatalf("sync vars not sorted: %v", rep.SyncVars)
+		}
+	}
+}
+
+func TestEmptyUnit(t *testing.T) {
+	rep := Analyze(&asm.Unit{Name: "empty"}, UseAndersen)
+	if len(rep.Ops) != 0 || len(rep.SyncVars) != 0 {
+		t.Fatal("empty unit produced ops")
+	}
+}
+
+func TestOpAndTypeStrings(t *testing.T) {
+	if asm.OpLockRMW.String() != "lock-rmw" || asm.OpXchg.String() != "xchg" {
+		t.Fatal("op strings wrong")
+	}
+	if TypeI.String() != "type-i" || TypeIII.String() != "type-iii" {
+		t.Fatal("type strings wrong")
+	}
+}
+
+func TestVolatileExtensionCatchesListing2(t *testing.T) {
+	// The §4.3 extension: with volatile marking enabled, the load/store
+	// only primitive of Listing 2 IS identified (the base analysis
+	// misses it, see TestListing2LimitationIsReproduced).
+	u := &asm.Unit{
+		Name:     "listing2-volatile",
+		Symbols:  []string{"flag"},
+		Volatile: []string{"flag"},
+		Funcs: []asm.Func{
+			{Name: "signal_thread", Body: []asm.Instr{
+				{Op: asm.OpStore, Dst: asm.Operand{Sym: "flag", Aligned: true}, Line: 4},
+				{Op: asm.OpRet},
+			}},
+			{Name: "wait_until_signaled", Body: []asm.Instr{
+				{Op: asm.OpLoad, Src: asm.Operand{Sym: "flag", Aligned: true}, Line: 8},
+				{Op: asm.OpRet},
+			}},
+		},
+	}
+	base := AnalyzeOpts(u, Options{PointsTo: UseAndersen})
+	if base.CountIII != 0 {
+		t.Fatalf("base analysis found %d ops; limitation gone?", base.CountIII)
+	}
+	ext := AnalyzeOpts(u, Options{PointsTo: UseAndersen, MarkVolatile: true})
+	if ext.CountIII != 2 {
+		t.Fatalf("volatile extension found %d type (iii) ops, want 2", ext.CountIII)
+	}
+	if len(ext.SyncVars) != 1 || ext.SyncVars[0] != "flag" {
+		t.Fatalf("sync vars = %v", ext.SyncVars)
+	}
+}
+
+func TestVolatileExtensionOverApproximates(t *testing.T) {
+	// The extension's documented cost: a volatile variable used for
+	// something else (e.g. signal-handler flags, MMIO) is flagged too.
+	u := &asm.Unit{
+		Name:     "volatile-nonsync",
+		Symbols:  []string{"mmio_reg"},
+		Volatile: []string{"mmio_reg"},
+		Funcs: []asm.Func{{Name: "poll", Body: []asm.Instr{
+			{Op: asm.OpLoad, Src: asm.Operand{Sym: "mmio_reg", Aligned: true}},
+			{Op: asm.OpRet},
+		}}},
+	}
+	ext := AnalyzeOpts(u, Options{PointsTo: UseAndersen, MarkVolatile: true})
+	if ext.CountIII != 1 {
+		t.Fatalf("expected the documented over-approximation, got %d ops", ext.CountIII)
+	}
+}

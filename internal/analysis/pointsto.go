@@ -1,0 +1,188 @@
+// Package analysis implements the paper's two-stage sync-op identification
+// (§4.3) over the IR of internal/asm:
+//
+//   - Stage 1 (the "Ruby script"): scan for LOCK-prefixed instructions
+//     (type i) and XCHG instructions (type ii); the variables they touch
+//     become synchronization roots.
+//   - Stage 2: a points-to analysis marks aligned loads/stores (type iii)
+//     that may alias a synchronization root.
+//
+// Two points-to analyses are provided, mirroring the paper's two LLVM
+// prototypes (§4.3.1): a Steensgaard-style unification-based analysis (the
+// DSA/poolalloc prototype) and an Andersen-style subset-based analysis (the
+// SVF prototype). Andersen is strictly more precise; the tests check the
+// subset relation.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/asm"
+)
+
+// PointsTo maps a register name to the set of data symbols it may point to.
+type PointsTo map[string]map[string]bool
+
+// Set returns the sorted points-to set of reg (nil-safe).
+func (p PointsTo) Set(reg string) []string {
+	var out []string
+	for s := range p[reg] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Andersen computes a flow-insensitive, subset-based points-to solution:
+// lea introduces {sym} ⊆ pts(dst); movreg introduces pts(src) ⊆ pts(dst);
+// calls copy argument registers into parameter registers. The constraint
+// system is solved to a fixpoint with a worklist.
+func Andersen(u *asm.Unit) PointsTo {
+	pts := PointsTo{}
+	type edge struct{ from, to string }
+	var edges []edge
+	add := func(reg, sym string) {
+		if pts[reg] == nil {
+			pts[reg] = map[string]bool{}
+		}
+		pts[reg][sym] = true
+	}
+	for _, f := range u.Funcs {
+		for _, in := range f.Body {
+			switch in.Op {
+			case asm.OpLea:
+				add(in.Dst.Reg, in.Src.Sym)
+			case asm.OpMovReg:
+				edges = append(edges, edge{from: in.Src.Reg, to: in.Dst.Reg})
+			case asm.OpCall:
+				// Arguments travel in registers with the callee's
+				// parameter names: model the copy explicitly.
+				if callee := u.FuncByName(in.Callee); callee != nil {
+					if in.Src.Reg != "" && len(callee.Params) > 0 {
+						edges = append(edges, edge{from: in.Src.Reg, to: callee.Params[0]})
+					}
+				}
+			}
+		}
+	}
+	// Propagate subset constraints to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			for s := range pts[e.from] {
+				if pts[e.to] == nil || !pts[e.to][s] {
+					add(e.to, s)
+					changed = true
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Steensgaard computes a unification-based solution: every assignment
+// merges the equivalence classes of its operands (Steensgaard [39]). The
+// result is coarser than Andersen's — the precision loss the paper observed
+// with DSA when "heap objects of incompatible types get unified".
+func Steensgaard(u *asm.Unit) PointsTo {
+	uf := newUnionFind()
+	classSyms := map[string]map[string]bool{} // class representative -> symbols
+	addSym := func(reg, sym string) {
+		r := uf.find(reg)
+		if classSyms[r] == nil {
+			classSyms[r] = map[string]bool{}
+		}
+		classSyms[r][sym] = true
+	}
+	union := func(a, b string) {
+		ra, rb := uf.find(a), uf.find(b)
+		if ra == rb {
+			return
+		}
+		r := uf.union(ra, rb)
+		merged := map[string]bool{}
+		for s := range classSyms[ra] {
+			merged[s] = true
+		}
+		for s := range classSyms[rb] {
+			merged[s] = true
+		}
+		delete(classSyms, ra)
+		delete(classSyms, rb)
+		classSyms[r] = merged
+	}
+	for _, f := range u.Funcs {
+		for _, in := range f.Body {
+			switch in.Op {
+			case asm.OpLea:
+				addSym(in.Dst.Reg, in.Src.Sym)
+			case asm.OpMovReg:
+				union(in.Src.Reg, in.Dst.Reg)
+			case asm.OpCall:
+				if callee := u.FuncByName(in.Callee); callee != nil {
+					if in.Src.Reg != "" && len(callee.Params) > 0 {
+						union(in.Src.Reg, callee.Params[0])
+					}
+				}
+			}
+		}
+	}
+	pts := PointsTo{}
+	for _, f := range u.Funcs {
+		for _, in := range f.Body {
+			for _, reg := range []string{in.Dst.Reg, in.Src.Reg} {
+				if reg == "" {
+					continue
+				}
+				if syms := classSyms[uf.find(reg)]; len(syms) > 0 {
+					if pts[reg] == nil {
+						pts[reg] = map[string]bool{}
+					}
+					for s := range syms {
+						pts[reg][s] = true
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// unionFind is a string-keyed disjoint-set forest.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}, rank: map[string]int{}}
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	r := u.find(p)
+	u.parent[x] = r
+	return r
+}
+
+func (u *unionFind) union(a, b string) string {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return ra
+}

@@ -1,0 +1,47 @@
+package asm
+
+import "testing"
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpLockRMW: "lock-rmw", OpXchg: "xchg", OpLoad: "load", OpStore: "store",
+		OpLea: "lea", OpMovReg: "movreg", OpCall: "call", OpArith: "arith", OpRet: "ret",
+	} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() != "op(99)" {
+		t.Errorf("unknown op string = %q", Op(99).String())
+	}
+}
+
+func TestNumInstrs(t *testing.T) {
+	u := &Unit{
+		Funcs: []Func{
+			{Name: "a", Body: []Instr{{Op: OpArith}, {Op: OpRet}}},
+			{Name: "b", Body: []Instr{{Op: OpRet}}},
+		},
+	}
+	if got := u.NumInstrs(); got != 3 {
+		t.Fatalf("NumInstrs = %d, want 3", got)
+	}
+	if (&Unit{}).NumInstrs() != 0 {
+		t.Fatal("empty unit has instructions")
+	}
+}
+
+func TestFuncByName(t *testing.T) {
+	u := &Unit{Funcs: []Func{{Name: "f"}, {Name: "g"}}}
+	if f := u.FuncByName("g"); f == nil || f.Name != "g" {
+		t.Fatalf("FuncByName(g) = %v", f)
+	}
+	if u.FuncByName("h") != nil {
+		t.Fatal("FuncByName(h) found a ghost")
+	}
+	// Returned pointer aliases the unit (mutations visible).
+	u.FuncByName("f").Params = []string{"rdi"}
+	if len(u.Funcs[0].Params) != 1 {
+		t.Fatal("FuncByName returned a copy")
+	}
+}

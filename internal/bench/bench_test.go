@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/analysis"
+	"repro/internal/workload"
+)
+
+// tiny keeps harness tests fast.
+var tiny = Config{Scale: 0.05, Workers: 4, Reps: 1, Seed: 11}
+
+func TestMeasureNative(t *testing.T) {
+	b, _ := workload.ByName("blackscholes")
+	r := Measure(b, tiny, agent.None, 1)
+	if r.Diverged {
+		t.Fatal("native run diverged")
+	}
+	if r.Duration <= 0 {
+		t.Fatal("no duration measured")
+	}
+	if r.Benchmark != "blackscholes" {
+		t.Fatalf("benchmark name = %q", r.Benchmark)
+	}
+}
+
+func TestSlowdownIsPositive(t *testing.T) {
+	b, _ := workload.ByName("swaptions")
+	native, mvee, sd := Slowdown(b, tiny, agent.WallOfClocks, 2)
+	if native.Diverged || mvee.Diverged {
+		t.Fatal("diverged")
+	}
+	if sd <= 0 {
+		t.Fatalf("slowdown = %v", sd)
+	}
+	if mvee.SyncOps == 0 {
+		t.Fatal("no sync ops under the MVEE")
+	}
+}
+
+func TestTable3AgainstPaper(t *testing.T) {
+	tbl, reps := Table3(analysis.UseAndersen)
+	if len(reps) != 8 {
+		t.Fatalf("%d units, want 8", len(reps))
+	}
+	// Every row must match the paper's counts exactly (the corpora are
+	// generated to plant them; the analysis must recover them).
+	for i, spec := range analysis.Table3Specs() {
+		r := reps[i]
+		if r.CountI != spec.I || r.CountII != spec.II || r.CountIII != spec.III {
+			t.Errorf("%s: %d/%d/%d, paper %d/%d/%d",
+				spec.Name, r.CountI, r.CountII, r.CountIII, spec.I, spec.II, spec.III)
+		}
+	}
+	if !strings.Contains(tbl.String(), "libc-2.19.so") {
+		t.Fatal("table missing libc row")
+	}
+}
+
+func TestRatesComputed(t *testing.T) {
+	b, _ := workload.ByName("dedup")
+	r := Measure(b, tiny, agent.None, 1)
+	if r.SyscallRate() <= 0 || r.SyncRate() <= 0 {
+		t.Fatalf("rates = %v, %v", r.SyscallRate(), r.SyncRate())
+	}
+}
+
+func TestNginxHarness(t *testing.T) {
+	native, mvee, overhead := Nginx(2, 2, 5)
+	if native <= 0 || mvee <= 0 {
+		t.Fatalf("throughputs = %v, %v", native, mvee)
+	}
+	if overhead >= 1 {
+		t.Fatalf("overhead = %v (MVEE produced no throughput)", overhead)
+	}
+}

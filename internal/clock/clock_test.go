@@ -1,0 +1,284 @@
+package clock
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportZeroValue(t *testing.T) {
+	var c Lamport
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero-value clock at %d, want 0", got)
+	}
+}
+
+func TestLamportTickReturnsPreIncrement(t *testing.T) {
+	var c Lamport
+	for want := uint64(0); want < 100; want++ {
+		if got := c.Tick(); got != want {
+			t.Fatalf("Tick() = %d, want %d", got, want)
+		}
+	}
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %d after 100 ticks, want 100", c.Now())
+	}
+}
+
+func TestLamportAdvanceNeverMovesBackwards(t *testing.T) {
+	var c Lamport
+	c.Advance(50)
+	if c.Now() != 50 {
+		t.Fatalf("Advance(50): Now() = %d", c.Now())
+	}
+	c.Advance(10)
+	if c.Now() != 50 {
+		t.Fatalf("Advance(10) moved clock backwards to %d", c.Now())
+	}
+	c.Advance(50)
+	if c.Now() != 50 {
+		t.Fatalf("Advance(50) twice: Now() = %d", c.Now())
+	}
+}
+
+func TestLamportConcurrentTicksAreUnique(t *testing.T) {
+	var c Lamport
+	const workers = 8
+	const per = 1000
+	seen := make([]map[uint64]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		seen[w] = make(map[uint64]bool, per)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[w][c.Tick()] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool, workers*per)
+	for w := 0; w < workers; w++ {
+		for ts := range seen[w] {
+			if all[ts] {
+				t.Fatalf("timestamp %d issued twice", ts)
+			}
+			all[ts] = true
+		}
+	}
+	if len(all) != workers*per {
+		t.Fatalf("issued %d unique stamps, want %d", len(all), workers*per)
+	}
+	if c.Now() != workers*per {
+		t.Fatalf("final time %d, want %d", c.Now(), workers*per)
+	}
+}
+
+func TestLamportWaitFor(t *testing.T) {
+	var c Lamport
+	done := make(chan struct{})
+	go func() {
+		c.WaitFor(3, runtime.Gosched)
+		close(done)
+	}()
+	c.Tick()
+	c.Tick()
+	c.Tick()
+	<-done // deadlocks (test timeout) if WaitFor never observes 3
+}
+
+func TestWallSizeMustBePowerOfTwo(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 12, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWall(%d) did not panic", bad)
+				}
+			}()
+			NewWall(bad)
+		}()
+	}
+	for _, ok := range []int{1, 2, 64, 4096} {
+		if w := NewWall(ok); w.Size() != ok {
+			t.Errorf("NewWall(%d).Size() = %d", ok, w.Size())
+		}
+	}
+}
+
+func TestWallClockOfIsStable(t *testing.T) {
+	w := NewWall(256)
+	for addr := uint64(0); addr < 10000; addr += 7 {
+		a := w.ClockOf(addr)
+		b := w.ClockOf(addr)
+		if a != b {
+			t.Fatalf("ClockOf(%#x) unstable: %d vs %d", addr, a, b)
+		}
+		if a < 0 || a >= w.Size() {
+			t.Fatalf("ClockOf(%#x) = %d out of range", addr, a)
+		}
+	}
+}
+
+func TestWallAdjacentWordsShareClock(t *testing.T) {
+	// Two 32-bit variables inside one 64-bit aligned word must map to the
+	// same clock (§4.5: one CMPXCHG8B can modify both).
+	w := NewWall(DefaultWallSize)
+	base := uint64(0x7f00_1000)
+	if w.ClockOf(base) != w.ClockOf(base+4) {
+		t.Fatalf("addresses %#x and %#x map to different clocks", base, base+4)
+	}
+}
+
+func TestWallTickAndWait(t *testing.T) {
+	w := NewWall(8)
+	cid := w.ClockOf(0x1000)
+	if got := w.Tick(cid); got != 0 {
+		t.Fatalf("first Tick = %d, want 0", got)
+	}
+	if got := w.Tick(cid); got != 1 {
+		t.Fatalf("second Tick = %d, want 1", got)
+	}
+	done := make(chan struct{})
+	go func() {
+		w.WaitFor(cid, 3, runtime.Gosched)
+		close(done)
+	}()
+	w.Tick(cid)
+	<-done
+}
+
+func TestWallReset(t *testing.T) {
+	w := NewWall(16)
+	for i := 0; i < 16; i++ {
+		w.Tick(i)
+	}
+	w.Reset()
+	for i := 0; i < 16; i++ {
+		if w.Now(i) != 0 {
+			t.Fatalf("clock %d not reset: %d", i, w.Now(i))
+		}
+	}
+}
+
+func TestWallHashDistribution(t *testing.T) {
+	// Sequential 64-byte-spaced addresses (a plausible lock layout) should
+	// spread over many distinct clocks, not collapse onto a few.
+	w := NewWall(1024)
+	used := make(map[int]bool)
+	for i := 0; i < 1024; i++ {
+		used[w.ClockOf(uint64(0x6000_0000+64*i))] = true
+	}
+	if len(used) < 512 {
+		t.Fatalf("1024 spaced addresses hit only %d clocks; hash too weak", len(used))
+	}
+}
+
+func TestVectorHappensBefore(t *testing.T) {
+	a := NewVector(3)
+	b := NewVector(3)
+	a.Tick(0) // a = [1 0 0]
+	b.Join(a)
+	b.Tick(1) // b = [1 1 0]
+	if !a.HappensBefore(b) {
+		t.Fatal("a should happen before b")
+	}
+	if b.HappensBefore(a) {
+		t.Fatal("b must not happen before a")
+	}
+	c := NewVector(3)
+	c.Tick(2) // c = [0 0 1]
+	if !a.Concurrent(c) {
+		t.Fatal("a and c should be concurrent")
+	}
+}
+
+func TestVectorEqualAndCopy(t *testing.T) {
+	a := NewVector(4)
+	a.Tick(1)
+	a.Tick(3)
+	b := a.Copy()
+	if !a.Equal(b) {
+		t.Fatal("copy not equal to original")
+	}
+	b.Tick(0)
+	if a.Equal(b) {
+		t.Fatal("copy aliases original")
+	}
+	if a.Concurrent(a.Copy()) {
+		t.Fatal("clock concurrent with itself")
+	}
+}
+
+func TestVectorHappensBeforeIsIrreflexive(t *testing.T) {
+	v := NewVector(2)
+	v.Tick(0)
+	if v.HappensBefore(v) {
+		t.Fatal("HappensBefore must be irreflexive")
+	}
+}
+
+// Property: Advance(t) always yields Now() >= t, and Tick strictly
+// increases the clock.
+func TestLamportProperties(t *testing.T) {
+	f := func(seed []uint16) bool {
+		var c Lamport
+		var prev uint64
+		for _, s := range seed {
+			c.Advance(uint64(s))
+			if c.Now() < uint64(s) {
+				return false
+			}
+			before := c.Now()
+			got := c.Tick()
+			if got != before || c.Now() != before+1 {
+				return false
+			}
+			if c.Now() <= prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClockOf is deterministic and in range for arbitrary addresses
+// and wall sizes.
+func TestWallClockOfProperty(t *testing.T) {
+	sizes := []int{1, 2, 16, 256, 4096}
+	f := func(addr uint64, pick uint8) bool {
+		w := NewWall(sizes[int(pick)%len(sizes)])
+		c := w.ClockOf(addr)
+		return c >= 0 && c < w.Size() && c == w.ClockOf(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: joining vector clocks is commutative and monotone.
+func TestVectorJoinProperty(t *testing.T) {
+	f := func(xs, ys [4]uint32) bool {
+		a := NewVector(4)
+		b := NewVector(4)
+		for i := 0; i < 4; i++ {
+			a[i] = uint64(xs[i])
+			b[i] = uint64(ys[i])
+		}
+		ab := a.Copy().Join(b)
+		ba := b.Copy().Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		// Join result dominates both inputs.
+		return !ab.HappensBefore(a) && !ab.HappensBefore(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package clock
+
+// Vector is a classic vector clock over a fixed number of processes. The
+// MVEE itself does not use vector clocks at run time (they would require
+// per-variable dynamic state, which the agents may not allocate, §3.3), but
+// the test suite uses them as an exact happens-before oracle against which
+// the plausible Wall is validated.
+type Vector []uint64
+
+// NewVector returns a vector clock for n processes, all at time zero.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Copy returns an independent copy of v.
+func (v Vector) Copy() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Tick increments the component of process p and returns the updated clock.
+func (v Vector) Tick(p int) Vector {
+	v[p]++
+	return v
+}
+
+// Join sets v to the component-wise maximum of v and o (the "receive" rule).
+func (v Vector) Join(o Vector) Vector {
+	for i := range v {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// HappensBefore reports whether v happens strictly before o: v <= o
+// component-wise and v != o.
+func (v Vector) HappensBefore(o Vector) bool {
+	strict := false
+	for i := range v {
+		if v[i] > o[i] {
+			return false
+		}
+		if v[i] < o[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Concurrent reports whether neither clock happens before the other.
+func (v Vector) Concurrent(o Vector) bool {
+	return !v.HappensBefore(o) && !o.HappensBefore(v) && !v.Equal(o)
+}
+
+// Equal reports whether the two clocks are identical.
+func (v Vector) Equal(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

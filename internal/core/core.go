@@ -1,0 +1,378 @@
+// Package core is the MVEE engine: it launches N diversified variants of a
+// program, wires each variant to the monitor (system calls) and to a
+// synchronization agent (sync ops), and collects the outcome.
+//
+// A "variant" is a set of goroutines ("vthreads") executing the same
+// Program against its own diversified address space and kernel process.
+// Thread i of every variant corresponds to thread i of every other variant;
+// the Go scheduler supplies the real scheduling nondeterminism that the
+// paper's machinery exists to tame.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/futex"
+	"repro/internal/kernel"
+	"repro/internal/monitor"
+	"repro/internal/ring"
+	"repro/internal/shm"
+	"repro/internal/trace"
+	"repro/internal/variant"
+)
+
+// Program is the unit of execution: Main runs as thread 0 (the initial
+// thread) of every variant and may spawn further threads.
+type Program struct {
+	Name string
+	Main func(t *Thread)
+}
+
+// Options configures a session.
+type Options struct {
+	// Variants is the number of variants to run in lockstep (>= 1).
+	Variants int
+	// Agent selects the sync-op replication strategy.
+	Agent agent.Kind
+	// Policy selects the monitor's comparison policy.
+	Policy monitor.Policy
+	// ASLR / DCL enable the diversity techniques (§5.1 Correctness).
+	ASLR bool
+	DCL  bool
+	// Seed drives layout randomization.
+	Seed int64
+	// MaxThreads bounds logical threads per variant.
+	MaxThreads int
+	// SyncBufCap / RingCap size the sync and syscall buffers.
+	SyncBufCap int
+	RingCap    int
+	// WallSize is the wall-of-clocks size (power of two).
+	WallSize int
+	// Kernel optionally supplies a pre-populated kernel (input files,
+	// listening clients). If nil a fresh kernel is created.
+	Kernel *kernel.Kernel
+	// Record captures the session's nondeterminism (sync-op tickets and
+	// syscall records) into Result.Trace for later offline replay. It
+	// forces the wall-of-clocks agent.
+	Record bool
+	// Replay re-executes a recorded trace deterministically in a single
+	// variant; Variants, Agent and diversity options are taken from the
+	// session that produced the trace where relevant.
+	Replay *trace.Trace
+}
+
+func (o *Options) fill() {
+	if o.Variants <= 0 {
+		o.Variants = 2
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 64
+	}
+	if o.SyncBufCap <= 0 {
+		o.SyncBufCap = 4096
+	}
+	if o.RingCap <= 0 {
+		o.RingCap = 1024
+	}
+	if o.WallSize <= 0 {
+		o.WallSize = 4096
+	}
+}
+
+// Result summarizes a finished session.
+type Result struct {
+	// Divergence is non-nil if the monitor shut the session down because
+	// the variants diverged.
+	Divergence *monitor.Divergence
+	// Panic carries the first panic value raised by program code, if any;
+	// the session is killed and all variants unwound when that happens.
+	Panic any
+	// Duration is the wall-clock time of the whole session.
+	Duration time.Duration
+	// Syscalls is the master variant's monitored syscall count.
+	Syscalls uint64
+	// SyncOps is the master variant's recorded sync-op count.
+	SyncOps uint64
+	// Stalls is the summed slave stall count (0 for 1 variant).
+	Stalls uint64
+	// Variants echoes the variant count.
+	Variants int
+	// Trace is the recorded execution when Options.Record was set.
+	Trace *trace.Trace
+}
+
+// Session is one MVEE run in progress.
+type Session struct {
+	opts Options
+	prog Program
+
+	kern  *kernel.Kernel
+	mon   *monitor.Monitor
+	ex    agent.Exchange
+	ipc   *shm.Registry
+	cap   *agent.Capture
+	vars  []*variantState
+	start time.Time
+
+	panicMu  sync.Mutex
+	panicVal any // first program panic, if any
+}
+
+// variantState is the per-variant runtime: its address space, kernel
+// process, agent, futex namespace, and thread accounting.
+type variantState struct {
+	id    int
+	space *variant.Space
+	proc  *kernel.Proc
+	agent agent.Agent
+	futex *futex.Table
+	wg    sync.WaitGroup
+}
+
+// NewSession prepares (but does not start) a session.
+func NewSession(opts Options, prog Program) *Session {
+	opts.fill()
+	if opts.Replay != nil {
+		opts.Variants = 1
+		if opts.Replay.MaxThreads > opts.MaxThreads {
+			opts.MaxThreads = opts.Replay.MaxThreads
+		}
+		if opts.Replay.WallSize > 0 {
+			opts.WallSize = opts.Replay.WallSize
+		}
+	}
+	if opts.Record {
+		opts.Agent = agent.WallOfClocks
+	}
+	kern := opts.Kernel
+	if kern == nil {
+		kern = kernel.New()
+	}
+	s := &Session{opts: opts, prog: prog, kern: kern}
+
+	procs := make([]*kernel.Proc, opts.Variants)
+	s.vars = make([]*variantState, opts.Variants)
+	for v := 0; v < opts.Variants; v++ {
+		space := variant.NewSpace(v, variant.Options{ASLR: opts.ASLR, DCL: opts.DCL, Seed: opts.Seed})
+		proc := kern.NewProc(space.BrkBase(), space.MmapBase())
+		procs[v] = proc
+		s.vars[v] = &variantState{
+			id:    v,
+			space: space,
+			proc:  proc,
+			futex: kern.FutexTable(proc.Pid),
+		}
+	}
+	mcfg := monitor.Config{
+		MaxThreads: opts.MaxThreads,
+		RingCap:    opts.RingCap,
+		Policy:     opts.Policy,
+		Capture:    opts.Record,
+	}
+	if opts.Replay != nil {
+		mcfg.Replay = opts.Replay.Syscalls
+	}
+	s.mon = monitor.New(kern, procs, mcfg)
+	s.ipc = &shm.Registry{}
+	acfg := agent.Config{
+		Slaves:     opts.Variants - 1,
+		MaxThreads: opts.MaxThreads,
+		BufCap:     opts.SyncBufCap,
+		WallSize:   opts.WallSize,
+		Registry:   s.ipc,
+	}
+	switch {
+	case opts.Replay != nil:
+		s.ex = agent.NewReplayExchange(opts.Replay.SyncOps, acfg)
+		s.vars[0].agent = s.ex.SlaveAgent(0)
+	case opts.Record:
+		s.ex, s.cap = agent.NewCapturingExchange(acfg)
+		for v := 0; v < opts.Variants; v++ {
+			if v == 0 {
+				s.vars[v].agent = s.ex.MasterAgent()
+			} else {
+				s.vars[v].agent = s.ex.SlaveAgent(v - 1)
+			}
+		}
+	default:
+		s.ex = agent.NewExchange(s.agentKind(), acfg)
+		for v := 0; v < opts.Variants; v++ {
+			if v == 0 {
+				s.vars[v].agent = s.ex.MasterAgent()
+			} else {
+				s.vars[v].agent = s.ex.SlaveAgent(v - 1)
+			}
+		}
+	}
+	// Teardown: when the monitor kills the session, stop the agent
+	// exchange and release futex waiters so every vthread unwinds.
+	s.mon.OnKill(func() {
+		s.ex.Stop()
+		for _, vs := range s.vars {
+			vs.futex.InterruptAll()
+		}
+	})
+	return s
+}
+
+// agentKind degrades the agent to None for single-variant sessions: with no
+// slaves there is nothing to replicate.
+func (s *Session) agentKind() agent.Kind {
+	if s.opts.Variants <= 1 {
+		return agent.None
+	}
+	return s.opts.Agent
+}
+
+// Kernel exposes the session's kernel so tests and load generators can
+// interact with the "outside world" (files, client connections).
+func (s *Session) Kernel() *kernel.Kernel { return s.kern }
+
+// Monitor exposes the monitor (for policy inspection in tests).
+func (s *Session) Monitor() *monitor.Monitor { return s.mon }
+
+// IPC exposes the session's shared-memory namespace, where the agent
+// exchange publishes its sync buffers (§4.5).
+func (s *Session) IPC() *shm.Registry { return s.ipc }
+
+// Run executes the program in all variants and blocks until every variant
+// thread has finished or the session was killed.
+func (s *Session) Run() *Result {
+	s.start = time.Now()
+	for _, vs := range s.vars {
+		vs.wg.Add(1)
+		t := &Thread{ID: 0, sess: s, vs: vs}
+		go t.run(s.prog.Main)
+	}
+	for _, vs := range s.vars {
+		vs.wg.Wait()
+	}
+	s.panicMu.Lock()
+	pv := s.panicVal
+	s.panicMu.Unlock()
+	res := &Result{
+		Divergence: s.mon.Divergence(),
+		Panic:      pv,
+		Duration:   time.Since(s.start),
+		Syscalls:   s.mon.Syscalls(0),
+		SyncOps:    s.vars[0].agent.Ops(),
+		Variants:   s.opts.Variants,
+	}
+	for _, vs := range s.vars[1:] {
+		res.Stalls += vs.agent.Stalls()
+	}
+	if s.opts.Record {
+		res.Trace = &trace.Trace{
+			Program:    s.prog.Name,
+			MaxThreads: s.opts.MaxThreads,
+			WallSize:   s.opts.WallSize,
+			SyncOps:    s.cap.Stop(),
+			Syscalls:   s.mon.StopCapture(),
+		}
+	}
+	return res
+}
+
+// Kill aborts the session from outside (e.g. test timeouts).
+func (s *Session) Kill() { s.mon.Kill(nil) }
+
+// Run is the convenience one-shot API.
+func Run(opts Options, prog Program) *Result {
+	return NewSession(opts, prog).Run()
+}
+
+// Thread is a vthread: the handle program code uses for system calls, sync
+// ops, and thread management. A Thread value is owned by exactly one
+// goroutine.
+type Thread struct {
+	// ID is the logical thread id, identical across variants.
+	ID   int
+	sess *Session
+	vs   *variantState
+}
+
+// run is the vthread trampoline: it executes fn and recovers the session's
+// control-flow panics (kill, stop) so that teardown is quiet.
+func (t *Thread) run(fn func(*Thread)) {
+	defer t.vs.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			switch r {
+			case monitor.ErrKilled, agent.ErrStopped, ring.ErrStopped, ErrVariantKilled:
+				return // session teardown; exit quietly
+			default:
+				// A genuine program panic: record it, tear the session
+				// down, and unwind quietly — a library must not crash
+				// the embedding process for a program bug.
+				t.sess.panicMu.Lock()
+				if t.sess.panicVal == nil {
+					t.sess.panicVal = r
+				}
+				t.sess.panicMu.Unlock()
+				t.sess.mon.Kill(nil)
+			}
+		}
+	}()
+	fn(t)
+	t.sess.mon.ThreadExit(t.vs.id, t.ID)
+}
+
+// Syscall traps into the monitor with a full kernel.Call.
+func (t *Thread) Syscall(nr kernel.Sysno, args [6]uint64, data []byte) kernel.Ret {
+	return t.sess.mon.Invoke(t.vs.id, t.ID, kernel.Call{Nr: nr, Args: args, Data: data})
+}
+
+// syscall is shorthand for data-less calls.
+func (t *Thread) syscall(nr kernel.Sysno, args ...uint64) kernel.Ret {
+	var a [6]uint64
+	copy(a[:], args)
+	return t.Syscall(nr, a, nil)
+}
+
+// Variant returns the variant id this thread belongs to, via the monitor's
+// MVEE-awareness syscall (§4.5): 0 means master.
+func (t *Thread) Variant() int {
+	return int(t.syscall(kernel.SysMVEEAware).Val)
+}
+
+// IsMaster reports whether this thread's variant is the master.
+func (t *Thread) IsMaster() bool { return t.Variant() == 0 }
+
+// Variants returns the number of variants in the session.
+func (t *Thread) Variants() int { return t.sess.opts.Variants }
+
+// Spawn starts fn as a new vthread in this variant. The thread id is
+// allocated by the ordered clone syscall, so the spawned threads correspond
+// across variants. It returns a handle for joining.
+func (t *Thread) Spawn(fn func(*Thread)) *ThreadHandle {
+	ret := t.syscall(kernel.SysClone)
+	tid := int(ret.Val)
+	if tid >= t.sess.opts.MaxThreads {
+		panic(fmt.Sprintf("core: thread id %d exceeds MaxThreads %d", tid, t.sess.opts.MaxThreads))
+	}
+	child := &Thread{ID: tid, sess: t.sess, vs: t.vs}
+	h := &ThreadHandle{Tid: tid, done: make(chan struct{})}
+	t.vs.wg.Add(1)
+	go func() {
+		defer close(h.done)
+		child.run(fn)
+	}()
+	return h
+}
+
+// ThreadHandle joins a spawned vthread.
+type ThreadHandle struct {
+	Tid  int
+	done chan struct{}
+}
+
+// Join blocks until the thread has exited.
+func (h *ThreadHandle) Join() { <-h.done }
+
+// Yield cedes the processor (sched_yield; unmonitored).
+func (t *Thread) Yield() {
+	t.syscall(kernel.SysSchedYield)
+}

@@ -1,0 +1,130 @@
+package covert
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/variant"
+)
+
+// masterSecret computes the secret of the master variant via the layout
+// oracle: the first 8-byte data allocation in variant 0's space under the
+// session's seed — the value the slave has no legitimate way to know.
+func masterSecret(seed int64) uint64 {
+	space := variant.NewSpace(0, variant.Options{ASLR: true, Seed: seed})
+	return space.AllocData(8) >> 3 & (1<<SecretBits - 1)
+}
+
+// slaveSecret is the slave's own value, to prove the channels transmit the
+// master's value rather than echoing local state.
+func slaveSecret(seed int64) uint64 {
+	space := variant.NewSpace(1, variant.Options{ASLR: true, Seed: seed})
+	return space.AllocData(8) >> 3 & (1<<SecretBits - 1)
+}
+
+func runChannel(t *testing.T, prog core.Program, seed int64) (*core.Session, *core.Result) {
+	t.Helper()
+	s := core.NewSession(core.Options{
+		Variants: 2, Agent: agent.WallOfClocks, ASLR: true, Seed: seed, MaxThreads: 8,
+	}, prog)
+	done := make(chan *core.Result, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case res := <-done:
+		return s, res
+	case <-time.After(120 * time.Second):
+		s.Kill()
+		t.Fatal("covert channel program deadlocked")
+		return nil, nil
+	}
+}
+
+func TestTimestampChannelLeaksBothSecrets(t *testing.T) {
+	// Find a seed where the two variants hash to opposite roles, so each
+	// phase carries exactly one variant's secret (the paper's exchange).
+	seed := int64(0)
+	for s := int64(1); s < 200; s++ {
+		if Role(masterSecret(s)) != Role(slaveSecret(s)) && masterSecret(s) != slaveSecret(s) {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed with opposite roles found")
+	}
+	want := [2]uint64{}
+	want[Role(masterSecret(seed))] = masterSecret(seed)
+	want[Role(slaveSecret(seed))] = slaveSecret(seed)
+
+	s, res := runChannel(t, TimestampChannel(), seed)
+	// The leak must escape WITHOUT divergence: that is the point of the
+	// PoC (§5.4) — the monitor cannot tell.
+	if res.Divergence != nil {
+		t.Fatalf("channel caused divergence: %v", res.Divergence)
+	}
+	got, ok := s.Kernel().ReadFile("/covert-ts")
+	if !ok {
+		t.Fatal("no leak written")
+	}
+	if string(got) != fmt.Sprintf("%04x-%04x", want[0], want[1]) {
+		t.Fatalf("recovered %s, want %04x-%04x (both variants' secrets)", got, want[0], want[1])
+	}
+}
+
+func TestTrylockChannelLeaksMasterSecret(t *testing.T) {
+	const seed = 5678
+	want := masterSecret(seed)
+	if other := slaveSecret(seed); other == want {
+		t.Fatalf("test is vacuous: both variants share secret %04x", want)
+	}
+	s, res := runChannel(t, TrylockChannel(), seed)
+	if res.Divergence != nil {
+		t.Fatalf("channel caused divergence: %v", res.Divergence)
+	}
+	got, ok := s.Kernel().ReadFile("/covert-lock")
+	if !ok {
+		t.Fatal("no leak written")
+	}
+	if string(got) != fmt.Sprintf("%04x", want) {
+		t.Fatalf("recovered %s, master secret %04x", got, want)
+	}
+}
+
+func TestChannelsWorkWithThreeVariants(t *testing.T) {
+	// All slaves recover the same (master's) value; the write payloads
+	// agree everywhere.
+	const seed = 42
+	s := core.NewSession(core.Options{
+		Variants: 3, Agent: agent.WallOfClocks, ASLR: true, Seed: seed, MaxThreads: 8,
+	}, TrylockChannel())
+	done := make(chan *core.Result, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case res := <-done:
+		if res.Divergence != nil {
+			t.Fatalf("divergence: %v", res.Divergence)
+		}
+	case <-time.After(120 * time.Second):
+		s.Kill()
+		t.Fatal("deadlock")
+	}
+	got, _ := s.Kernel().ReadFile("/covert-lock")
+	if string(got) != fmt.Sprintf("%04x", masterSecret(seed)) {
+		t.Fatalf("recovered %s", got)
+	}
+}
+
+func TestSecretIsVariantSpecific(t *testing.T) {
+	// Precondition of both PoCs: the secret really differs per variant.
+	seen := map[uint64]int{}
+	for v := 0; v < 4; v++ {
+		space := variant.NewSpace(v, variant.Options{ASLR: true, Seed: 7})
+		seen[space.AllocData(8)>>3&(1<<SecretBits-1)] = v
+	}
+	if len(seen) < 3 {
+		t.Fatalf("secrets collide too much across variants: %v", seen)
+	}
+}

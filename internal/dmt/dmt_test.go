@@ -1,0 +1,201 @@
+package dmt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// schedule runs `threads` workers that each append their tid to a trace on
+// every token turn, with per-thread instruction costs scaled by costFactor
+// (the diversity knob). The returned trace is the DMT schedule.
+func schedule(threads int, iters int, quantum uint64, costFactor []uint64) []int {
+	s := New(threads, quantum)
+	var mu sync.Mutex
+	var trace []int
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Acquire(tid)
+				mu.Lock()
+				trace = append(trace, tid)
+				mu.Unlock()
+				s.Charge(tid, costFactor[tid])
+			}
+			s.Exit(tid)
+		}(tid)
+	}
+	wg.Wait()
+	return trace
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	costs := []uint64{10, 10, 10}
+	a := schedule(3, 50, 25, costs)
+	b := schedule(3, 50, 25, costs)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a[:i+1], b[:i+1])
+		}
+	}
+}
+
+func TestDiversityChangesTheSchedule(t *testing.T) {
+	// §2.1: diversified variants retire different instruction counts for
+	// the same source operations, so quantum exhaustion lands at
+	// different points and the (individually deterministic) schedules
+	// differ between variants.
+	base := schedule(3, 50, 25, []uint64{10, 10, 10})
+	diversified := schedule(3, 50, 25, []uint64{13, 10, 10}) // variant with NOP-inflated thread 0
+	same := true
+	for i := range base {
+		if base[i] != diversified[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("instruction-count diversity did not perturb the DMT schedule; the §2.1 incompatibility argument needs it to")
+	}
+}
+
+func TestTokenSerializesHolders(t *testing.T) {
+	s := New(4, 5)
+	var inside, maxInside int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Acquire(tid)
+				mu.Lock()
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				mu.Unlock()
+				// Still holding the token here: nobody else may be inside.
+				mu.Lock()
+				inside--
+				mu.Unlock()
+				s.Charge(tid, 5)
+			}
+			s.Exit(tid)
+		}(tid)
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("token failed to serialize: %d holders at once", maxInside)
+	}
+}
+
+func TestExitPassesToken(t *testing.T) {
+	s := New(2, 100)
+	done := make(chan struct{})
+	go func() {
+		s.Acquire(1)
+		s.Exit(1)
+		close(done)
+	}()
+	// Thread 0 holds the token; exiting must hand it over.
+	s.Acquire(0)
+	s.Exit(0)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("token never passed to thread 1")
+	}
+}
+
+func TestChargeWithoutTokenPanics(t *testing.T) {
+	s := New(2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Charge without token did not panic")
+		}
+	}()
+	s.Charge(1, 5) // thread 0 holds the token
+}
+
+// dmtProgram runs a DMT-scheduled two-thread interleaving under the MVEE.
+// The per-variant cost factor models diversity: variant v's thread 0
+// retires cost0(v) units per iteration. Each turn's (thread, value) pair
+// feeds a rolling hash that is written out at the end, so schedule
+// differences between variants become payload divergence.
+func dmtProgram(quantum uint64, cost0 func(variantID int) uint64) core.Program {
+	return core.Program{Name: "dmt-under-mvee", Main: func(t *core.Thread) {
+		v := t.Variant()
+		costs := []uint64{cost0(v), 10}
+		s := New(2, quantum)
+		var mu sync.Mutex
+		var hash uint64
+		var order []int
+		hs := make([]*core.ThreadHandle, 2)
+		for tid := 0; tid < 2; tid++ {
+			tid := tid
+			hs[tid] = t.Spawn(func(tt *core.Thread) {
+				for i := 0; i < 40; i++ {
+					s.Acquire(tid)
+					mu.Lock()
+					hash = hash*31 + uint64(tid) + 1
+					order = append(order, tid)
+					mu.Unlock()
+					s.Charge(tid, costs[tid])
+				}
+				s.Exit(tid)
+			})
+		}
+		for _, h := range hs {
+			h.Join()
+		}
+		fd := t.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/dmt")).Val
+		t.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte(fmt.Sprintf("%x", hash)))
+	}}
+}
+
+func runDMT(t *testing.T, prog core.Program) *core.Result {
+	t.Helper()
+	s := core.NewSession(core.Options{Variants: 2, ASLR: true, Seed: 3, MaxThreads: 8}, prog)
+	done := make(chan *core.Result, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case res := <-done:
+		return res
+	case <-time.After(60 * time.Second):
+		s.Kill()
+		t.Fatal("deadlock")
+		return nil
+	}
+}
+
+func TestDMTIdenticalVariantsLockstepFine(t *testing.T) {
+	// Without diversity, DMT gives all variants the same schedule: the
+	// MVEE sees no divergence even with no synchronization agent.
+	res := runDMT(t, dmtProgram(25, func(int) uint64 { return 10 }))
+	if res.Divergence != nil {
+		t.Fatalf("identical DMT variants diverged: %v", res.Divergence)
+	}
+}
+
+func TestDMTDivergesUnderDiversity(t *testing.T) {
+	// The §2.1 result: with per-variant instruction counts, each variant
+	// has a fixed but different schedule — and the MVEE flags divergence.
+	res := runDMT(t, dmtProgram(25, func(v int) uint64 {
+		return 10 + 3*uint64(v) // diversity inflates variant 1's thread 0
+	}))
+	if res.Divergence == nil {
+		t.Fatal("diversified DMT variants did not diverge; the paper's incompatibility argument expects divergence")
+	}
+}

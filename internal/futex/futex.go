@@ -1,0 +1,118 @@
+// Package futex provides a futex-style wait/wake service keyed on 32-bit
+// words, mirroring Linux's sys_futex, which both the simulated kernel and
+// the instrumented synchronization library use for their slow paths.
+//
+// Semantics follow FUTEX_WAIT / FUTEX_WAKE: Wait(w, val) blocks the caller
+// only if *w still equals val at the time the waiter is registered (the
+// atomicity that makes futexes race-free), and Wake(w, n) releases up to n
+// of the waiters registered at that moment — never waiters that arrive
+// later, which is what makes wakeups lossless.
+package futex
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Table is an independent futex namespace. Each simulated kernel process
+// owns one. The zero value is ready to use.
+type Table struct {
+	mu          sync.Mutex
+	queues      map[*atomic.Uint32]*queue
+	interrupted bool
+}
+
+type queue struct {
+	mu          sync.Mutex
+	waiters     []chan struct{} // FIFO; closed channel = woken
+	interrupted bool
+}
+
+func (t *Table) queueFor(w *atomic.Uint32) *queue {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.queues == nil {
+		t.queues = make(map[*atomic.Uint32]*queue)
+	}
+	q, ok := t.queues[w]
+	if !ok {
+		q = &queue{interrupted: t.interrupted}
+		t.queues[w] = q
+	}
+	return q
+}
+
+// Wait blocks the caller until a Wake on w, provided *w == val at entry.
+// It returns true if it was registered (and subsequently woken or
+// interrupted), false if the value had already changed (EAGAIN).
+func (t *Table) Wait(w *atomic.Uint32, val uint32) bool {
+	q := t.queueFor(w)
+	q.mu.Lock()
+	if w.Load() != val {
+		q.mu.Unlock()
+		return false
+	}
+	if q.interrupted {
+		q.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	q.waiters = append(q.waiters, ch)
+	q.mu.Unlock()
+	<-ch
+	return true
+}
+
+// Wake releases up to n waiters registered on w at this moment, in FIFO
+// order, and returns how many it released.
+func (t *Table) Wake(w *atomic.Uint32, n int) int {
+	q := t.queueFor(w)
+	q.mu.Lock()
+	k := n
+	if k > len(q.waiters) {
+		k = len(q.waiters)
+	}
+	for i := 0; i < k; i++ {
+		close(q.waiters[i])
+	}
+	q.waiters = append([]chan struct{}(nil), q.waiters[k:]...)
+	q.mu.Unlock()
+	return k
+}
+
+// WakeAll releases every waiter currently registered on w.
+func (t *Table) WakeAll(w *atomic.Uint32) int {
+	return t.Wake(w, 1<<30)
+}
+
+// InterruptAll permanently releases every waiter on every word and makes
+// all future Waits return immediately. It is used when a variant is torn
+// down (e.g. after divergence); callers of Wait are expected to observe the
+// shutdown condition themselves.
+func (t *Table) InterruptAll() {
+	t.mu.Lock()
+	t.interrupted = true
+	queues := make([]*queue, 0, len(t.queues))
+	for _, q := range t.queues {
+		queues = append(queues, q)
+	}
+	t.mu.Unlock()
+	for _, q := range queues {
+		q.mu.Lock()
+		q.interrupted = true
+		for _, ch := range q.waiters {
+			close(ch)
+		}
+		q.waiters = nil
+		q.mu.Unlock()
+	}
+}
+
+// Waiters reports how many goroutines are currently blocked on w. Intended
+// for tests and diagnostics.
+func (t *Table) Waiters(w *atomic.Uint32) int {
+	q := t.queueFor(w)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.waiters)
+}

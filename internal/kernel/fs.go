@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"sync"
+)
+
+// inode is a regular file's storage. The file system is flat (path ->
+// inode), which covers everything the benchmarks and the web server need.
+type inode struct {
+	mu   sync.RWMutex
+	path string
+	data []byte
+}
+
+func (ino *inode) size() int64 {
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	return int64(len(ino.data))
+}
+
+func (ino *inode) readAt(p []byte, off int64) int {
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	if off >= int64(len(ino.data)) {
+		return 0
+	}
+	return copy(p, ino.data[off:])
+}
+
+func (ino *inode) writeAt(p []byte, off int64) int {
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(ino.data)) {
+		grown := make([]byte, end)
+		copy(grown, ino.data)
+		ino.data = grown
+	}
+	copy(ino.data[off:], p)
+	return len(p)
+}
+
+func (ino *inode) truncate(n int64) {
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	if n <= int64(len(ino.data)) {
+		ino.data = ino.data[:n]
+		return
+	}
+	grown := make([]byte, n)
+	copy(grown, ino.data)
+	ino.data = grown
+}
+
+// fileSystem is the shared, in-memory file system: the "outside world" that
+// all variants observe through the master's I/O.
+type fileSystem struct {
+	mu     sync.Mutex
+	inodes map[string]*inode
+}
+
+func newFileSystem() *fileSystem {
+	return &fileSystem{inodes: make(map[string]*inode)}
+}
+
+func (fs *fileSystem) lookup(path string) (*inode, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.inodes[path]
+	return ino, ok
+}
+
+func (fs *fileSystem) create(path string, excl bool) (*inode, Errno) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if ino, ok := fs.inodes[path]; ok {
+		if excl {
+			return nil, EEXIST
+		}
+		return ino, OK
+	}
+	ino := &inode{path: path}
+	fs.inodes[path] = ino
+	return ino, OK
+}
+
+func (fs *fileSystem) unlink(path string) Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.inodes[path]; !ok {
+		return ENOENT
+	}
+	delete(fs.inodes, path)
+	return OK
+}
+
+// object is anything a file descriptor can refer to.
+type object interface {
+	// read blocks until data is available (pipes/sockets) or returns
+	// immediately (files). n==0 with OK means end of stream.
+	read(p []byte, off int64) (n int, errno Errno)
+	write(p []byte, off int64) (n int, errno Errno)
+	size() (int64, Errno)
+	close() Errno
+	seekable() bool
+}
+
+// fileObj adapts an inode to the object interface.
+type fileObj struct {
+	ino   *inode
+	flags int
+}
+
+func (f *fileObj) read(p []byte, off int64) (int, Errno) {
+	if f.flags&0x3 == OWronly {
+		return 0, EBADF
+	}
+	return f.ino.readAt(p, off), OK
+}
+
+func (f *fileObj) write(p []byte, off int64) (int, Errno) {
+	if f.flags&0x3 == ORdonly {
+		return 0, EBADF
+	}
+	return f.ino.writeAt(p, off), OK
+}
+
+func (f *fileObj) size() (int64, Errno) { return f.ino.size(), OK }
+func (f *fileObj) close() Errno         { return OK }
+func (f *fileObj) seekable() bool       { return true }

@@ -1,0 +1,502 @@
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/futex"
+)
+
+// Kernel is one simulated machine: a shared file system and network plus
+// per-process state. All variants of one MVEE session run against the same
+// Kernel, just as they run on the same host in the paper.
+type Kernel struct {
+	fs  *fileSystem
+	net *netStack
+
+	// Futexes are per process; the table maps pid -> futex namespace.
+	futexMu sync.Mutex
+	futexes map[int]*futex.Table
+
+	procMu  sync.Mutex
+	procs   map[int]*Proc
+	nextPid int
+
+	start time.Time
+	// logical advances once per clock read so that two gettimeofday calls
+	// never return the identical instant — the property the covert
+	// channel PoC (§5.4) depends on.
+	logical atomic.Uint64
+
+	// Interruption support: when the monitor tears the session down (on
+	// divergence), every blockable object is force-closed so that threads
+	// parked in the kernel unwind.
+	intMu       sync.Mutex
+	interrupted bool
+	blockables  []interruptible
+}
+
+type interruptible interface{ interrupt() }
+
+func (p *pipe) interrupt()     { p.closeRead(); p.closeWrite() }
+func (l *listener) interrupt() { l.close() }
+
+// track registers a blockable object; if the kernel is already interrupted
+// the object is closed immediately.
+func (k *Kernel) track(x interruptible) {
+	k.intMu.Lock()
+	dead := k.interrupted
+	if !dead {
+		k.blockables = append(k.blockables, x)
+	}
+	k.intMu.Unlock()
+	if dead {
+		x.interrupt()
+	}
+}
+
+// Interrupt force-closes every pipe, socket and listener so that any thread
+// blocked in the kernel returns with an error or EOF. It is idempotent.
+func (k *Kernel) Interrupt() {
+	k.intMu.Lock()
+	k.interrupted = true
+	blockables := k.blockables
+	k.blockables = nil
+	k.intMu.Unlock()
+	for _, x := range blockables {
+		x.interrupt()
+	}
+}
+
+// New creates an empty kernel.
+func New() *Kernel {
+	return &Kernel{
+		fs:      newFileSystem(),
+		net:     newNetStack(),
+		futexes: make(map[int]*futex.Table),
+		procs:   make(map[int]*Proc),
+		nextPid: 1000,
+		start:   time.Now(),
+	}
+}
+
+// NewProc registers a new process whose heap and mmap regions start at the
+// given (diversified) bases.
+func (k *Kernel) NewProc(brkBase, mmapBase uint64) *Proc {
+	k.procMu.Lock()
+	pid := k.nextPid
+	k.nextPid++
+	p := NewProc(pid, NewAddressSpace(brkBase, mmapBase))
+	k.procs[pid] = p
+	k.procMu.Unlock()
+	return p
+}
+
+// FutexTable returns the futex namespace of process pid, creating it on
+// first use.
+func (k *Kernel) FutexTable(pid int) *futex.Table {
+	k.futexMu.Lock()
+	defer k.futexMu.Unlock()
+	t, ok := k.futexes[pid]
+	if !ok {
+		t = &futex.Table{}
+		k.futexes[pid] = t
+	}
+	return t
+}
+
+// WriteFile creates (or replaces) a file, for test and workload setup.
+func (k *Kernel) WriteFile(path string, data []byte) {
+	ino, _ := k.fs.create(path, false)
+	ino.truncate(0)
+	ino.writeAt(data, 0)
+}
+
+// ReadFile returns a copy of a file's content, for assertions in tests.
+func (k *Kernel) ReadFile(path string) ([]byte, bool) {
+	ino, ok := k.fs.lookup(path)
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, ino.size())
+	ino.readAt(buf, 0)
+	return buf, true
+}
+
+// Listen opens a listener on port from outside the MVEE (used by clients in
+// tests); servers under the MVEE use SysSocket/SysBind/SysListen instead.
+func (k *Kernel) Listen(port uint16, backlog int) (*listener, Errno) {
+	l := newListener(port, backlog)
+	k.track(l)
+	if errno := k.net.bind(port, l); errno != OK {
+		return nil, errno
+	}
+	return l, OK
+}
+
+// CloseListener shuts down the listener bound to port (from outside the
+// MVEE), causing pending and future accepts to fail — the orderly way for
+// tests and examples to stop a server program.
+func (k *Kernel) CloseListener(port uint16) {
+	if l, ok := k.net.lookup(port); ok {
+		l.close()
+		k.net.unbind(port)
+	}
+}
+
+// Connect establishes a loopback connection to port and returns the client
+// endpoint. Client code in tests and load generators talks to the server
+// through the returned ClientConn.
+func (k *Kernel) Connect(port uint16) (*ClientConn, Errno) {
+	l, ok := k.net.lookup(port)
+	if !ok {
+		return nil, ECONNREFUSED
+	}
+	c := &conn{toServer: newPipe(), fromServer: newPipe()}
+	k.track(c.toServer)
+	k.track(c.fromServer)
+	if errno := l.enqueue(c); errno != OK {
+		return nil, errno
+	}
+	return &ClientConn{c: c}, OK
+}
+
+// ClientConn is the client-side view of a loopback connection, used by
+// load generators that live outside the MVEE.
+type ClientConn struct{ c *conn }
+
+// Write sends data toward the server.
+func (cc *ClientConn) Write(p []byte) (int, error) {
+	n, errno := cc.c.toServer.write(p)
+	if errno != OK {
+		return n, errno
+	}
+	return n, nil
+}
+
+// Read receives data from the server; it returns n==0 and nil error at EOF.
+func (cc *ClientConn) Read(p []byte) (int, error) {
+	n, errno := cc.c.fromServer.read(p)
+	if errno != OK {
+		return n, errno
+	}
+	return n, nil
+}
+
+// Close shuts down the client side of the connection.
+func (cc *ClientConn) Close() {
+	cc.c.toServer.closeWrite()
+	cc.c.fromServer.closeRead()
+}
+
+// nowNanos returns a strictly increasing timestamp: real elapsed time mixed
+// with a logical increment so that consecutive reads always differ.
+func (k *Kernel) nowNanos() uint64 {
+	return uint64(time.Since(k.start).Nanoseconds()) + k.logical.Add(1)
+}
+
+// Do executes one system call on behalf of process p. It may block (pipe
+// reads, accept, nanosleep) — the monitor is responsible for only routing
+// calls here in accordance with its synchronization model.
+func (k *Kernel) Do(p *Proc, c Call) Ret {
+	switch c.Nr {
+	case SysOpen:
+		return k.doOpen(p, c)
+	case SysClose:
+		return retErr(p.closeFD(int(c.Args[0])))
+	case SysRead:
+		return k.doRead(p, c)
+	case SysWrite:
+		return k.doWrite(p, c)
+	case SysPread:
+		return k.doPread(p, c)
+	case SysPwrite:
+		return k.doPwrite(p, c)
+	case SysLseek:
+		return k.doLseek(p, c)
+	case SysStat:
+		return k.doStat(c)
+	case SysUnlink:
+		return retErr(k.fs.unlink(string(c.Data)))
+	case SysDup:
+		fd, errno := p.dupFD(int(c.Args[0]))
+		return Ret{Val: uint64(fd), Err: errno}
+	case SysPipe2:
+		return k.doPipe(p)
+	case SysFtruncate:
+		return k.doFtruncate(p, c)
+	case SysBrk:
+		return Ret{Val: p.AS.Brk(c.Args[0])}
+	case SysMmap:
+		addr, errno := p.AS.Mmap(c.Args[1])
+		return Ret{Val: addr, Err: errno}
+	case SysMunmap:
+		return retErr(p.AS.Munmap(c.Args[0], c.Args[1]))
+	case SysClone:
+		// The tid is allocated here, inside the monitor's ordered
+		// critical section, so corresponding threads get identical tids
+		// in every variant.
+		return Ret{Val: uint64(p.NextTid())}
+	case SysMprotect:
+		if !p.AS.Mapped(c.Args[0]) {
+			return Ret{Err: ENOMEM}
+		}
+		return Ret{}
+	case SysGettimeofday, SysClockGettime:
+		return Ret{Val: k.nowNanos()}
+	case SysNanosleep:
+		time.Sleep(time.Duration(c.Args[0]))
+		return Ret{}
+	case SysSchedYield:
+		runtime.Gosched()
+		return Ret{}
+	case SysGetpid:
+		return Ret{Val: uint64(p.Pid)}
+	case SysSocket:
+		// The descriptor is allocated at connect/accept/listen time in
+		// this simplified stack; socket() reserves a placeholder.
+		fd, errno := p.allocFD(&socketObj{rx: newPipe(), tx: newPipe()}, 0)
+		return Ret{Val: uint64(fd), Err: errno}
+	case SysBind, SysListen:
+		return k.doListen(p, c)
+	case SysAccept:
+		return k.doAccept(p, c)
+	case SysConnect:
+		return k.doConnect(p, c)
+	case SysSend:
+		return k.doWrite(p, c)
+	case SysRecv:
+		return k.doRead(p, c)
+	case SysShutdown:
+		return retErr(p.closeFD(int(c.Args[0])))
+	default:
+		return Ret{Err: ENOSYS}
+	}
+}
+
+func retErr(errno Errno) Ret { return Ret{Err: errno} }
+
+func (k *Kernel) doOpen(p *Proc, c Call) Ret {
+	path := string(c.Data)
+	flags := int(c.Args[0])
+	var ino *inode
+	if flags&OCreat != 0 {
+		var errno Errno
+		ino, errno = k.fs.create(path, flags&OExcl != 0)
+		if errno != OK {
+			return Ret{Err: errno}
+		}
+	} else {
+		var ok bool
+		ino, ok = k.fs.lookup(path)
+		if !ok {
+			return Ret{Err: ENOENT}
+		}
+	}
+	if flags&OTrunc != 0 {
+		ino.truncate(0)
+	}
+	fd, errno := p.allocFD(&fileObj{ino: ino, flags: flags}, flags)
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	e, _ := p.lookupFD(fd)
+	if flags&OAppend != 0 {
+		e.offset = ino.size()
+	}
+	return Ret{Val: uint64(fd)}
+}
+
+func (k *Kernel) doRead(p *Proc, c Call) Ret {
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	buf := make([]byte, int(c.Args[1]))
+	n, errno := e.obj.read(buf, e.offset)
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	if e.obj.seekable() {
+		e.offset += int64(n)
+	}
+	return Ret{Val: uint64(n), Data: buf[:n]}
+}
+
+func (k *Kernel) doWrite(p *Proc, c Call) Ret {
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	n, errno := e.obj.write(c.Data, e.offset)
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	if e.obj.seekable() {
+		e.offset += int64(n)
+	}
+	return Ret{Val: uint64(n)}
+}
+
+func (k *Kernel) doPread(p *Proc, c Call) Ret {
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	if !e.obj.seekable() {
+		return Ret{Err: ESPIPE}
+	}
+	buf := make([]byte, int(c.Args[1]))
+	n, errno := e.obj.read(buf, int64(c.Args[2]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	return Ret{Val: uint64(n), Data: buf[:n]}
+}
+
+func (k *Kernel) doPwrite(p *Proc, c Call) Ret {
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	if !e.obj.seekable() {
+		return Ret{Err: ESPIPE}
+	}
+	n, errno := e.obj.write(c.Data, int64(c.Args[1]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	return Ret{Val: uint64(n)}
+}
+
+func (k *Kernel) doLseek(p *Proc, c Call) Ret {
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	if !e.obj.seekable() {
+		return Ret{Err: ESPIPE}
+	}
+	off := int64(c.Args[1])
+	switch c.Args[2] {
+	case SeekSet:
+		e.offset = off
+	case SeekCur:
+		e.offset += off
+	case SeekEnd:
+		sz, _ := e.obj.size()
+		e.offset = sz + off
+	default:
+		return Ret{Err: EINVAL}
+	}
+	if e.offset < 0 {
+		e.offset = 0
+		return Ret{Err: EINVAL}
+	}
+	return Ret{Val: uint64(e.offset)}
+}
+
+func (k *Kernel) doStat(c Call) Ret {
+	ino, ok := k.fs.lookup(string(c.Data))
+	if !ok {
+		return Ret{Err: ENOENT}
+	}
+	return Ret{Val: uint64(ino.size())}
+}
+
+func (k *Kernel) doPipe(p *Proc) Ret {
+	pi := newPipe()
+	k.track(pi)
+	rfd, errno := p.allocFD(&readEnd{p: pi}, ORdonly)
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	wfd, errno := p.allocFD(&writeEnd{p: pi}, OWronly)
+	if errno != OK {
+		p.closeFD(rfd)
+		return Ret{Err: errno}
+	}
+	return Ret{Val: uint64(rfd), Val2: uint64(wfd)}
+}
+
+func (k *Kernel) doFtruncate(p *Proc, c Call) Ret {
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	f, ok := e.obj.(*fileObj)
+	if !ok {
+		return Ret{Err: EINVAL}
+	}
+	f.ino.truncate(int64(c.Args[1]))
+	return Ret{}
+}
+
+// doListen binds a fresh listener on the requested port and replaces the
+// placeholder socket object behind the descriptor. Bind and listen are
+// collapsed into one call; the monitor still sees both syscalls.
+func (k *Kernel) doListen(p *Proc, c Call) Ret {
+	if c.Nr == SysBind {
+		return Ret{} // recorded for ordering; listen does the work
+	}
+	fd := int(c.Args[0])
+	port := uint16(c.Args[1])
+	backlog := int(c.Args[2])
+	if backlog <= 0 {
+		backlog = 128
+	}
+	e, errno := p.lookupFD(fd)
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	l := newListener(port, backlog)
+	k.track(l)
+	if errno := k.net.bind(port, l); errno != OK {
+		return Ret{Err: errno}
+	}
+	p.mu.Lock()
+	e.obj = l
+	p.mu.Unlock()
+	return Ret{}
+}
+
+func (k *Kernel) doAccept(p *Proc, c Call) Ret {
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	l, ok := e.obj.(*listener)
+	if !ok {
+		return Ret{Err: ENOTSOCK}
+	}
+	cn, errno := l.accept()
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	fd, errno := p.allocFD(&socketObj{rx: cn.toServer, tx: cn.fromServer}, 0)
+	return Ret{Val: uint64(fd), Err: errno}
+}
+
+func (k *Kernel) doConnect(p *Proc, c Call) Ret {
+	port := uint16(c.Args[1])
+	l, ok := k.net.lookup(port)
+	if !ok {
+		return Ret{Err: ECONNREFUSED}
+	}
+	cn := &conn{toServer: newPipe(), fromServer: newPipe()}
+	k.track(cn.toServer)
+	k.track(cn.fromServer)
+	if errno := l.enqueue(cn); errno != OK {
+		return Ret{Err: errno}
+	}
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	p.mu.Lock()
+	e.obj = &socketObj{rx: cn.fromServer, tx: cn.toServer}
+	p.mu.Unlock()
+	return Ret{}
+}

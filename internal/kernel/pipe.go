@@ -1,0 +1,97 @@
+package kernel
+
+import "sync"
+
+// pipeBufSize matches Linux's default pipe capacity (64 KiB).
+const pipeBufSize = 64 * 1024
+
+// pipe is a bounded unidirectional byte stream with blocking reads and
+// writes, shared by pipe2 and by each direction of a socket connection.
+type pipe struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	buf         []byte
+	readClosed  bool
+	writeClosed bool
+}
+
+func newPipe() *pipe {
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// readEnd / writeEnd adapt the two ends of a pipe to the object interface.
+type readEnd struct{ p *pipe }
+type writeEnd struct{ p *pipe }
+
+func (r *readEnd) read(b []byte, _ int64) (int, Errno) { return r.p.read(b) }
+func (r *readEnd) write([]byte, int64) (int, Errno)    { return 0, EBADF }
+func (r *readEnd) size() (int64, Errno)                { return 0, ESPIPE }
+func (r *readEnd) close() Errno                        { r.p.closeRead(); return OK }
+func (r *readEnd) seekable() bool                      { return false }
+
+func (w *writeEnd) read([]byte, int64) (int, Errno)      { return 0, EBADF }
+func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(b) }
+func (w *writeEnd) size() (int64, Errno)                 { return 0, ESPIPE }
+func (w *writeEnd) close() Errno                         { w.p.closeWrite(); return OK }
+func (w *writeEnd) seekable() bool                       { return false }
+
+func (p *pipe) read(b []byte) (int, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.writeClosed {
+			return 0, OK // EOF
+		}
+		if p.readClosed {
+			return 0, EBADF
+		}
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	p.cond.Broadcast() // wake writers waiting for space
+	return n, OK
+}
+
+func (p *pipe) write(b []byte) (int, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	for written < len(b) {
+		if p.readClosed {
+			return written, EPIPE
+		}
+		if p.writeClosed {
+			return written, EBADF
+		}
+		space := pipeBufSize - len(p.buf)
+		if space == 0 {
+			p.cond.Wait()
+			continue
+		}
+		chunk := b[written:]
+		if len(chunk) > space {
+			chunk = chunk[:space]
+		}
+		p.buf = append(p.buf, chunk...)
+		written += len(chunk)
+		p.cond.Broadcast() // wake readers
+	}
+	return written, OK
+}
+
+func (p *pipe) closeRead() {
+	p.mu.Lock()
+	p.readClosed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) closeWrite() {
+	p.mu.Lock()
+	p.writeClosed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"sync"
+)
+
+// maxFDs bounds a process's descriptor table, like RLIMIT_NOFILE.
+const maxFDs = 1024
+
+// fdEntry binds a descriptor to an object plus per-descriptor state.
+type fdEntry struct {
+	obj    object
+	offset int64
+	flags  int
+}
+
+// Proc is the kernel-side state of one process (one MVEE variant).
+type Proc struct {
+	Pid int
+	AS  *AddressSpace
+
+	mu  sync.Mutex
+	fds map[int]*fdEntry
+
+	nextTid int
+}
+
+// NewProc creates a process with an empty descriptor table (descriptors
+// 0-2 are reserved, as stdin/stdout/stderr would be) and the given address
+// space.
+func NewProc(pid int, as *AddressSpace) *Proc {
+	return &Proc{Pid: pid, AS: as, fds: make(map[int]*fdEntry), nextTid: 1}
+}
+
+// allocFD installs obj at the lowest free descriptor >= 3 — the kernel
+// behaviour whose cross-variant visibility motivates syscall ordering in
+// the first place (§3.1).
+func (p *Proc) allocFD(obj object, flags int) (int, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for fd := 3; fd < maxFDs; fd++ {
+		if _, used := p.fds[fd]; !used {
+			p.fds[fd] = &fdEntry{obj: obj, flags: flags}
+			return fd, OK
+		}
+	}
+	return -1, EMFILE
+}
+
+func (p *Proc) lookupFD(fd int) (*fdEntry, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.fds[fd]
+	if !ok {
+		return nil, EBADF
+	}
+	return e, OK
+}
+
+func (p *Proc) closeFD(fd int) Errno {
+	p.mu.Lock()
+	e, ok := p.fds[fd]
+	if !ok {
+		p.mu.Unlock()
+		return EBADF
+	}
+	delete(p.fds, fd)
+	p.mu.Unlock()
+	return e.obj.close()
+}
+
+func (p *Proc) dupFD(fd int) (int, Errno) {
+	p.mu.Lock()
+	e, ok := p.fds[fd]
+	if !ok {
+		p.mu.Unlock()
+		return -1, EBADF
+	}
+	// A dup shares the object but gets an independent entry; sharing the
+	// offset (like real dup) is not needed by any workload, so entries
+	// keep private offsets for simplicity.
+	clone := &fdEntry{obj: e.obj, offset: e.offset, flags: e.flags}
+	for nfd := 3; nfd < maxFDs; nfd++ {
+		if _, used := p.fds[nfd]; !used {
+			p.fds[nfd] = clone
+			p.mu.Unlock()
+			return nfd, OK
+		}
+	}
+	p.mu.Unlock()
+	return -1, EMFILE
+}
+
+// OpenFDs reports the number of live descriptors (for tests).
+func (p *Proc) OpenFDs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fds)
+}
+
+// NextTid allocates a thread id within the process. The monitor calls this
+// inside the ordered clone critical section so that corresponding threads
+// receive identical tids in every variant.
+func (p *Proc) NextTid() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tid := p.nextTid
+	p.nextTid++
+	return tid
+}

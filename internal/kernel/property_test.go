@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a pipe is a faithful FIFO byte stream for any chunking of
+// writes and reads.
+func TestPipeFIFOProperty(t *testing.T) {
+	f := func(chunks [][]byte, readSizes []uint8) bool {
+		p := newPipe()
+		var want []byte
+		total := 0
+		for _, c := range chunks {
+			if total+len(c) > pipeBufSize/2 {
+				break // stay below capacity: this test is single-threaded
+			}
+			n, errno := p.write(c)
+			if errno != OK || n != len(c) {
+				return false
+			}
+			want = append(want, c...)
+			total += len(c)
+		}
+		p.closeWrite()
+		var got []byte
+		i := 0
+		for {
+			size := 1
+			if len(readSizes) > 0 {
+				size = int(readSizes[i%len(readSizes)])%64 + 1
+			}
+			buf := make([]byte, size)
+			n, errno := p.read(buf)
+			if errno != OK {
+				return false
+			}
+			if n == 0 {
+				break // EOF
+			}
+			got = append(got, buf[:n]...)
+			i++
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: file write-then-read round-trips at any offset.
+func TestInodeReadWriteProperty(t *testing.T) {
+	f := func(data []byte, offRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		off := int64(offRaw % 4096)
+		ino := &inode{}
+		if n := ino.writeAt(data, off); n != len(data) {
+			return false
+		}
+		if ino.size() != off+int64(len(data)) {
+			return false
+		}
+		buf := make([]byte, len(data))
+		if n := ino.readAt(buf, off); n != len(data) {
+			return false
+		}
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: descriptor allocation always picks the lowest free fd >= 3.
+func TestLowestFreeFDProperty(t *testing.T) {
+	f := func(closesRaw []uint8) bool {
+		k := New()
+		p := k.NewProc(0x1000, 0x7000_0000)
+		// Open 16 files: fds 3..18.
+		for i := 0; i < 16; i++ {
+			r := k.Do(p, Call{Nr: SysOpen, Args: [6]uint64{OCreat | ORdwr},
+				Data: []byte{'/', byte('a' + i)}})
+			if !r.Ok() {
+				return false
+			}
+		}
+		// Close an arbitrary subset.
+		closed := map[int]bool{}
+		for _, c := range closesRaw {
+			fd := 3 + int(c%16)
+			if !closed[fd] {
+				k.Do(p, Call{Nr: SysClose, Args: [6]uint64{uint64(fd)}})
+				closed[fd] = true
+			}
+		}
+		// Reopen one file: must land on the lowest closed fd (or 19).
+		lowest := 19
+		for fd := 3; fd < 19; fd++ {
+			if closed[fd] {
+				lowest = fd
+				break
+			}
+		}
+		r := k.Do(p, Call{Nr: SysOpen, Args: [6]uint64{OCreat | ORdwr}, Data: []byte("/zz")})
+		return r.Ok() && int(r.Val) == lowest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Brk never returns a value below the base, and Mmap regions
+// never overlap.
+func TestAddressSpaceProperties(t *testing.T) {
+	f := func(reqs []uint32) bool {
+		as := NewAddressSpace(0x10000, 0x7000_0000)
+		type region struct{ start, end uint64 }
+		var regions []region
+		for _, r := range reqs {
+			n := uint64(r%(1<<20) + 1)
+			addr, errno := as.Mmap(n)
+			if errno != OK {
+				return false
+			}
+			end := addr + ((n + PageSize - 1) &^ uint64(PageSize-1))
+			for _, x := range regions {
+				if addr < x.end && x.start < end {
+					return false // overlap
+				}
+			}
+			regions = append(regions, region{addr, end})
+		}
+		return as.Brk(0) >= 0x10000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

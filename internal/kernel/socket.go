@@ -1,0 +1,122 @@
+package kernel
+
+import "sync"
+
+// The socket layer provides loopback stream sockets: enough for the nginx
+// use case (§5.5), where a client load generator connects to the
+// multithreaded server running under the MVEE.
+
+// conn is one established connection: two pipes, one per direction.
+type conn struct {
+	toServer   *pipe
+	fromServer *pipe
+}
+
+// socketObj is the server- or client-side endpoint of a connection.
+type socketObj struct {
+	rx *pipe
+	tx *pipe
+}
+
+func (s *socketObj) read(b []byte, _ int64) (int, Errno)  { return s.rx.read(b) }
+func (s *socketObj) write(b []byte, _ int64) (int, Errno) { return s.tx.write(b) }
+func (s *socketObj) size() (int64, Errno)                 { return 0, ESPIPE }
+func (s *socketObj) seekable() bool                       { return false }
+func (s *socketObj) close() Errno {
+	s.rx.closeRead()
+	s.tx.closeWrite()
+	return OK
+}
+
+// listener is a bound, listening socket with an accept queue.
+type listener struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*conn
+	max     int
+	closed  bool
+	port    uint16
+}
+
+func newListener(port uint16, backlog int) *listener {
+	l := &listener{max: backlog, port: port}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *listener) read([]byte, int64) (int, Errno)  { return 0, EINVAL }
+func (l *listener) write([]byte, int64) (int, Errno) { return 0, EINVAL }
+func (l *listener) size() (int64, Errno)             { return 0, ESPIPE }
+func (l *listener) seekable() bool                   { return false }
+
+func (l *listener) close() Errno {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return OK
+}
+
+// enqueue adds a connection attempt; it fails if the backlog is full or the
+// listener is closed.
+func (l *listener) enqueue(c *conn) Errno {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ECONNREFUSED
+	}
+	if len(l.backlog) >= l.max {
+		return EAGAIN
+	}
+	l.backlog = append(l.backlog, c)
+	l.cond.Broadcast()
+	return OK
+}
+
+// accept blocks until a connection is available or the listener closes.
+func (l *listener) accept() (*conn, Errno) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 {
+		if l.closed {
+			return nil, EINVAL
+		}
+		l.cond.Wait()
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, OK
+}
+
+// netStack is the kernel's loopback network: a port table of listeners.
+type netStack struct {
+	mu        sync.Mutex
+	listeners map[uint16]*listener
+}
+
+func newNetStack() *netStack {
+	return &netStack{listeners: make(map[uint16]*listener)}
+}
+
+func (ns *netStack) bind(port uint16, l *listener) Errno {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, ok := ns.listeners[port]; ok {
+		return EADDRINUSE
+	}
+	ns.listeners[port] = l
+	return OK
+}
+
+func (ns *netStack) lookup(port uint16) (*listener, bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	l, ok := ns.listeners[port]
+	return l, ok
+}
+
+func (ns *netStack) unbind(port uint16) {
+	ns.mu.Lock()
+	delete(ns.listeners, port)
+	ns.mu.Unlock()
+}

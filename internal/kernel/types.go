@@ -1,0 +1,159 @@
+// Package kernel implements the simulated Linux kernel that MVEE variants
+// make their system calls against. It is the substitute for the real kernel
+// underneath ReMon (see DESIGN.md §2): an in-memory file system, per-process
+// file-descriptor tables, pipes, loopback sockets, a brk/mmap address-space
+// allocator, clocks, and a futex service.
+//
+// The monitor interposes between variants and this kernel exactly like the
+// paper's monitor interposes on real system calls: I/O calls are executed
+// once (by the master variant) and their results replicated, while
+// address-space calls execute in every variant against that variant's own
+// process state.
+package kernel
+
+import "fmt"
+
+// Sysno enumerates the simulated system calls.
+type Sysno uint32
+
+const (
+	SysInvalid Sysno = iota
+	SysOpen
+	SysClose
+	SysRead
+	SysWrite
+	SysPread
+	SysPwrite
+	SysLseek
+	SysStat
+	SysUnlink
+	SysDup
+	SysPipe2
+	SysFtruncate
+	SysBrk
+	SysMmap
+	SysMunmap
+	SysMprotect
+	SysClone
+	SysExit
+	SysGettimeofday
+	SysClockGettime
+	SysNanosleep
+	SysSchedYield
+	SysGetpid
+	SysGettid
+	SysSocket
+	SysBind
+	SysListen
+	SysAccept
+	SysConnect
+	SysSend
+	SysRecv
+	SysShutdown
+	SysFutex
+	// SysMVEEAware is the paper's added "self-awareness" system call
+	// (§4.5): it does not exist in the kernel; the monitor intercepts it
+	// and tells the variant whether it is the master or a slave.
+	SysMVEEAware
+	sysnoMax
+)
+
+var sysnoNames = map[Sysno]string{
+	SysOpen: "open", SysClose: "close", SysRead: "read", SysWrite: "write",
+	SysPread: "pread", SysPwrite: "pwrite", SysLseek: "lseek", SysStat: "stat",
+	SysUnlink: "unlink", SysDup: "dup", SysPipe2: "pipe2", SysFtruncate: "ftruncate",
+	SysBrk: "brk", SysMmap: "mmap", SysMunmap: "munmap", SysMprotect: "mprotect",
+	SysClone: "clone", SysExit: "exit", SysGettimeofday: "gettimeofday",
+	SysClockGettime: "clock_gettime", SysNanosleep: "nanosleep",
+	SysSchedYield: "sched_yield", SysGetpid: "getpid", SysGettid: "gettid",
+	SysSocket: "socket", SysBind: "bind", SysListen: "listen", SysAccept: "accept",
+	SysConnect: "connect", SysSend: "send", SysRecv: "recv", SysShutdown: "shutdown",
+	SysFutex: "futex", SysMVEEAware: "mvee_aware",
+}
+
+// String implements fmt.Stringer.
+func (s Sysno) String() string {
+	if n, ok := sysnoNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("sys#%d", uint32(s))
+}
+
+// Errno models Linux error numbers. Zero means success.
+type Errno uint32
+
+const (
+	OK           Errno = 0
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	EBADF        Errno = 9
+	EAGAIN       Errno = 11
+	ENOMEM       Errno = 12
+	EACCES       Errno = 13
+	EFAULT       Errno = 14
+	EBUSY        Errno = 16
+	EEXIST       Errno = 17
+	ENOTDIR      Errno = 20
+	EINVAL       Errno = 22
+	EMFILE       Errno = 24
+	ESPIPE       Errno = 29
+	EPIPE        Errno = 32
+	ENOSYS       Errno = 38
+	ENOTSOCK     Errno = 88
+	EADDRINUSE   Errno = 98
+	ECONNREFUSED Errno = 111
+)
+
+var errnoNames = map[Errno]string{
+	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", EBADF: "EBADF", EAGAIN: "EAGAIN",
+	ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EBUSY: "EBUSY",
+	EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EINVAL: "EINVAL", EMFILE: "EMFILE",
+	ESPIPE: "ESPIPE", EPIPE: "EPIPE", ENOSYS: "ENOSYS", ENOTSOCK: "ENOTSOCK",
+	EADDRINUSE: "EADDRINUSE", ECONNREFUSED: "ECONNREFUSED",
+}
+
+// Error implements the error interface so Errno values can travel as errors.
+func (e Errno) Error() string {
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno %d", uint32(e))
+}
+
+// Open flags, a subset of Linux's.
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreat  = 0x40
+	OExcl   = 0x80
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Lseek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Call is one system call as submitted by a variant thread. Pointer
+// arguments never appear: buffers travel in Data (the monitor deep-copies
+// buffers in the real system too, so this is the natural representation).
+type Call struct {
+	Nr   Sysno
+	Args [6]uint64
+	Data []byte // payload for write/send/…
+}
+
+// Ret is the kernel's (or the monitor's replicated) reply to a Call.
+type Ret struct {
+	Val  uint64 // primary return value (fd, byte count, address, …)
+	Val2 uint64 // secondary value (pipe2's second fd)
+	Data []byte // payload for read/recv/…
+	Err  Errno
+}
+
+// Ok reports whether the call succeeded.
+func (r Ret) Ok() bool { return r.Err == OK }

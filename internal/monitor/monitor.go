@@ -1,0 +1,528 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/kernel"
+	"repro/internal/ring"
+)
+
+// ErrKilled is panicked out of monitor calls once the session has been
+// terminated (divergence or external shutdown). The MVEE core recovers it
+// at the top of every variant thread.
+var ErrKilled = fmt.Errorf("monitor: session killed")
+
+// Record is one entry in a per-thread syscall buffer: the master's account
+// of one monitored system call, against which slaves validate their own.
+type Record struct {
+	Nr      kernel.Sysno
+	Args    [6]uint64
+	Data    []byte // input payload (write data, open path)
+	Ret     kernel.Ret
+	Ts      uint64 // syscall-ordering-clock stamp, valid if Ordered
+	Ordered bool
+	Exit    bool // thread-exit marker, not a syscall
+}
+
+// Divergence describes why the monitor shut the variants down.
+type Divergence struct {
+	Variant int    // the slave that mismatched
+	Tid     int    // logical thread
+	Reason  string // human-readable mismatch description
+	Master  string // master's record, rendered
+	Slave   string // slave's attempted call, rendered
+}
+
+// Error implements the error interface.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("divergence in variant %d thread %d: %s (master: %s, slave: %s)",
+		d.Variant, d.Tid, d.Reason, d.Master, d.Slave)
+}
+
+// Config sizes a Monitor.
+type Config struct {
+	Variants   int
+	MaxThreads int
+	RingCap    int
+	Policy     Policy
+	// Capture adds a tape consumer group that drains every record into
+	// memory for offline replay (see trace.go).
+	Capture bool
+	// Replay pre-fills the syscall buffers from a recorded trace; the
+	// single variant then consumes them like an online slave.
+	Replay [][]Record
+}
+
+func (c *Config) fill() {
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 64
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = 256
+	}
+}
+
+// Monitor supervises one MVEE session: variant 0 is the master, variants
+// 1..N-1 are slaves. One Monitor thread per variant-thread-set is implicit
+// in the design (§4: "each of ReMon's threads monitors one set of
+// equivalent variant threads"); here the per-thread syscall buffers play
+// that role.
+type Monitor struct {
+	cfg   Config
+	kern  *kernel.Kernel
+	procs []*kernel.Proc
+
+	// clocks[v] is variant v's private copy of the syscall ordering clock.
+	clocks []*clock.Lamport
+	// seqMu serializes the master's ordered critical sections (§4.1).
+	seqMu sync.Mutex
+	// rings[tid] carries master records to the slaves; group g serves
+	// slave variant g+1. cursors[v-1][tid] is that slave thread's read
+	// position.
+	rings   []*ring.Log[Record]
+	cursors [][]uint64
+	// inboxes[g][tid] carries slave g+1's call digests to the master for
+	// lockstep calls: the master waits for (and validates) every slave's
+	// equivalent call BEFORE executing, so no variant proceeds past a
+	// lockstepped call until all variants have made it (§2). inboxPos
+	// tracks the master's read position per (g, tid).
+	inboxes  [][]*ring.Log[digest]
+	inboxPos [][]uint64
+
+	// publish is true when master records have at least one consumer
+	// (live slaves or the capture tape).
+	publish   bool
+	replay    bool
+	tapeGroup int
+	capture   *RecordCapture
+
+	killed   atomic.Bool
+	diverged atomic.Pointer[Divergence]
+	onKill   []func()
+	killMu   sync.Mutex
+
+	syscalls []atomic.Uint64 // per variant: monitored syscall count
+	unmon    []atomic.Uint64 // per variant: unmonitored syscall count
+}
+
+// New creates a monitor for nvariants over kern. procs[v] is variant v's
+// kernel process.
+func New(kern *kernel.Kernel, procs []*kernel.Proc, cfg Config) *Monitor {
+	cfg.fill()
+	cfg.Variants = len(procs)
+	m := &Monitor{
+		cfg:      cfg,
+		kern:     kern,
+		procs:    procs,
+		clocks:   make([]*clock.Lamport, len(procs)),
+		rings:    make([]*ring.Log[Record], cfg.MaxThreads),
+		cursors:  make([][]uint64, len(procs)-1),
+		syscalls: make([]atomic.Uint64, len(procs)),
+		unmon:    make([]atomic.Uint64, len(procs)),
+	}
+	m.replay = cfg.Replay != nil
+	m.publish = cfg.Variants > 1 || cfg.Capture
+	// Clocks: one per variant; replay additionally needs the "slave"
+	// clock at index 1.
+	if m.replay && len(m.clocks) < 2 {
+		m.clocks = make([]*clock.Lamport, 2)
+	}
+	for v := range m.clocks {
+		m.clocks[v] = &clock.Lamport{}
+	}
+	slaves := len(procs) - 1
+	groups := slaves
+	if cfg.Capture {
+		m.tapeGroup = groups
+		groups++
+	}
+	ringCap := cfg.RingCap
+	if m.replay {
+		groups = 1
+		// Replay has no live producer to back-pressure: size the rings
+		// to hold the complete trace.
+		for _, stream := range cfg.Replay {
+			if len(stream) > ringCap {
+				ringCap = len(stream)
+			}
+		}
+	}
+	if groups < 1 {
+		groups = 1 // rings still need a consumer group; unused for 1 variant
+	}
+	for tid := range m.rings {
+		m.rings[tid] = ring.NewLog[Record](ringCap, groups)
+		m.rings[tid].SetStop(m.killed.Load)
+	}
+	cursorGroups := slaves
+	if m.replay {
+		cursorGroups = 1
+	}
+	m.cursors = make([][]uint64, cursorGroups)
+	for g := range m.cursors {
+		m.cursors[g] = make([]uint64, cfg.MaxThreads)
+	}
+	if m.replay {
+		m.prefillReplay(cfg.Replay)
+	}
+	if cfg.Capture {
+		m.capture = m.startCapture()
+	}
+	m.inboxes = make([][]*ring.Log[digest], len(procs)-1)
+	m.inboxPos = make([][]uint64, len(procs)-1)
+	for g := range m.inboxes {
+		m.inboxes[g] = make([]*ring.Log[digest], cfg.MaxThreads)
+		m.inboxPos[g] = make([]uint64, cfg.MaxThreads)
+		for tid := range m.inboxes[g] {
+			m.inboxes[g][tid] = ring.NewLog[digest](cfg.RingCap, 1)
+			m.inboxes[g][tid].SetStop(m.killed.Load)
+		}
+	}
+	return m
+}
+
+// digest is a slave's account of the call it is about to make, submitted to
+// the master for pre-execution validation.
+type digest struct {
+	Nr   kernel.Sysno
+	Args [6]uint64
+	Data []byte
+	Exit bool
+}
+
+// lockstepped reports whether calls of this class require the full
+// pre-execution rendezvous. Under the strict policy every monitored call
+// does; under the relaxed policy only security-sensitive calls do, and the
+// rest follow the run-ahead (leader/follower) protocol.
+func (m *Monitor) lockstepped(cls class) bool {
+	return m.cfg.Policy == PolicyStrictLockstep || cls.sensitive
+}
+
+// Variants returns the number of variants under supervision.
+func (m *Monitor) Variants() int { return m.cfg.Variants }
+
+// Policy returns the comparison policy.
+func (m *Monitor) Policy() Policy { return m.cfg.Policy }
+
+// OnKill registers a teardown hook run exactly once when the session dies.
+func (m *Monitor) OnKill(f func()) {
+	m.killMu.Lock()
+	m.onKill = append(m.onKill, f)
+	m.killMu.Unlock()
+}
+
+// Kill terminates the session. The first divergence wins; later calls are
+// no-ops. A nil d is an external (non-divergence) shutdown.
+func (m *Monitor) Kill(d *Divergence) {
+	if d != nil {
+		m.diverged.CompareAndSwap(nil, d)
+	}
+	if m.killed.CompareAndSwap(false, true) {
+		m.killMu.Lock()
+		hooks := m.onKill
+		m.killMu.Unlock()
+		for _, f := range hooks {
+			f()
+		}
+		m.kern.Interrupt()
+	}
+}
+
+// Killed reports whether the session has been terminated.
+func (m *Monitor) Killed() bool { return m.killed.Load() }
+
+// Divergence returns the detected divergence, if any.
+func (m *Monitor) Divergence() *Divergence { return m.diverged.Load() }
+
+// Syscalls returns variant v's monitored syscall count.
+func (m *Monitor) Syscalls(v int) uint64 { return m.syscalls[v].Load() }
+
+// StopCapture ends the record capture (if any) and returns the per-thread
+// record streams. Call only after the session has finished.
+func (m *Monitor) StopCapture() [][]Record {
+	if m.capture == nil {
+		return nil
+	}
+	return m.capture.Stop()
+}
+
+func (m *Monitor) checkKilled() {
+	if m.killed.Load() {
+		panic(ErrKilled)
+	}
+}
+
+// Invoke performs one system call on behalf of thread tid of variant v.
+// This is the interposition point: the variant's thread "traps" here
+// instead of entering the kernel directly.
+func (m *Monitor) Invoke(v, tid int, call kernel.Call) kernel.Ret {
+	m.checkKilled()
+	// The MVEE-awareness call never reaches the kernel (§4.5): the
+	// monitor answers it, telling the variant its role.
+	if call.Nr == kernel.SysMVEEAware {
+		m.unmon[v].Add(1)
+		return kernel.Ret{Val: uint64(v)}
+	}
+	cls := classify(call.Nr)
+	if !cls.monitored {
+		m.unmon[v].Add(1)
+		return m.kern.Do(m.procs[v], call)
+	}
+	m.syscalls[v].Add(1)
+	if m.replay && v == 0 {
+		// The replayed variant consumes the trace like an online slave.
+		return m.slaveCall(1, tid, call, cls)
+	}
+	if v == 0 {
+		return m.masterCall(tid, call, cls)
+	}
+	return m.slaveCall(v, tid, call, cls)
+}
+
+// ThreadExit publishes (master) or validates (slave) a thread-exit marker,
+// so that a variant thread making more or fewer syscalls than its
+// counterparts is caught as divergence.
+func (m *Monitor) ThreadExit(v, tid int) {
+	if m.killed.Load() {
+		return // tearing down anyway; nothing to validate
+	}
+	if m.replay {
+		rec := m.nextRecord(1, tid)
+		if !rec.Exit {
+			m.Kill(&Divergence{Variant: 1, Tid: tid,
+				Reason: "replayed thread exited while trace records a system call",
+				Master: renderRecord(rec), Slave: "thread exit"})
+			panic(ErrKilled)
+		}
+		m.advance(1, tid)
+		return
+	}
+	if v == 0 {
+		if m.publish {
+			m.awaitDigests(tid, kernel.Call{}, class{}, true)
+			m.rings[tid].Append(Record{Exit: true})
+		}
+		return
+	}
+	m.inboxes[v-1][tid].Append(digest{Exit: true})
+	rec := m.nextRecord(v, tid)
+	if !rec.Exit {
+		m.Kill(&Divergence{Variant: v, Tid: tid,
+			Reason: "thread exited while master recorded a system call",
+			Master: renderRecord(rec), Slave: "thread exit"})
+		panic(ErrKilled)
+	}
+	m.advance(v, tid)
+}
+
+// awaitDigests blocks until every slave has submitted its digest for the
+// master's current call of thread tid, validates the digests, and kills the
+// session on mismatch. This is the lockstep barrier: the master does not
+// execute until every variant has arrived with an equivalent call.
+func (m *Monitor) awaitDigests(tid int, call kernel.Call, cls class, exit bool) {
+	for g := 0; g < m.cfg.Variants-1; g++ {
+		pos := m.inboxPos[g][tid]
+		var d digest
+		for spins := 0; ; spins++ {
+			m.checkKilled()
+			var ok bool
+			if d, ok = m.inboxes[g][tid].TryGet(pos); ok {
+				break
+			}
+			if spins > 16 {
+				runtime.Gosched()
+			}
+		}
+		m.inboxes[g][tid].Advance(0, pos)
+		m.inboxPos[g][tid]++
+		if dv := m.validateDigest(g+1, tid, call, cls, exit, d); dv != nil {
+			m.Kill(dv)
+			panic(ErrKilled)
+		}
+	}
+}
+
+// validateDigest compares a slave's submitted call against the master's.
+func (m *Monitor) validateDigest(v, tid int, call kernel.Call, cls class, exit bool, d digest) *Divergence {
+	fail := func(reason string) *Divergence {
+		slave := renderCall(kernel.Call{Nr: d.Nr, Args: d.Args, Data: d.Data})
+		if d.Exit {
+			slave = "thread exit"
+		}
+		master := renderCall(call)
+		if exit {
+			master = "thread exit"
+		}
+		return &Divergence{Variant: v, Tid: tid, Reason: reason, Master: master, Slave: slave}
+	}
+	if exit != d.Exit {
+		if exit {
+			return fail("slave issued a system call where master's thread exited")
+		}
+		return fail("thread exited while master recorded a system call")
+	}
+	if exit {
+		return nil
+	}
+	if call.Nr != d.Nr {
+		return fail("system call number mismatch")
+	}
+	mask := argMask(call.Nr)
+	for i := 0; i < 6; i++ {
+		if mask&(1<<i) != 0 && call.Args[i] != d.Args[i] {
+			return fail(fmt.Sprintf("argument %d mismatch", i))
+		}
+	}
+	if !bytes.Equal(call.Data, d.Data) {
+		return fail("payload mismatch")
+	}
+	return nil
+}
+
+// masterCall executes a monitored call in the master variant and publishes
+// the record for the slaves.
+func (m *Monitor) masterCall(tid int, call kernel.Call, cls class) kernel.Ret {
+	if m.cfg.Variants > 1 && m.lockstepped(cls) {
+		m.awaitDigests(tid, call, cls, false)
+	}
+	rec := Record{Nr: call.Nr, Args: call.Args, Data: call.Data, Ordered: cls.ordered}
+	if cls.ordered {
+		// §4.1: enter the critical section, stamp the call with the
+		// current syscall-ordering-clock time, execute, publish — all
+		// before leaving the critical section.
+		m.seqMu.Lock()
+		rec.Ts = m.clocks[0].Tick()
+		rec.Ret = m.execute(0, call)
+		if m.publish {
+			m.rings[tid].Append(rec)
+		}
+		m.seqMu.Unlock()
+		return rec.Ret
+	}
+	// Blocking call: may not be wrapped in the ordering critical section
+	// because the kernel may never return (§4.1 Limitations). It is still
+	// executed by the master only and replicated positionally.
+	rec.Ret = m.execute(0, call)
+	if m.publish {
+		m.rings[tid].Append(rec)
+	}
+	return rec.Ret
+}
+
+// slaveCall validates thread tid's call against the master's record,
+// waits for its ordering turn, and returns the replicated (or per-variant
+// re-executed) result.
+func (m *Monitor) slaveCall(v, tid int, call kernel.Call, cls class) kernel.Ret {
+	if m.lockstepped(cls) && !m.replay {
+		// Submit this call for the master's pre-execution validation;
+		// the master will not execute until every slave has arrived.
+		// (Replay has no master to validate against; the trace is the
+		// authority.)
+		m.inboxes[v-1][tid].Append(digest{Nr: call.Nr, Args: call.Args, Data: call.Data})
+	}
+	rec := m.nextRecord(v, tid)
+	if d := m.compare(v, tid, call, rec, cls); d != nil {
+		m.Kill(d)
+		panic(ErrKilled)
+	}
+	var ret kernel.Ret
+	if rec.Ordered {
+		// Wait until this variant's ordering clock reaches the recorded
+		// stamp; then this thread alone may proceed (§4.1).
+		spins := 0
+		m.clocks[v].WaitFor(rec.Ts, func() {
+			m.checkKilled()
+			spins++
+			if spins > 16 {
+				runtime.Gosched()
+			}
+		})
+		ret = m.slaveResult(v, tid, call, rec, cls)
+		m.clocks[v].Tick()
+	} else {
+		ret = m.slaveResult(v, tid, call, rec, cls)
+	}
+	m.advance(v, tid)
+	return ret
+}
+
+func (m *Monitor) slaveResult(v, tid int, call kernel.Call, rec Record, cls class) kernel.Ret {
+	if cls.perVariant {
+		if m.replay {
+			v = 0 // the replayed variant owns the only process
+		}
+		return m.execute(v, call)
+	}
+	return rec.Ret // replicated master (or traced) result
+}
+
+// execute runs the call against the kernel for variant v.
+func (m *Monitor) execute(v int, call kernel.Call) kernel.Ret {
+	return m.kern.Do(m.procs[v], call)
+}
+
+// nextRecord fetches the master's record for slave v's thread tid,
+// blocking (with kill checks) until the master publishes it.
+func (m *Monitor) nextRecord(v, tid int) Record {
+	g := v - 1
+	seq := m.cursors[g][tid]
+	for spins := 0; ; spins++ {
+		m.checkKilled()
+		if rec, ok := m.rings[tid].TryGet(seq); ok {
+			return rec
+		}
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (m *Monitor) advance(v, tid int) {
+	g := v - 1
+	m.rings[tid].Advance(g, m.cursors[g][tid])
+	m.cursors[g][tid]++
+}
+
+// compare validates a slave call against the master record under the
+// session policy. It returns a non-nil Divergence on mismatch.
+func (m *Monitor) compare(v, tid int, call kernel.Call, rec Record, cls class) *Divergence {
+	fail := func(reason string) *Divergence {
+		return &Divergence{Variant: v, Tid: tid, Reason: reason,
+			Master: renderRecord(rec), Slave: renderCall(call)}
+	}
+	if rec.Exit {
+		return fail("slave issued a system call where master's thread exited")
+	}
+	if call.Nr != rec.Nr {
+		return fail("system call number mismatch")
+	}
+	if m.cfg.Policy == PolicySecuritySensitive && !cls.sensitive {
+		return nil
+	}
+	mask := argMask(call.Nr)
+	for i := 0; i < 6; i++ {
+		if mask&(1<<i) != 0 && call.Args[i] != rec.Args[i] {
+			return fail(fmt.Sprintf("argument %d mismatch", i))
+		}
+	}
+	if !bytes.Equal(call.Data, rec.Data) {
+		return fail("payload mismatch")
+	}
+	return nil
+}
+
+func renderRecord(r Record) string {
+	if r.Exit {
+		return "thread exit"
+	}
+	return fmt.Sprintf("%v(args=%v, %d bytes) @ts=%d", r.Nr, r.Args, len(r.Data), r.Ts)
+}
+
+func renderCall(c kernel.Call) string {
+	return fmt.Sprintf("%v(args=%v, %d bytes)", c.Nr, c.Args, len(c.Data))
+}

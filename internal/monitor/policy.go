@@ -1,0 +1,113 @@
+// Package monitor implements the MVEE monitor: it interposes on every
+// system call a variant thread makes, compares the variants' behavior,
+// replicates I/O results from the master to the slaves, and enforces an
+// equivalent cross-thread ordering of system calls using a Lamport logical
+// clock (the "syscall ordering clock", §4.1).
+//
+// The monitor follows the paper's strict, security-oriented model: no
+// variant proceeds past a monitored call until an equivalent call has been
+// validated against the master's record, and any mismatch — different
+// syscall number, different arguments, different output payload — is
+// divergence, which terminates all variants.
+package monitor
+
+import "repro/internal/kernel"
+
+// Policy selects which system calls are lockstep-compared. §5.1 evaluates
+// "a variety of monitoring policies ranging from strict lockstepping on all
+// system calls to lockstepping only on security-sensitive system calls".
+// I/O replication is unaffected by policy — inputs must be duplicated and
+// outputs deduplicated no matter what, or the variants drift apart.
+type Policy int
+
+const (
+	// PolicyStrictLockstep compares every monitored call.
+	PolicyStrictLockstep Policy = iota
+	// PolicySecuritySensitive compares only security-sensitive calls
+	// (writes, opens, memory mapping, network); other calls are still
+	// replicated but not argument-checked.
+	PolicySecuritySensitive
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == PolicySecuritySensitive {
+		return "security-sensitive"
+	}
+	return "strict-lockstep"
+}
+
+// class describes how the monitor handles one syscall number.
+type class struct {
+	monitored  bool // passes through the rendezvous at all
+	ordered    bool // stamped by the syscall ordering clock (non-blocking calls only)
+	replicated bool // master executes, slaves receive the master's results
+	perVariant bool // every variant executes it against its own process state
+	blocking   bool // may block in the kernel, so it cannot be ordered (§4.1 Limitations)
+	sensitive  bool // compared even under PolicySecuritySensitive
+}
+
+// classify implements Table-4.1-style routing:
+//
+//   - sched_yield, gettid and futex never reach the monitor. The paper
+//     treats sys_futex as unordered (footnote 5); since the sync agents
+//     already order all inter-thread communication, per-variant futexes
+//     are safe.
+//   - brk/mmap/munmap/mprotect/clone execute in every variant (address
+//     spaces are per-variant and intentionally different) but are ordered
+//     and compared with address arguments masked out.
+//   - blocking I/O (read/recv/accept) is replicated but not ordered: the
+//     monitor must not sit in an ordering critical section across a call
+//     that may never return.
+//   - everything else is ordered, compared and replicated.
+func classify(nr kernel.Sysno) class {
+	switch nr {
+	case kernel.SysSchedYield, kernel.SysGettid, kernel.SysFutex, kernel.SysNanosleep:
+		return class{}
+	case kernel.SysBrk, kernel.SysMunmap:
+		return class{monitored: true, ordered: true, perVariant: true}
+	case kernel.SysMmap, kernel.SysMprotect:
+		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
+	case kernel.SysClone:
+		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
+	case kernel.SysExit:
+		return class{monitored: true, perVariant: true}
+	case kernel.SysRead, kernel.SysRecv, kernel.SysAccept:
+		return class{monitored: true, replicated: true, blocking: true}
+	case kernel.SysWrite, kernel.SysSend, kernel.SysPwrite:
+		return class{monitored: true, ordered: true, replicated: true, sensitive: true}
+	case kernel.SysOpen, kernel.SysUnlink, kernel.SysFtruncate,
+		kernel.SysSocket, kernel.SysBind, kernel.SysListen, kernel.SysConnect,
+		kernel.SysShutdown:
+		return class{monitored: true, ordered: true, replicated: true, sensitive: true}
+	case kernel.SysClose, kernel.SysDup, kernel.SysLseek, kernel.SysStat,
+		kernel.SysPread, kernel.SysPipe2, kernel.SysGetpid,
+		kernel.SysGettimeofday, kernel.SysClockGettime:
+		return class{monitored: true, ordered: true, replicated: true}
+	default:
+		// Unknown syscalls (e.g. the MVEE-awareness call) are monitored
+		// so the monitor can intercept them before the kernel sees them.
+		return class{monitored: true, ordered: true, perVariant: true}
+	}
+}
+
+// argMask returns a bitmask of which Args positions participate in
+// comparison. Address-valued arguments are excluded: under ASLR they differ
+// across variants by design, exactly like the paper's monitor compares
+// normalized, not raw, arguments.
+func argMask(nr kernel.Sysno) uint8 {
+	switch nr {
+	case kernel.SysBrk:
+		return 0 // the requested break is an address
+	case kernel.SysMmap:
+		return 1 << 1 // compare length; addr hint masked
+	case kernel.SysMunmap, kernel.SysMprotect:
+		return 1<<1 | 1<<2 // compare length (and prot); addr masked
+	case kernel.SysClone:
+		return 0
+	case kernel.SysNanosleep:
+		return 0
+	default:
+		return 0x3f // all six
+	}
+}

@@ -1,0 +1,239 @@
+// Package qualifier implements the paper's explicit type-qualification
+// workflow (§4.3.1, Figure 3): a miniature of the modified clang that
+// drives source refactoring until every synchronization variable — and
+// every pointer through which one is reached — carries the C11 _Atomic
+// qualifier.
+//
+// The workflow:
+//
+//  1. Compile the unmodified source and run the stage-1 analysis
+//     (internal/analysis) to find synchronization variables.
+//  2. Qualify those variables (Qualify).
+//  3. Repeatedly "recompile": the checker (Check) emits
+//     - a WARNING when a pointer to a non-qualified object is assigned to
+//     a pointer to an _Atomic-qualified object,
+//     - an ERROR when a pointer to an _Atomic-qualified object is cast to
+//     a pointer to a non-qualified object (discarding the qualifier),
+//     - an ERROR when an _Atomic-qualified variable is used in inline
+//     assembly.
+//     Propagate applies the refactorings the warnings suggest, walking the
+//     def-use chains up and down until a fixpoint (Refactor drives the
+//     loop).
+//
+// The source model is deliberately tiny: integer objects, pointers to
+// integers, address-of, pointer copies (assignments/casts/argument
+// passing), and inline-asm uses — the constructs the paper's rules talk
+// about.
+package qualifier
+
+import "fmt"
+
+// Type is an int or a pointer-to-int type, with an Atomic qualifier on the
+// pointee (the only position that matters for the workflow).
+type Type struct {
+	Pointer bool
+	// Atomic marks the object (for int objects) or the pointee (for
+	// pointers) as _Atomic-qualified.
+	Atomic bool
+}
+
+func (t Type) String() string {
+	q := ""
+	if t.Atomic {
+		q = "_Atomic "
+	}
+	if t.Pointer {
+		return q + "int*"
+	}
+	return q + "int"
+}
+
+// Var is a declared variable.
+type Var struct {
+	Name string
+	Type Type
+}
+
+// Stmt is one statement in the toy source language.
+type Stmt interface{ stmt() }
+
+// AddrOf is "dst = &src": dst must be a pointer, src an int object.
+type AddrOf struct {
+	Dst, Src string
+	Line     int
+}
+
+// PtrAssign is "dst = src" between pointers (covers plain assignment,
+// argument passing, and explicit casts — the C standard lets casts discard
+// qualifiers, which is exactly what the checker must flag).
+type PtrAssign struct {
+	Dst, Src string
+	Line     int
+}
+
+// AsmUse is "asm volatile(... : ... (var))": the variable appears in an
+// inline assembly block.
+type AsmUse struct {
+	Var  string
+	Line int
+}
+
+func (AddrOf) stmt()    {}
+func (PtrAssign) stmt() {}
+func (AsmUse) stmt()    {}
+
+// Program is a toy translation unit.
+type Program struct {
+	Vars  map[string]*Var
+	Stmts []Stmt
+}
+
+// NewProgram builds a program from declarations and statements.
+func NewProgram(vars []Var, stmts []Stmt) *Program {
+	p := &Program{Vars: map[string]*Var{}, Stmts: stmts}
+	for i := range vars {
+		v := vars[i]
+		p.Vars[v.Name] = &v
+	}
+	return p
+}
+
+// Severity of a diagnostic.
+type Severity int
+
+const (
+	// Warning suggests a refactoring (rule i).
+	Warning Severity = iota
+	// Error terminates compilation (rules ii and iii).
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one checker finding.
+type Diagnostic struct {
+	Severity Severity
+	Line     int
+	Message  string
+	// FixVar names the variable whose type the suggested refactoring
+	// would qualify ("" when no fix applies, i.e. errors).
+	FixVar string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: line %d: %s", d.Severity, d.Line, d.Message)
+}
+
+// Check runs the modified-clang rules over the program.
+func Check(p *Program) []Diagnostic {
+	var ds []Diagnostic
+	typ := func(name string) Type {
+		if v, ok := p.Vars[name]; ok {
+			return v.Type
+		}
+		return Type{}
+	}
+	for _, s := range p.Stmts {
+		switch s := s.(type) {
+		case AddrOf:
+			dst, src := typ(s.Dst), typ(s.Src)
+			if src.Atomic && !dst.Atomic {
+				// &atomic object flowing into a non-qualified pointer:
+				// the qualifier is about to be discarded — rule (ii).
+				ds = append(ds, Diagnostic{Severity: Error, Line: s.Line,
+					Message: fmt.Sprintf("address of _Atomic %q assigned to non-qualified pointer %q", s.Src, s.Dst),
+					FixVar:  s.Dst})
+			}
+			if !src.Atomic && dst.Atomic {
+				// Non-qualified object behind a qualified pointer:
+				// rule (i), fix by qualifying the object.
+				ds = append(ds, Diagnostic{Severity: Warning, Line: s.Line,
+					Message: fmt.Sprintf("pointer to non-qualified %q cast to pointer to _Atomic (%q)", s.Src, s.Dst),
+					FixVar:  s.Src})
+			}
+		case PtrAssign:
+			dst, src := typ(s.Dst), typ(s.Src)
+			if src.Atomic && !dst.Atomic {
+				ds = append(ds, Diagnostic{Severity: Error, Line: s.Line,
+					Message: fmt.Sprintf("cast discards _Atomic qualifier: %q = %q", s.Dst, s.Src),
+					FixVar:  s.Dst})
+			}
+			if !src.Atomic && dst.Atomic {
+				ds = append(ds, Diagnostic{Severity: Warning, Line: s.Line,
+					Message: fmt.Sprintf("pointer to non-qualified cast to pointer to _Atomic: %q = %q", s.Dst, s.Src),
+					FixVar:  s.Src})
+			}
+		case AsmUse:
+			if typ(s.Var).Atomic {
+				ds = append(ds, Diagnostic{Severity: Error, Line: s.Line,
+					Message: fmt.Sprintf("_Atomic-qualified %q used in inline assembly", s.Var)})
+			}
+		}
+	}
+	return ds
+}
+
+// Qualify adds the _Atomic qualifier to the named variables (the output of
+// the stage-1 analysis feeding the refactoring, Figure 3).
+func Qualify(p *Program, names ...string) {
+	for _, n := range names {
+		if v, ok := p.Vars[n]; ok {
+			v.Type.Atomic = true
+		}
+	}
+}
+
+// Refactor drives the Figure 3 loop: check, apply every suggested fix
+// (qualify the FixVar of each diagnostic that has one), repeat until the
+// checker emits no further fixable diagnostics. It returns the number of
+// compile iterations and the diagnostics of the final pass (empty when the
+// program reached the fully-qualified fixpoint; non-empty when genuine
+// errors remain, e.g. _Atomic variables in inline assembly).
+func Refactor(p *Program) (iterations int, remaining []Diagnostic) {
+	for {
+		iterations++
+		ds := Check(p)
+		fixed := false
+		var rest []Diagnostic
+		for _, d := range ds {
+			if d.FixVar != "" {
+				if v, ok := p.Vars[d.FixVar]; ok && !v.Type.Atomic {
+					v.Type.Atomic = true
+					fixed = true
+					continue
+				}
+			}
+			rest = append(rest, d)
+		}
+		if !fixed {
+			return iterations, rest
+		}
+	}
+}
+
+// QualifiedVars returns the names of all _Atomic-qualified variables,
+// for assertions and reporting.
+func QualifiedVars(p *Program) []string {
+	var out []string
+	for name, v := range p.Vars {
+		if v.Type.Atomic {
+			out = append(out, name)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

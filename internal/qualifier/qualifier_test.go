@@ -1,0 +1,176 @@
+package qualifier
+
+import "testing"
+
+// listing1Source models the Listing 1 spinlock at source level: a global
+// lock object, a pointer parameter in lock/unlock, and a second pointer
+// the lock's address flows through.
+func listing1Source() *Program {
+	return NewProgram(
+		[]Var{
+			{Name: "spinlock", Type: Type{}},
+			{Name: "other", Type: Type{}},
+			{Name: "lock_ptr", Type: Type{Pointer: true}},   // spinlock_lock's parameter
+			{Name: "unlock_ptr", Type: Type{Pointer: true}}, // spinlock_unlock's parameter
+			{Name: "tmp", Type: Type{Pointer: true}},        // local alias
+			{Name: "other_ptr", Type: Type{Pointer: true}},  // unrelated pointer
+		},
+		[]Stmt{
+			AddrOf{Dst: "tmp", Src: "spinlock", Line: 12},
+			PtrAssign{Dst: "lock_ptr", Src: "tmp", Line: 12},
+			PtrAssign{Dst: "unlock_ptr", Src: "tmp", Line: 14},
+			AddrOf{Dst: "other_ptr", Src: "other", Line: 13},
+		},
+	)
+}
+
+func TestUnqualifiedProgramIsClean(t *testing.T) {
+	if ds := Check(listing1Source()); len(ds) != 0 {
+		t.Fatalf("stock program has diagnostics: %v", ds)
+	}
+}
+
+func TestRefactorReachesFixpoint(t *testing.T) {
+	// The Figure 3 loop: qualify the analysis-reported sync variable,
+	// then iterate until all pointers to it are qualified too.
+	p := listing1Source()
+	Qualify(p, "spinlock") // fed by the stage-1 report
+	iters, remaining := Refactor(p)
+	if len(remaining) != 0 {
+		t.Fatalf("diagnostics remain after fixpoint: %v", remaining)
+	}
+	if iters < 2 {
+		t.Fatalf("fixpoint after %d iterations; propagation through the def-use chain needs several", iters)
+	}
+	got := QualifiedVars(p)
+	want := []string{"lock_ptr", "spinlock", "tmp", "unlock_ptr"}
+	if len(got) != len(want) {
+		t.Fatalf("qualified vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("qualified vars = %v, want %v", got, want)
+		}
+	}
+	// The unrelated pointer chain must stay untouched.
+	if p.Vars["other"].Type.Atomic || p.Vars["other_ptr"].Type.Atomic {
+		t.Fatal("qualifier leaked to unrelated variables")
+	}
+	// The refactored program compiles cleanly.
+	if ds := Check(p); len(ds) != 0 {
+		t.Fatalf("refactored program has diagnostics: %v", ds)
+	}
+}
+
+func TestRuleIWarningOnUnqualifiedToQualified(t *testing.T) {
+	p := NewProgram(
+		[]Var{
+			{Name: "x", Type: Type{}},
+			{Name: "ap", Type: Type{Pointer: true, Atomic: true}},
+		},
+		[]Stmt{AddrOf{Dst: "ap", Src: "x", Line: 3}},
+	)
+	ds := Check(p)
+	if len(ds) != 1 || ds[0].Severity != Warning || ds[0].FixVar != "x" {
+		t.Fatalf("diagnostics = %v, want one warning fixing x", ds)
+	}
+}
+
+func TestRuleIIErrorOnDiscardedQualifier(t *testing.T) {
+	p := NewProgram(
+		[]Var{
+			{Name: "lock", Type: Type{Atomic: true}},
+			{Name: "vp", Type: Type{Pointer: true}}, // e.g. a void* detour
+		},
+		[]Stmt{AddrOf{Dst: "vp", Src: "lock", Line: 9}},
+	)
+	ds := Check(p)
+	if len(ds) != 1 || ds[0].Severity != Error {
+		t.Fatalf("diagnostics = %v, want one error", ds)
+	}
+}
+
+func TestRuleIIErrorOnPointerCast(t *testing.T) {
+	p := NewProgram(
+		[]Var{
+			{Name: "ap", Type: Type{Pointer: true, Atomic: true}},
+			{Name: "np", Type: Type{Pointer: true}},
+		},
+		[]Stmt{PtrAssign{Dst: "np", Src: "ap", Line: 4}},
+	)
+	ds := Check(p)
+	if len(ds) != 1 || ds[0].Severity != Error {
+		t.Fatalf("diagnostics = %v, want one error (cast discards _Atomic)", ds)
+	}
+}
+
+func TestRuleIIIErrorOnAtomicInInlineAsm(t *testing.T) {
+	p := NewProgram(
+		[]Var{{Name: "lock", Type: Type{Atomic: true}}},
+		[]Stmt{AsmUse{Var: "lock", Line: 7}},
+	)
+	ds := Check(p)
+	if len(ds) != 1 || ds[0].Severity != Error || ds[0].FixVar != "" {
+		t.Fatalf("diagnostics = %v, want one unfixable error", ds)
+	}
+}
+
+func TestRefactorStopsOnGenuineErrors(t *testing.T) {
+	// A sync variable that is also used in inline assembly: the fixpoint
+	// loop must terminate and surface the error instead of spinning.
+	p := NewProgram(
+		[]Var{
+			{Name: "lock", Type: Type{}},
+			{Name: "p", Type: Type{Pointer: true}},
+		},
+		[]Stmt{
+			AddrOf{Dst: "p", Src: "lock", Line: 2},
+			AsmUse{Var: "lock", Line: 5},
+		},
+	)
+	Qualify(p, "lock")
+	_, remaining := Refactor(p)
+	if len(remaining) != 1 || remaining[0].Severity != Error {
+		t.Fatalf("remaining = %v, want the inline-asm error", remaining)
+	}
+}
+
+func TestRefactorPropagatesThroughChains(t *testing.T) {
+	// a = &lock; b = a; c = b — qualifying lock must ripple to all three.
+	p := NewProgram(
+		[]Var{
+			{Name: "lock", Type: Type{}},
+			{Name: "a", Type: Type{Pointer: true}},
+			{Name: "b", Type: Type{Pointer: true}},
+			{Name: "c", Type: Type{Pointer: true}},
+		},
+		[]Stmt{
+			AddrOf{Dst: "a", Src: "lock", Line: 1},
+			PtrAssign{Dst: "b", Src: "a", Line: 2},
+			PtrAssign{Dst: "c", Src: "b", Line: 3},
+		},
+	)
+	Qualify(p, "lock")
+	iters, remaining := Refactor(p)
+	if len(remaining) != 0 {
+		t.Fatalf("remaining: %v", remaining)
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if !p.Vars[n].Type.Atomic {
+			t.Fatalf("%s not qualified after %d iterations", n, iters)
+		}
+	}
+}
+
+func TestTypeAndSeverityStrings(t *testing.T) {
+	if (Type{Pointer: true, Atomic: true}).String() != "_Atomic int*" {
+		t.Fatal("type string wrong")
+	}
+	if Warning.String() != "warning" || Error.String() != "error" {
+		t.Fatal("severity strings wrong")
+	}
+	d := Diagnostic{Severity: Warning, Line: 3, Message: "m"}
+	if d.String() != "warning: line 3: m" {
+		t.Fatalf("diagnostic string = %q", d.String())
+	}
+}

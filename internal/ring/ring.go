@@ -1,0 +1,173 @@
+// Package ring implements the bounded, shared ring buffers the MVEE uses to
+// carry synchronization events from the master variant to the slave
+// variants ("sync buffers") and to replicate system-call results ("syscall
+// buffers", §4).
+//
+// The central type is Log: a bounded, multi-producer, append-only circular
+// log with one independent read cursor per consumer group. A consumer group
+// corresponds to one slave variant: every slave consumes the entire log, in
+// order, at its own pace. Slots are recycled once every group has moved its
+// cursor past them, so a slow slave back-pressures the master exactly like
+// a full shared-memory ring does in the paper's implementation.
+//
+// With a single producer the Log degenerates to the per-thread SPSC buffers
+// used by the wall-of-clocks agent (§4.5); with many producers it is the
+// single shared buffer of the total-order and partial-order agents.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrStopped is panicked by blocking Log operations after SetStop's
+// callback reports shutdown, so that threads parked on a dead ring unwind
+// instead of spinning forever. Callers that install a stop callback must
+// recover it.
+var ErrStopped = errors.New("ring: stopped")
+
+// Log is a bounded multi-producer broadcast log. See the package comment.
+// Create Logs with NewLog; the zero value is not usable.
+type Log[T any] struct {
+	slots   []slot[T]
+	mask    uint64
+	prod    atomic.Uint64   // next sequence number to allocate
+	cursors []atomic.Uint64 // per consumer group: next sequence to consume
+	stop    func() bool     // optional shutdown signal; see SetStop
+}
+
+type slot[T any] struct {
+	pub atomic.Uint64 // seq+1 once the value for seq is readable
+	val T
+}
+
+// NewLog returns a log with the given capacity (rounded up to a power of
+// two, minimum 2) and one read cursor per consumer group. groups must be at
+// least 1.
+func NewLog[T any](capacity, groups int) *Log[T] {
+	if groups < 1 {
+		panic(fmt.Sprintf("ring: %d consumer groups", groups))
+	}
+	c := 2
+	for c < capacity {
+		c <<= 1
+	}
+	return &Log[T]{
+		slots:   make([]slot[T], c),
+		mask:    uint64(c - 1),
+		cursors: make([]atomic.Uint64, groups),
+	}
+}
+
+// Cap returns the capacity of the log.
+func (l *Log[T]) Cap() int { return len(l.slots) }
+
+// Groups returns the number of consumer groups.
+func (l *Log[T]) Groups() int { return len(l.cursors) }
+
+// Append publishes v and returns its sequence number. Append blocks (spins,
+// yielding to the scheduler) while the slot it needs is still unread by the
+// slowest consumer group; this is the back-pressure a bounded shared ring
+// applies to the master variant.
+func (l *Log[T]) Append(v T) uint64 {
+	seq := l.prod.Add(1) - 1
+	// The slot for seq was previously occupied by seq-cap. It may be
+	// reused only once every group's cursor has passed that occupant.
+	for spins := 0; seq >= l.minCursor()+uint64(len(l.slots)); spins++ {
+		l.checkStop(spins)
+		backoff(spins)
+	}
+	s := &l.slots[seq&l.mask]
+	s.val = v
+	s.pub.Store(seq + 1)
+	return seq
+}
+
+// Get returns the value with sequence number seq, blocking until it has
+// been published. Callers must only ask for sequence numbers that are not
+// yet overwritten, i.e. seq >= Cursor(g) for their group.
+func (l *Log[T]) Get(seq uint64) T {
+	s := &l.slots[seq&l.mask]
+	for spins := 0; s.pub.Load() != seq+1; spins++ {
+		l.checkStop(spins)
+		backoff(spins)
+	}
+	return s.val
+}
+
+// TryGet returns the value with sequence number seq if it has been
+// published, without blocking.
+func (l *Log[T]) TryGet(seq uint64) (T, bool) {
+	s := &l.slots[seq&l.mask]
+	if s.pub.Load() != seq+1 {
+		var zero T
+		return zero, false
+	}
+	return s.val, true
+}
+
+// Cursor returns the next sequence number consumer group g will consume.
+func (l *Log[T]) Cursor(g int) uint64 { return l.cursors[g].Load() }
+
+// Advance moves group g's cursor from seq to seq+1. Groups must consume in
+// order; Advance panics if seq is not the current cursor, which would
+// indicate two threads of the same variant racing on consumption.
+func (l *Log[T]) Advance(g int, seq uint64) {
+	if !l.cursors[g].CompareAndSwap(seq, seq+1) {
+		panic(fmt.Sprintf("ring: group %d advanced out of order (cursor %d, advancing %d)",
+			g, l.cursors[g].Load(), seq))
+	}
+}
+
+// AdvanceTo moves group g's cursor forward to seq if it is currently
+// behind. Used by consumers that skip entries not addressed to them after
+// proving the entries were consumed elsewhere.
+func (l *Log[T]) AdvanceTo(g int, seq uint64) {
+	for {
+		cur := l.cursors[g].Load()
+		if cur >= seq {
+			return
+		}
+		if l.cursors[g].CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Produced returns the number of sequence numbers allocated so far. Entries
+// with seq < Produced() may not all be published yet (a producer may be
+// mid-Append); use TryGet to test.
+func (l *Log[T]) Produced() uint64 { return l.prod.Load() }
+
+func (l *Log[T]) minCursor() uint64 {
+	min := l.cursors[0].Load()
+	for i := 1; i < len(l.cursors); i++ {
+		if c := l.cursors[i].Load(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// SetStop installs a shutdown callback. Once it returns true, blocked
+// Append and Get calls panic with ErrStopped rather than spinning forever.
+func (l *Log[T]) SetStop(f func() bool) { l.stop = f }
+
+func (l *Log[T]) checkStop(spins int) {
+	if l.stop != nil && spins&63 == 63 && l.stop() {
+		panic(ErrStopped)
+	}
+}
+
+// backoff yields the processor with increasing politeness: a few busy spins,
+// then scheduler yields. The MVEE's consumers are latency sensitive (a slave
+// thread waiting on its ticket sits on the program's critical path), so we
+// spin briefly before involving the scheduler.
+func backoff(spins int) {
+	if spins < 16 {
+		return // busy spin
+	}
+	runtime.Gosched()
+}

@@ -1,0 +1,265 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogRoundsCapacityUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := NewLog[int](tc.in, 1).Cap(); got != tc.want {
+			t.Errorf("NewLog(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLogRejectsZeroGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLog with 0 groups did not panic")
+		}
+	}()
+	NewLog[int](8, 0)
+}
+
+func TestLogFIFOSingleProducer(t *testing.T) {
+	l := NewLog[int](8, 1)
+	done := make(chan struct{})
+	const n = 1000
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			seq := l.Cursor(0)
+			if got := l.Get(seq); got != i {
+				t.Errorf("entry %d = %d, want %d", seq, got, i)
+				return
+			}
+			l.Advance(0, seq)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if seq := l.Append(i); seq != uint64(i) {
+			t.Fatalf("Append #%d returned seq %d", i, seq)
+		}
+	}
+	<-done
+}
+
+func TestLogBroadcastToAllGroups(t *testing.T) {
+	const groups = 3
+	const n = 500
+	l := NewLog[int](16, groups)
+	var wg sync.WaitGroup
+	errs := make(chan error, groups)
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				seq := l.Cursor(g)
+				if got := l.Get(seq); got != i {
+					errs <- errf("group %d entry %d = %d, want %d", g, seq, got, i)
+					return
+				}
+				l.Advance(g, seq)
+			}
+		}(g)
+	}
+	for i := 0; i < n; i++ {
+		l.Append(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestLogMultiProducerNoLossNoDup(t *testing.T) {
+	const producers = 4
+	const per = 2000
+	l := NewLog[int](64, 1)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append(p*per + i)
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*per)
+	for i := 0; i < producers*per; i++ {
+		seq := l.Cursor(0)
+		v := l.Get(seq)
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+		l.Advance(0, seq)
+	}
+	wg.Wait()
+	if len(seen) != producers*per {
+		t.Fatalf("delivered %d values, want %d", len(seen), producers*per)
+	}
+}
+
+func TestLogPerProducerOrderPreserved(t *testing.T) {
+	// FIFO per producer: values from one producer arrive in its send order.
+	const producers = 3
+	const per = 1500
+	l := NewLog[[2]int](32, 1)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append([2]int{p, i})
+			}
+		}(p)
+	}
+	next := make([]int, producers)
+	for i := 0; i < producers*per; i++ {
+		seq := l.Cursor(0)
+		v := l.Get(seq)
+		if v[1] != next[v[0]] {
+			t.Fatalf("producer %d: got %d, want %d", v[0], v[1], next[v[0]])
+		}
+		next[v[0]]++
+		l.Advance(0, seq)
+	}
+	wg.Wait()
+}
+
+func TestLogBackpressureBlocksProducer(t *testing.T) {
+	l := NewLog[int](4, 1)
+	for i := 0; i < 4; i++ {
+		l.Append(i)
+	}
+	appended := make(chan struct{})
+	go func() {
+		l.Append(99) // must block until the consumer frees a slot
+		close(appended)
+	}()
+	select {
+	case <-appended:
+		t.Fatal("Append returned while log was full")
+	default:
+	}
+	seq := l.Cursor(0)
+	if got := l.Get(seq); got != 0 {
+		t.Fatalf("head = %d, want 0", got)
+	}
+	l.Advance(0, seq)
+	<-appended // deadlocks (test timeout) if back-pressure never releases
+}
+
+func TestLogTryGet(t *testing.T) {
+	l := NewLog[int](8, 1)
+	if _, ok := l.TryGet(0); ok {
+		t.Fatal("TryGet(0) succeeded on empty log")
+	}
+	l.Append(42)
+	v, ok := l.TryGet(0)
+	if !ok || v != 42 {
+		t.Fatalf("TryGet(0) = %d,%v want 42,true", v, ok)
+	}
+	if _, ok := l.TryGet(1); ok {
+		t.Fatal("TryGet(1) succeeded before publication")
+	}
+}
+
+func TestLogAdvanceOutOfOrderPanics(t *testing.T) {
+	l := NewLog[int](8, 1)
+	l.Append(1)
+	l.Append(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Advance did not panic")
+		}
+	}()
+	l.Advance(0, 1) // cursor is 0; advancing seq 1 is a consumption bug
+}
+
+func TestLogAdvanceTo(t *testing.T) {
+	l := NewLog[int](8, 2)
+	for i := 0; i < 5; i++ {
+		l.Append(i)
+	}
+	l.AdvanceTo(0, 3)
+	if l.Cursor(0) != 3 {
+		t.Fatalf("cursor = %d, want 3", l.Cursor(0))
+	}
+	l.AdvanceTo(0, 1) // moving backwards is a no-op
+	if l.Cursor(0) != 3 {
+		t.Fatalf("cursor moved backwards to %d", l.Cursor(0))
+	}
+}
+
+func TestLogProduced(t *testing.T) {
+	l := NewLog[int](8, 1)
+	if l.Produced() != 0 {
+		t.Fatalf("Produced = %d on empty log", l.Produced())
+	}
+	l.Append(1)
+	l.Append(2)
+	if l.Produced() != 2 {
+		t.Fatalf("Produced = %d, want 2", l.Produced())
+	}
+}
+
+// Property: for any interleaving of appends from up to 4 producers, a single
+// consumer group observes every value exactly once and per-producer FIFO.
+func TestLogPropertyBroadcast(t *testing.T) {
+	f := func(counts [4]uint8) bool {
+		l := NewLog[[2]int](16, 2)
+		var wg sync.WaitGroup
+		total := 0
+		for p, c := range counts {
+			n := int(c % 64)
+			total += n
+			wg.Add(1)
+			go func(p, n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					l.Append([2]int{p, i})
+				}
+			}(p, n)
+		}
+		ok := true
+		var cg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			cg.Add(1)
+			go func(g int) {
+				defer cg.Done()
+				next := [4]int{}
+				for i := 0; i < total; i++ {
+					seq := l.Cursor(g)
+					v := l.Get(seq)
+					if v[1] != next[v[0]] {
+						ok = false
+						return
+					}
+					next[v[0]]++
+					l.Advance(g, seq)
+				}
+			}(g)
+		}
+		wg.Wait()
+		cg.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,161 @@
+// Package shm simulates the System V shared memory interface (shmget /
+// shmat / shmdt / shmctl) that the paper's synchronization agents use to
+// attach to the sync buffers the monitor creates (§4.5).
+//
+// In the paper, the monitor allocates a segment and each variant's agent
+// attaches to it by key; the monitor additionally maps the segment at a
+// different, non-overlapping address in every variant (§5.4). Here a
+// segment carries an arbitrary shared object plus a per-variant "mapping
+// address" so the address-diversity property is preserved and testable.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common System-V-style errors.
+var (
+	ErrNotFound = errors.New("shm: no segment with that key (ENOENT)")
+	ErrExists   = errors.New("shm: segment already exists (EEXIST)")
+	ErrDetached = errors.New("shm: segment not attached by this variant (EINVAL)")
+	ErrRemoved  = errors.New("shm: segment marked for removal (EIDRM)")
+)
+
+// Key identifies a segment, like a System V IPC key.
+type Key uint64
+
+// Segment is a shared memory segment. Payload is the shared object (for the
+// MVEE: a sync buffer, a syscall buffer, or a raw byte slice); it is the
+// same object in every variant, which is exactly what "shared memory" means
+// in this simulation.
+type Segment struct {
+	Key     Key
+	Size    int
+	Payload any
+
+	mu       sync.Mutex
+	attached map[int]uint64 // variant id -> mapped virtual address
+	removed  bool
+	nattach  int
+}
+
+// Attached reports how many attachments the segment currently has.
+func (s *Segment) Attached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nattach
+}
+
+// AddrIn returns the virtual address at which variant v mapped the segment,
+// or 0 if v is not attached.
+func (s *Segment) AddrIn(variant int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attached[variant]
+}
+
+// Registry is a namespace of segments, analogous to the kernel's IPC
+// namespace. The zero value is ready to use.
+type Registry struct {
+	mu       sync.Mutex
+	segments map[Key]*Segment
+}
+
+// Create allocates a new segment under key (shmget with IPC_CREAT|IPC_EXCL).
+func (r *Registry) Create(key Key, size int, payload any) (*Segment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.segments == nil {
+		r.segments = make(map[Key]*Segment)
+	}
+	if _, ok := r.segments[key]; ok {
+		return nil, fmt.Errorf("key %d: %w", key, ErrExists)
+	}
+	seg := &Segment{Key: key, Size: size, Payload: payload, attached: make(map[int]uint64)}
+	r.segments[key] = seg
+	return seg, nil
+}
+
+// Get looks up an existing segment (shmget without IPC_CREAT).
+func (r *Registry) Get(key Key) (*Segment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seg, ok := r.segments[key]
+	if !ok {
+		return nil, fmt.Errorf("key %d: %w", key, ErrNotFound)
+	}
+	return seg, nil
+}
+
+// Attach maps the segment into variant's address space at addr (shmat). The
+// monitor chooses addr so that the mapping does not overlap across variants.
+func (r *Registry) Attach(key Key, variant int, addr uint64) (*Segment, error) {
+	seg, err := r.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if seg.removed {
+		return nil, fmt.Errorf("key %d: %w", key, ErrRemoved)
+	}
+	seg.attached[variant] = addr
+	seg.nattach++
+	return seg, nil
+}
+
+// Detach unmaps the segment from variant (shmdt). When a segment marked for
+// removal loses its last attachment it is destroyed.
+func (r *Registry) Detach(key Key, variant int) error {
+	seg, err := r.Get(key)
+	if err != nil {
+		return err
+	}
+	seg.mu.Lock()
+	if _, ok := seg.attached[variant]; !ok {
+		seg.mu.Unlock()
+		return fmt.Errorf("key %d variant %d: %w", key, variant, ErrDetached)
+	}
+	delete(seg.attached, variant)
+	seg.nattach--
+	destroy := seg.removed && seg.nattach == 0
+	seg.mu.Unlock()
+	if destroy {
+		r.mu.Lock()
+		delete(r.segments, key)
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Remove marks the segment for removal (shmctl IPC_RMID). The segment
+// disappears once all attachments are gone, like in Linux.
+func (r *Registry) Remove(key Key) error {
+	seg, err := r.Get(key)
+	if err != nil {
+		return err
+	}
+	seg.mu.Lock()
+	seg.removed = true
+	destroy := seg.nattach == 0
+	seg.mu.Unlock()
+	if destroy {
+		r.mu.Lock()
+		delete(r.segments, key)
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Keys returns the keys of all live segments, for diagnostics.
+func (r *Registry) Keys() []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]Key, 0, len(r.segments))
+	for k := range r.segments {
+		keys = append(keys, k)
+	}
+	return keys
+}

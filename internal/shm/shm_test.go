@@ -1,0 +1,137 @@
+package shm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCreateGetAttachDetach(t *testing.T) {
+	var r Registry
+	seg, err := r.Create(1, 4096, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Size != 4096 || seg.Payload != "payload" {
+		t.Fatalf("segment fields wrong: %+v", seg)
+	}
+	got, err := r.Get(1)
+	if err != nil || got != seg {
+		t.Fatalf("Get(1) = %v, %v", got, err)
+	}
+	if _, err := r.Attach(1, 0, 0x7000_0000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Attach(1, 1, 0x8000_0000); err != nil {
+		t.Fatal(err)
+	}
+	if n := seg.Attached(); n != 2 {
+		t.Fatalf("Attached = %d, want 2", n)
+	}
+	if a := seg.AddrIn(0); a != 0x7000_0000 {
+		t.Fatalf("AddrIn(0) = %#x", a)
+	}
+	if a := seg.AddrIn(1); a != 0x8000_0000 {
+		t.Fatalf("AddrIn(1) = %#x", a)
+	}
+	if err := r.Detach(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := seg.Attached(); n != 1 {
+		t.Fatalf("Attached = %d after detach, want 1", n)
+	}
+}
+
+func TestCreateDuplicateKeyFails(t *testing.T) {
+	var r Registry
+	if _, err := r.Create(7, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(7, 8, nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Create err = %v, want ErrExists", err)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	var r Registry
+	if _, err := r.Get(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(99) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDetachWithoutAttach(t *testing.T) {
+	var r Registry
+	r.Create(1, 8, nil)
+	if err := r.Detach(1, 0); !errors.Is(err, ErrDetached) {
+		t.Fatalf("Detach err = %v, want ErrDetached", err)
+	}
+}
+
+func TestRemoveDeferredUntilLastDetach(t *testing.T) {
+	var r Registry
+	r.Create(1, 8, nil)
+	r.Attach(1, 0, 0x1000)
+	if err := r.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	// Segment still reachable while attached (Linux semantics).
+	if _, err := r.Get(1); err != nil {
+		t.Fatalf("segment vanished while attached: %v", err)
+	}
+	// But new attaches must fail.
+	if _, err := r.Attach(1, 1, 0x2000); !errors.Is(err, ErrRemoved) {
+		t.Fatalf("Attach after Remove err = %v, want ErrRemoved", err)
+	}
+	if err := r.Detach(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("segment survived last detach: err = %v", err)
+	}
+}
+
+func TestRemoveUnattachedDestroysImmediately(t *testing.T) {
+	var r Registry
+	r.Create(1, 8, nil)
+	if err := r.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unattached segment not destroyed: err = %v", err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	var r Registry
+	r.Create(1, 8, nil)
+	r.Create(2, 8, nil)
+	if got := len(r.Keys()); got != 2 {
+		t.Fatalf("Keys() has %d entries, want 2", got)
+	}
+}
+
+func TestConcurrentAttachDetach(t *testing.T) {
+	var r Registry
+	seg, _ := r.Create(1, 8, nil)
+	var wg sync.WaitGroup
+	for v := 0; v < 16; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := r.Attach(1, v, uint64(v)<<32); err != nil {
+					t.Errorf("attach: %v", err)
+					return
+				}
+				if err := r.Detach(1, v); err != nil {
+					t.Errorf("detach: %v", err)
+					return
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+	if n := seg.Attached(); n != 0 {
+		t.Fatalf("Attached = %d after balanced attach/detach", n)
+	}
+}

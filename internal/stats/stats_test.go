@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty not 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !approx(GeoMean([]float64{1, 4}), 2) {
+		t.Fatalf("geomean = %v", GeoMean([]float64{1, 4}))
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geomean of non-positive did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMedian(t *testing.T) {
+	if !approx(Median([]float64{5, 1, 3}), 3) {
+		t.Fatal("odd median wrong")
+	}
+	if !approx(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Fatal("even median wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestRate(t *testing.T) {
+	if !approx(Rate(100, 2), 50) {
+		t.Fatal("rate wrong")
+	}
+	if Rate(100, 0) != 0 {
+		t.Fatal("rate with zero duration not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.Add("dedup", "1.78x")
+	tbl.Add("blackscholes", "1.01x")
+	out := tbl.String()
+	if !strings.Contains(out, "dedup") || !strings.Contains(out, "blackscholes") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every line starts the second column at the same offset.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1.01x") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+// Properties: GeoMean <= Mean (AM-GM), both bounded by min/max.
+func TestAggregateProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // positive
+		}
+		g, m := GeoMean(xs), Mean(xs)
+		return g <= m+1e-9 && g >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package trace serializes MVEE execution traces for offline record/replay
+// (the RecPlay [35] mode of operation discussed in §6): a recorded session
+// captures everything nondeterministic about the master's execution — the
+// per-thread synchronization tickets and the per-thread system-call
+// records — and a later session can replay it deterministically without a
+// live master. Typical use: capture a failing production run, replay it
+// under instrumentation.
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/agent"
+	"repro/internal/monitor"
+)
+
+// Format version; bump on incompatible changes to the encoded layout.
+const Version = 1
+
+// Trace is one recorded execution.
+type Trace struct {
+	Version    int
+	Program    string
+	MaxThreads int
+	WallSize   int
+	// SyncOps[tid] is the stream of wall-of-clocks tickets thread tid's
+	// sync ops consumed, in program order.
+	SyncOps [][]agent.WEntry
+	// Syscalls[tid] is the stream of monitored syscall records of thread
+	// tid, including the final thread-exit markers.
+	Syscalls [][]monitor.Record
+}
+
+// Ops returns the total number of recorded sync ops.
+func (t *Trace) Ops() int {
+	n := 0
+	for _, s := range t.SyncOps {
+		n += len(s)
+	}
+	return n
+}
+
+// Calls returns the total number of recorded syscall records (excluding
+// exit markers).
+func (t *Trace) Calls() int {
+	n := 0
+	for _, s := range t.Syscalls {
+		for _, r := range s {
+			if !r.Exit {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Encode writes the trace to w in gob format.
+func (t *Trace) Encode(w io.Writer) error {
+	t.Version = Version
+	if err := gob.NewEncoder(w).Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a trace from r.
+func Decode(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if t.Version != Version {
+		return nil, fmt.Errorf("trace: version %d, want %d", t.Version, Version)
+	}
+	return &t, nil
+}

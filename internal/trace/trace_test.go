@@ -1,0 +1,193 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// counterProgram is the recorded workload: contended mutex, syscalls, and
+// a published total.
+func counterProgram(threads, iters int) core.Program {
+	return core.Program{Name: "rec-counter", Main: func(th *core.Thread) {
+		mu := newMutex(th)
+		n := 0
+		hs := make([]*core.ThreadHandle, threads)
+		for i := range hs {
+			hs[i] = th.Spawn(func(tt *core.Thread) {
+				for j := 0; j < iters; j++ {
+					mu.lock(tt)
+					n++
+					mu.unlock(tt)
+					if j%50 == 0 {
+						tt.Syscall(kernel.SysGetpid, [6]uint64{}, nil)
+					}
+				}
+			})
+		}
+		for _, h := range hs {
+			h.Join()
+		}
+		fd := th.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/total")).Val
+		th.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte(fmt.Sprintf("%d", n)))
+	}}
+}
+
+type mutex struct{ w *core.SyncVar }
+
+func newMutex(t *core.Thread) *mutex { return &mutex{w: t.NewSyncVar()} }
+func (m *mutex) lock(t *core.Thread) {
+	if t.CAS(m.w, 0, 1) {
+		return
+	}
+	for t.Xchg(m.w, 2) != 0 {
+		t.FutexWait(m.w, 2)
+	}
+}
+func (m *mutex) unlock(t *core.Thread) {
+	if t.Xchg(m.w, 0) == 2 {
+		t.FutexWake(m.w, 1<<30)
+	}
+}
+
+func runGuarded(t *testing.T, s *core.Session) *core.Result {
+	t.Helper()
+	done := make(chan *core.Result, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case res := <-done:
+		return res
+	case <-time.After(60 * time.Second):
+		s.Kill()
+		t.Fatal("deadlock")
+		return nil
+	}
+}
+
+// record runs the program with tracing on and returns the trace.
+func record(t *testing.T, prog core.Program, variants int) *trace.Trace {
+	t.Helper()
+	s := core.NewSession(core.Options{
+		Variants: variants, Record: true, ASLR: true, Seed: 8, MaxThreads: 16,
+	}, prog)
+	res := runGuarded(t, s)
+	if res.Divergence != nil {
+		t.Fatalf("recording diverged: %v", res.Divergence)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace produced")
+	}
+	return res.Trace
+}
+
+func TestRecordCapturesEverything(t *testing.T) {
+	tr := record(t, counterProgram(4, 100), 1)
+	if tr.Ops() == 0 {
+		t.Fatal("no sync ops recorded")
+	}
+	if tr.Calls() == 0 {
+		t.Fatal("no syscalls recorded")
+	}
+	// Thread 0 (main) plus 4 workers leave exit markers.
+	exits := 0
+	for _, stream := range tr.Syscalls {
+		for _, r := range stream {
+			if r.Exit {
+				exits++
+			}
+		}
+	}
+	if exits != 5 {
+		t.Fatalf("exit markers = %d, want 5", exits)
+	}
+}
+
+func TestRecordWorksAlongsideLiveSlaves(t *testing.T) {
+	// Recording with 2 live variants: the tape is a third consumer and
+	// must not disturb lockstep.
+	tr := record(t, counterProgram(2, 50), 2)
+	if tr.Ops() == 0 || tr.Calls() == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestReplayReproducesRecordedRun(t *testing.T) {
+	prog := counterProgram(4, 100)
+	tr := record(t, prog, 1)
+
+	s := core.NewSession(core.Options{
+		Replay: tr, ASLR: true, Seed: 999, // different layout: replay is positional
+	}, prog)
+	res := runGuarded(t, s)
+	if res.Divergence != nil {
+		t.Fatalf("replay diverged: %v", res.Divergence)
+	}
+	if res.Syscalls != uint64(tr.Calls()) {
+		t.Fatalf("replayed %d syscalls, trace has %d", res.Syscalls, tr.Calls())
+	}
+	if res.SyncOps != uint64(tr.Ops()) {
+		t.Fatalf("replayed %d sync ops, trace has %d", res.SyncOps, tr.Ops())
+	}
+}
+
+func TestReplayIsDeterministicAcrossRuns(t *testing.T) {
+	prog := counterProgram(3, 80)
+	tr := record(t, prog, 1)
+	for i := 0; i < 3; i++ {
+		s := core.NewSession(core.Options{Replay: tr, Seed: int64(i)}, prog)
+		res := runGuarded(t, s)
+		if res.Divergence != nil {
+			t.Fatalf("replay %d diverged: %v", i, res.Divergence)
+		}
+	}
+}
+
+func TestReplayDetectsMutatedProgram(t *testing.T) {
+	tr := record(t, counterProgram(2, 50), 1)
+	// Replay a DIFFERENT program against the trace: an extra syscall must
+	// be flagged as divergence from the recorded behavior.
+	mutated := core.Program{Name: "mutated", Main: func(th *core.Thread) {
+		th.Syscall(kernel.SysGettimeofday, [6]uint64{}, nil) // not in trace position 0
+	}}
+	s := core.NewSession(core.Options{Replay: tr}, mutated)
+	res := runGuarded(t, s)
+	if res.Divergence == nil {
+		t.Fatal("mutated program replayed without divergence")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := record(t, counterProgram(2, 40), 1)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops() != tr.Ops() || back.Calls() != tr.Calls() {
+		t.Fatalf("round-trip lost data: %d/%d vs %d/%d",
+			back.Ops(), back.Calls(), tr.Ops(), tr.Calls())
+	}
+	if back.Program != "rec-counter" {
+		t.Fatalf("program name = %q", back.Program)
+	}
+	// A decoded trace replays.
+	s := core.NewSession(core.Options{Replay: back}, counterProgram(2, 40))
+	res := runGuarded(t, s)
+	if res.Divergence != nil {
+		t.Fatalf("decoded trace failed to replay: %v", res.Divergence)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := trace.Decode(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

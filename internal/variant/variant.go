@@ -1,0 +1,118 @@
+// Package variant models the diversified address-space layout of one MVEE
+// variant. Diversity is what makes multi-variant execution a defense: every
+// variant places code and data at different addresses, so an exploit that
+// hard-codes (or leaks) an address works in at most one variant and causes
+// the others to behave differently — which the monitor detects.
+//
+// Two layout policies from the paper are modelled:
+//
+//   - ASLR: heap, mmap, code and data bases are randomized per variant.
+//   - DCL (Disjoint Code Layouts, [44]): additionally, the code regions of
+//     all variants are mutually non-overlapping, so no code address is
+//     valid in two variants at once.
+//
+// The agents never translate addresses between variants; replay is
+// positional (§4.5.1). The layouts here exist to keep that property honest:
+// every address the programs observe really is different in every variant.
+package variant
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// Space is the diversified address-space layout of one variant.
+type Space struct {
+	ID int
+
+	brkBase  uint64
+	mmapBase uint64
+	codeBase uint64
+	dataBase uint64
+
+	dataNext atomic.Uint64
+	codeNext atomic.Uint64
+}
+
+// Region sizes and bases. The constants mirror a 47-bit user address space.
+const (
+	brkRegion  = 0x0000_1000_0000_0000
+	mmapRegion = 0x0000_2000_0000_0000
+	codeRegion = 0x0000_4000_0000_0000
+	dataRegion = 0x0000_5000_0000_0000
+
+	regionSpan = 0x0000_0100_0000_0000 // randomization span within a region
+	dclSlab    = 0x0000_0010_0000_0000 // disjoint code slab per variant
+)
+
+// Options selects the diversity techniques applied to a variant.
+type Options struct {
+	ASLR bool // randomize all bases
+	DCL  bool // disjoint code layouts across variants
+	Seed int64
+}
+
+// NewSpace lays out variant id's address space.
+func NewSpace(id int, opts Options) *Space {
+	s := &Space{
+		ID:       id,
+		brkBase:  brkRegion,
+		mmapBase: mmapRegion,
+		codeBase: codeRegion,
+		dataBase: dataRegion,
+	}
+	if opts.ASLR {
+		r := rand.New(rand.NewSource(opts.Seed ^ int64(id+1)*0x9e3779b9))
+		page := uint64(4096)
+		s.brkBase += uint64(r.Int63n(regionSpan/int64(page))) * page
+		s.mmapBase += uint64(r.Int63n(regionSpan/int64(page))) * page
+		s.dataBase += uint64(r.Int63n(regionSpan/int64(page))) * page
+		if !opts.DCL {
+			s.codeBase += uint64(r.Int63n(regionSpan/int64(page))) * page
+		}
+	}
+	if opts.DCL {
+		// Mutually disjoint code slabs: variant i's code lives in
+		// [codeRegion + i*slab, codeRegion + (i+1)*slab).
+		s.codeBase = codeRegion + uint64(id)*dclSlab
+		if opts.ASLR {
+			r := rand.New(rand.NewSource(opts.Seed ^ int64(id+7)*0x7f4a7c15))
+			s.codeBase += uint64(r.Int63n(dclSlab/2/4096)) * 4096
+		}
+	}
+	return s
+}
+
+// BrkBase returns the variant's randomized heap base.
+func (s *Space) BrkBase() uint64 { return s.brkBase }
+
+// MmapBase returns the variant's randomized mmap base.
+func (s *Space) MmapBase() uint64 { return s.mmapBase }
+
+// CodeBase returns the variant's code base.
+func (s *Space) CodeBase() uint64 { return s.codeBase }
+
+// AllocData reserves n bytes (8-byte aligned) of static data and returns
+// the virtual address. Synchronization variables live here; the addresses
+// differ across variants, which is what exercises the agents' positional
+// replay.
+func (s *Space) AllocData(n uint64) uint64 {
+	n = (n + 7) &^ 7
+	return s.dataBase + s.dataNext.Add(n) - n
+}
+
+// AllocCode reserves n bytes of code and returns its address, modelling a
+// function's entry point. Used by the attack-detection experiment: a leaked
+// code pointer is only meaningful in one variant.
+func (s *Space) AllocCode(n uint64) uint64 {
+	n = (n + 15) &^ 15
+	return s.codeBase + s.codeNext.Add(n) - n
+}
+
+// CodeOverlaps reports whether the code regions of two spaces overlap; with
+// DCL enabled this must always be false.
+func CodeOverlaps(a, b *Space, span uint64) bool {
+	al, ah := a.codeBase, a.codeBase+span
+	bl, bh := b.codeBase, b.codeBase+span
+	return al < bh && bl < ah
+}

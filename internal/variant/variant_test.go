@@ -1,0 +1,125 @@
+package variant
+
+import "testing"
+
+func TestNoASLRIsDeterministic(t *testing.T) {
+	a := NewSpace(0, Options{})
+	b := NewSpace(1, Options{})
+	if a.BrkBase() != b.BrkBase() || a.MmapBase() != b.MmapBase() || a.CodeBase() != b.CodeBase() {
+		t.Fatal("without ASLR/DCL all variants should share the same layout")
+	}
+}
+
+func TestASLRDiversifiesBases(t *testing.T) {
+	a := NewSpace(0, Options{ASLR: true, Seed: 1})
+	b := NewSpace(1, Options{ASLR: true, Seed: 1})
+	if a.BrkBase() == b.BrkBase() {
+		t.Error("heap bases identical under ASLR")
+	}
+	if a.MmapBase() == b.MmapBase() {
+		t.Error("mmap bases identical under ASLR")
+	}
+	if a.CodeBase() == b.CodeBase() {
+		t.Error("code bases identical under ASLR")
+	}
+}
+
+func TestASLRIsSeedDeterministic(t *testing.T) {
+	a := NewSpace(2, Options{ASLR: true, Seed: 42})
+	b := NewSpace(2, Options{ASLR: true, Seed: 42})
+	if a.BrkBase() != b.BrkBase() || a.CodeBase() != b.CodeBase() {
+		t.Fatal("same seed + id must reproduce the same layout")
+	}
+	c := NewSpace(2, Options{ASLR: true, Seed: 43})
+	if a.BrkBase() == c.BrkBase() {
+		t.Error("different seeds produced the same heap base")
+	}
+}
+
+func TestBasesArePageAligned(t *testing.T) {
+	for id := 0; id < 8; id++ {
+		s := NewSpace(id, Options{ASLR: true, DCL: true, Seed: 5})
+		for name, base := range map[string]uint64{
+			"brk": s.BrkBase(), "mmap": s.MmapBase(), "code": s.CodeBase(),
+		} {
+			if base%4096 != 0 {
+				t.Errorf("variant %d %s base %#x not page aligned", id, name, base)
+			}
+		}
+	}
+}
+
+func TestDCLCodeRegionsDisjoint(t *testing.T) {
+	const span = dclSlab / 2 // generous code span per variant
+	spaces := make([]*Space, 4)
+	for id := range spaces {
+		spaces[id] = NewSpace(id, Options{ASLR: true, DCL: true, Seed: 99})
+	}
+	for i := 0; i < len(spaces); i++ {
+		for j := i + 1; j < len(spaces); j++ {
+			if CodeOverlaps(spaces[i], spaces[j], span) {
+				t.Errorf("variants %d and %d have overlapping code regions (%#x, %#x)",
+					i, j, spaces[i].CodeBase(), spaces[j].CodeBase())
+			}
+		}
+	}
+}
+
+func TestAllocDataSequentialAndAligned(t *testing.T) {
+	s := NewSpace(0, Options{})
+	a := s.AllocData(4)
+	b := s.AllocData(1)
+	c := s.AllocData(16)
+	if a%8 != 0 || b%8 != 0 || c%8 != 0 {
+		t.Fatalf("allocations not 8-aligned: %#x %#x %#x", a, b, c)
+	}
+	if b <= a || c <= b {
+		t.Fatalf("allocations not increasing: %#x %#x %#x", a, b, c)
+	}
+	if b-a < 4 || c-b < 8 {
+		t.Fatalf("allocations overlap: %#x %#x %#x", a, b, c)
+	}
+}
+
+func TestAllocCodeDistinctAddresses(t *testing.T) {
+	s := NewSpace(0, Options{DCL: true})
+	f1 := s.AllocCode(64)
+	f2 := s.AllocCode(64)
+	if f1 == f2 {
+		t.Fatal("two functions at the same address")
+	}
+	if f1 < s.CodeBase() || f2 < s.CodeBase() {
+		t.Fatal("code allocated below code base")
+	}
+}
+
+func TestSameSymbolDiffersAcrossVariants(t *testing.T) {
+	// The ASLR property the agents must tolerate (§4.5.1): the "same"
+	// logical variable has a different address in every variant.
+	a := NewSpace(0, Options{ASLR: true, Seed: 3})
+	b := NewSpace(1, Options{ASLR: true, Seed: 3})
+	if a.AllocData(8) == b.AllocData(8) {
+		t.Fatal("first data symbol has the same address in two ASLR variants")
+	}
+}
+
+func TestConcurrentAllocDataNoOverlap(t *testing.T) {
+	s := NewSpace(0, Options{})
+	const per = 1000
+	results := make(chan uint64, 4*per)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				results <- s.AllocData(8)
+			}
+		}()
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 4*per; i++ {
+		addr := <-results
+		if seen[addr] {
+			t.Fatalf("address %#x allocated twice", addr)
+		}
+		seen[addr] = true
+	}
+}

@@ -1,0 +1,115 @@
+package webserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// LoadResult summarizes a load-generation run (the wrk measurements of
+// §5.5).
+type LoadResult struct {
+	Requests  int
+	Responses int
+	Bytes     int
+	Errors    int
+	Duration  time.Duration
+}
+
+// Throughput returns responses per second.
+func (r LoadResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Responses) / r.Duration.Seconds()
+}
+
+// GenerateLoad plays the wrk role: conns concurrent connections each issue
+// requestsPerConn GET requests for the static page and read the responses.
+// It runs outside the MVEE, against the session kernel.
+func GenerateLoad(k *kernel.Kernel, port uint16, conns, requestsPerConn int) LoadResult {
+	start := time.Now()
+	var mu sync.Mutex
+	res := LoadResult{}
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := LoadResult{}
+			for r := 0; r < requestsPerConn; r++ {
+				cc, errno := k.Connect(port)
+				if errno != kernel.OK {
+					local.Errors++
+					continue
+				}
+				local.Requests++
+				if _, err := cc.Write([]byte("GET / HTTP/1.1")); err != nil {
+					local.Errors++
+					cc.Close()
+					continue
+				}
+				buf := make([]byte, 8192)
+				n, err := cc.Read(buf)
+				if err != nil || n == 0 {
+					local.Errors++
+				} else {
+					local.Responses++
+					local.Bytes += n
+				}
+				cc.Close()
+			}
+			mu.Lock()
+			res.Requests += local.Requests
+			res.Responses += local.Responses
+			res.Bytes += local.Bytes
+			res.Errors += local.Errors
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	return res
+}
+
+// Attack plays the adversary: it probes the vulnerable endpoint with a
+// gadget address "tailored to a specific running victim variant" (§5.5) —
+// here, the true handler address of the targeted variant, as an attacker
+// with a leak for that one variant would have. It returns the server's
+// response.
+func Attack(k *kernel.Kernel, port uint16, gadget uint64) (string, error) {
+	cc, errno := k.Connect(port)
+	if errno != kernel.OK {
+		return "", errno
+	}
+	defer cc.Close()
+	if _, err := cc.Write([]byte(fmt.Sprintf("POST /upload %x", gadget))); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 4096)
+	n, err := cc.Read(buf)
+	if err != nil {
+		return "", err
+	}
+	return string(buf[:n]), nil
+}
+
+// CountProbe issues a GET /count request and returns the response.
+func CountProbe(k *kernel.Kernel, port uint16) (string, error) {
+	cc, errno := k.Connect(port)
+	if errno != kernel.OK {
+		return "", errno
+	}
+	defer cc.Close()
+	if _, err := cc.Write([]byte("GET /count")); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 256)
+	n, err := cc.Read(buf)
+	if err != nil {
+		return "", err
+	}
+	return string(buf[:n]), nil
+}

@@ -1,0 +1,228 @@
+// Package webserver models the paper's realistic use case (§5.5): nginx
+// 1.8 with thread pools. The server runs under the MVEE, accepts loopback
+// connections from a load generator, and serves a static page. Its
+// inter-thread synchronization mixes pthread-style primitives with the
+// custom spinlock-style primitives nginx builds from inline assembly —
+// which is exactly what made instrumentation necessary in the paper: an
+// uninstrumented custom primitive causes divergence once traffic flows.
+//
+// The package also reproduces the security experiment: a request to a
+// vulnerable endpoint (modelling the re-introduced CVE-2013-2028
+// exploitation) corrupts a "function pointer" with an attacker-supplied
+// code address. Because variants have disjoint code layouts, the corrupted
+// pointer is only meaningful in one variant; the divergent response write
+// is detected by the monitor before any output leaves the system.
+package webserver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/synclib"
+)
+
+// Config shapes the server.
+type Config struct {
+	Port        uint16
+	PoolThreads int // worker threads in the thread pool (nginx used 32)
+	// InstrumentCustomSync controls whether the nginx-style custom
+	// spinlock is routed through the sync agent. Turning it off
+	// reproduces the paper's observation: the server starts fine but
+	// diverges once traffic flows.
+	InstrumentCustomSync bool
+	// Vulnerable enables the CVE-2013-2028-style endpoint.
+	Vulnerable bool
+	// PageSize is the static page size (the paper serves 4 KiB).
+	PageSize int
+}
+
+func (c *Config) fill() {
+	if c.Port == 0 {
+		c.Port = 8080
+	}
+	if c.PoolThreads <= 0 {
+		c.PoolThreads = 8
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+}
+
+// uninstrumentedSpinLock is the nginx custom primitive WITHOUT agent
+// instrumentation: it spins on a plain Go atomic that the agents never see.
+// Using it under the MVEE produces scheduling-dependent request handling
+// and therefore benign divergence — the §5.5 negative result.
+type uninstrumentedSpinLock struct {
+	state chan struct{}
+}
+
+func newUninstrumentedSpinLock() *uninstrumentedSpinLock {
+	l := &uninstrumentedSpinLock{state: make(chan struct{}, 1)}
+	l.state <- struct{}{}
+	return l
+}
+
+func (l *uninstrumentedSpinLock) Lock()   { <-l.state }
+func (l *uninstrumentedSpinLock) Unlock() { l.state <- struct{}{} }
+
+// Program builds the server program for the MVEE.
+func Program(cfg Config) core.Program {
+	cfg.fill()
+	return core.Program{Name: "nginx-sim", Main: func(t *core.Thread) {
+		runServer(t, cfg)
+	}}
+}
+
+// request is one queued connection.
+type request struct {
+	fd uint64
+}
+
+func runServer(t *core.Thread, cfg Config) {
+	page := strings.Repeat("x", cfg.PageSize)
+
+	// The "function pointer" the vulnerability overwrites: it holds the
+	// variant-local code address of the page handler. Diversity (DCL)
+	// places it differently in every variant.
+	handlerPtr := t.CodeAddr(64)
+
+	// Shared request counter protected by nginx's *custom* primitive.
+	var reqCount uint32
+	var customLock interface {
+		Lock(*core.Thread)
+		Unlock(*core.Thread)
+	}
+	var rawLock *uninstrumentedSpinLock
+	if cfg.InstrumentCustomSync {
+		customLock = instrumented{synclib.NewSpinLock(t)}
+	} else {
+		rawLock = newUninstrumentedSpinLock()
+	}
+	bumpCount := func(tt *core.Thread) uint32 {
+		if cfg.InstrumentCustomSync {
+			customLock.Lock(tt)
+			reqCount++
+			n := reqCount
+			customLock.Unlock(tt)
+			return n
+		}
+		rawLock.Lock()
+		reqCount++
+		n := reqCount
+		rawLock.Unlock()
+		return n
+	}
+
+	// Thread pool fed through an instrumented (pthread-style) queue.
+	qmu := synclib.NewMutex(t)
+	qcond := synclib.NewCond(t)
+	var queue []request
+	closed := false
+
+	sfd := t.Syscall(kernel.SysSocket, [6]uint64{}, nil).Val
+	t.Syscall(kernel.SysBind, [6]uint64{sfd, uint64(cfg.Port)}, nil)
+	lr := t.Syscall(kernel.SysListen, [6]uint64{sfd, uint64(cfg.Port), 128}, nil)
+	if !lr.Ok() {
+		return
+	}
+
+	workers := make([]*core.ThreadHandle, cfg.PoolThreads)
+	for w := 0; w < cfg.PoolThreads; w++ {
+		workers[w] = t.Spawn(func(tt *core.Thread) {
+			for {
+				qmu.Lock(tt)
+				for len(queue) == 0 && !closed {
+					qcond.Wait(tt, qmu)
+				}
+				if len(queue) == 0 && closed {
+					qmu.Unlock(tt)
+					return
+				}
+				req := queue[0]
+				queue = queue[1:]
+				qmu.Unlock(tt)
+				handle(tt, cfg, req, page, handlerPtr, bumpCount)
+			}
+		})
+	}
+
+	// Accept loop: runs until the listener is closed by the client side
+	// (accept returns an error).
+	for {
+		acc := t.Syscall(kernel.SysAccept, [6]uint64{sfd}, nil)
+		if !acc.Ok() {
+			break
+		}
+		qmu.Lock(t)
+		queue = append(queue, request{fd: acc.Val})
+		qcond.Signal(t)
+		qmu.Unlock(t)
+	}
+	qmu.Lock(t)
+	closed = true
+	qcond.Broadcast(t)
+	qmu.Unlock(t)
+	for _, w := range workers {
+		w.Join()
+	}
+}
+
+type instrumented struct{ l *synclib.SpinLock }
+
+func (i instrumented) Lock(t *core.Thread)   { i.l.Lock(t) }
+func (i instrumented) Unlock(t *core.Thread) { i.l.Unlock(t) }
+
+// handle serves one connection: reads the request line, dispatches.
+func handle(t *core.Thread, cfg Config, req request, page string, handlerPtr uint64,
+	bump func(*core.Thread) uint32) {
+	r := t.Syscall(kernel.SysRecv, [6]uint64{req.fd, 4096}, nil)
+	if !r.Ok() || r.Val == 0 {
+		t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
+		return
+	}
+	line := string(r.Data)
+	// nginx touches its shared counters at several points while handling
+	// one request; model that with repeated bumps. Under the
+	// uninstrumented custom lock, the interleaving of these bumps across
+	// worker threads is scheduler-dependent and differs between variants.
+	n := bump(t)
+	for i := 0; i < 8; i++ {
+		t.Yield()
+		n = bump(t)
+	}
+
+	switch {
+	case cfg.Vulnerable && strings.HasPrefix(line, "POST /upload"):
+		// CVE-2013-2028 model: a chunked-transfer stack overflow lets
+		// the attacker overwrite a return address / function pointer
+		// with a gadget address they computed for ONE concrete layout.
+		// We model the overwrite by replacing handlerPtr with the
+		// attacker-supplied value and "calling" it: the response leaks
+		// whether the gadget matched this variant's layout.
+		var gadget uint64
+		fmt.Sscanf(line[len("POST /upload "):], "%x", &gadget)
+		hijacked := gadget // overwritten pointer
+		// The "indirect call": executing the gadget succeeds only in
+		// the variant whose code layout the attacker targeted. The
+		// response encodes the outcome, so variants answer differently
+		// — which the monitor catches at the send.
+		var body string
+		if hijacked == handlerPtr {
+			body = fmt.Sprintf("PWNED leaked-code-ptr=%#x", handlerPtr)
+		} else {
+			body = "500 internal error"
+		}
+		t.Syscall(kernel.SysSend, [6]uint64{req.fd}, []byte(body))
+	case strings.HasPrefix(line, "GET /count"):
+		// The request count depends on cross-thread ordering: with the
+		// custom lock uninstrumented, counts drift across variants and
+		// this response diverges.
+		t.Syscall(kernel.SysSend, [6]uint64{req.fd}, []byte(fmt.Sprintf("count=%d", n)))
+	default:
+		t.Syscall(kernel.SysSend, [6]uint64{req.fd},
+			[]byte("HTTP/1.1 200 OK\r\n\r\n"+page))
+	}
+	t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
+}

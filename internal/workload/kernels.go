@@ -1,0 +1,526 @@
+package workload
+
+import "math"
+
+// This file contains the computational kernels of the benchmark models:
+// small, allocation-free, deterministic cores of the real PARSEC/SPLASH
+// programs. Each kernel maps one work unit (identified by its index) to a
+// uint32 digest. The digests flow into the programs' checksums, so the
+// monitor's payload comparison validates that every variant computed the
+// same *results*, not merely that it burned the same time.
+//
+// kernelFunc computes work unit i at difficulty n (the WorkPerUnit knob);
+// implementations scale their inner loops with n so the bench harness can
+// stretch run times without changing results' structure.
+type kernelFunc func(i, n int) uint32
+
+// xorshift is the deterministic PRNG all kernels draw parameters from.
+func xorshift(x uint32) uint32 {
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	return x
+}
+
+// digest folds a float into a checksum-friendly integer, quantizing so the
+// result is stable across compilers (all variants run the same binary here,
+// but quantization also keeps NaN/rounding surprises out of checksums).
+func digest(f float64) uint32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0xdead
+	}
+	return uint32(int64(f * 1e6)) // fixed-point at 1e-6
+}
+
+// cndf is the cumulative normal distribution function via the Abramowitz &
+// Stegun polynomial — the same approximation PARSEC's blackscholes uses.
+func cndf(x float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	k := 1.0 / (1.0 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	v := 1.0 - 1.0/math.Sqrt(2*math.Pi)*math.Exp(-x*x/2)*poly
+	if neg {
+		return 1.0 - v
+	}
+	return v
+}
+
+// kernelBlackScholes prices one European option with the closed-form
+// Black-Scholes formula (PARSEC blackscholes).
+func kernelBlackScholes(i, n int) uint32 {
+	r := xorshift(uint32(i + 1))
+	spot := 50.0 + float64(r%100)         // S
+	strike := 50.0 + float64((r>>8)%100)  // K
+	rate := 0.01 + float64((r>>16)%5)/100 // r
+	vol := 0.10 + float64((r>>24)%40)/100 // sigma
+	tte := 0.25 + float64(r%16)/8         // T
+	var acc uint32
+	reps := n/64 + 1
+	for k := 0; k < reps; k++ {
+		d1 := (math.Log(spot/strike) + (rate+vol*vol/2)*tte) / (vol * math.Sqrt(tte))
+		d2 := d1 - vol*math.Sqrt(tte)
+		call := spot*cndf(d1) - strike*math.Exp(-rate*tte)*cndf(d2)
+		acc += digest(call)
+		vol += 1e-6 // perturb so reps are not folded away
+	}
+	return acc
+}
+
+// kernelSwaptions runs a miniature HJM Monte-Carlo path simulation
+// (PARSEC swaptions): forward-rate paths with deterministic pseudo-random
+// shocks, payoff accumulation.
+func kernelSwaptions(i, n int) uint32 {
+	seed := xorshift(uint32(i)*2654435761 + 1)
+	paths := n/32 + 1
+	var payoff float64
+	for p := 0; p < paths; p++ {
+		rate := 0.02
+		for step := 0; step < 8; step++ {
+			seed = xorshift(seed)
+			shock := (float64(seed%2000)/1000 - 1) * 0.002
+			rate += 0.0005 + shock
+		}
+		if rate > 0.02 {
+			payoff += rate - 0.02
+		}
+	}
+	return digest(payoff * 1e4)
+}
+
+// kernelFFT performs an in-place radix-2 butterfly pass over a small local
+// signal (SPLASH fft).
+func kernelFFT(i, n int) uint32 {
+	const size = 16
+	var re, im [size]float64
+	r := uint32(i + 7)
+	for k := 0; k < size; k++ {
+		r = xorshift(r)
+		re[k] = float64(r%1000) / 1000
+		im[k] = 0
+	}
+	reps := n/128 + 1
+	for rep := 0; rep < reps; rep++ {
+		for span := size / 2; span >= 1; span /= 2 {
+			for start := 0; start < size; start += 2 * span {
+				for k := 0; k < span; k++ {
+					angle := -math.Pi * float64(k) / float64(span)
+					wr, wi := math.Cos(angle), math.Sin(angle)
+					a, b := start+k, start+k+span
+					tr := re[a] - re[b]
+					ti := im[a] - im[b]
+					re[a] += re[b]
+					im[a] += im[b]
+					re[b] = tr*wr - ti*wi
+					im[b] = tr*wi + ti*wr
+				}
+			}
+		}
+	}
+	return digest(re[0]) ^ digest(im[size-1])
+}
+
+// kernelRadix sorts a small local array with LSD radix sort (SPLASH radix).
+func kernelRadix(i, n int) uint32 {
+	const size = 32
+	var keys, tmp [size]uint32
+	r := uint32(i)*747796405 + 1
+	for k := range keys {
+		r = xorshift(r)
+		keys[k] = r
+	}
+	reps := n/96 + 1
+	for rep := 0; rep < reps; rep++ {
+		for shift := 0; shift < 32; shift += 8 {
+			var count [256]int
+			for _, k := range keys {
+				count[(k>>shift)&0xff]++
+			}
+			pos := 0
+			var starts [256]int
+			for d := 0; d < 256; d++ {
+				starts[d] = pos
+				pos += count[d]
+			}
+			for _, k := range keys {
+				d := (k >> shift) & 0xff
+				tmp[starts[d]] = k
+				starts[d]++
+			}
+			keys = tmp
+		}
+	}
+	return keys[0] ^ keys[size-1] ^ keys[size/2]
+}
+
+// kernelLU eliminates one column block of a small dense matrix (SPLASH
+// lu_cb / lu_ncb).
+func kernelLU(i, n int) uint32 {
+	const dim = 8
+	var m [dim][dim]float64
+	r := uint32(i + 3)
+	for a := 0; a < dim; a++ {
+		for b := 0; b < dim; b++ {
+			r = xorshift(r)
+			m[a][b] = float64(r%1000)/100 + 1
+		}
+		m[a][a] += 10 // diagonally dominant: stable elimination
+	}
+	reps := n/160 + 1
+	var acc float64
+	for rep := 0; rep < reps; rep++ {
+		w := m
+		for p := 0; p < dim-1; p++ {
+			for a := p + 1; a < dim; a++ {
+				f := w[a][p] / w[p][p]
+				for b := p; b < dim; b++ {
+					w[a][b] -= f * w[p][b]
+				}
+			}
+		}
+		acc += w[dim-1][dim-1]
+	}
+	return digest(acc)
+}
+
+// kernelOcean relaxes a small 2D grid with a 5-point Jacobi stencil
+// (SPLASH ocean).
+func kernelOcean(i, n int) uint32 {
+	const dim = 12
+	var grid, next [dim][dim]float64
+	r := uint32(i + 11)
+	for a := 0; a < dim; a++ {
+		for b := 0; b < dim; b++ {
+			r = xorshift(r)
+			grid[a][b] = float64(r % 100)
+		}
+	}
+	sweeps := n/100 + 1
+	for s := 0; s < sweeps; s++ {
+		for a := 1; a < dim-1; a++ {
+			for b := 1; b < dim-1; b++ {
+				next[a][b] = 0.25 * (grid[a-1][b] + grid[a+1][b] + grid[a][b-1] + grid[a][b+1])
+			}
+		}
+		grid, next = next, grid
+	}
+	return digest(grid[dim/2][dim/2])
+}
+
+// kernelNBody accumulates gravitational forces over a particle subset
+// (SPLASH barnes / fmm: the force kernel without the tree).
+func kernelNBody(i, n int) uint32 {
+	const bodies = 8
+	var x, y, m [bodies]float64
+	r := uint32(i + 19)
+	for b := 0; b < bodies; b++ {
+		r = xorshift(r)
+		x[b] = float64(r % 1000)
+		r = xorshift(r)
+		y[b] = float64(r % 1000)
+		m[b] = 1 + float64(r%9)
+	}
+	reps := n/224 + 1
+	var fx, fy, pot float64
+	for rep := 0; rep < reps; rep++ {
+		// Net force on body 0 plus total potential energy; summing over
+		// all ordered pairs would cancel by symmetry.
+		for b := 1; b < bodies; b++ {
+			dx, dy := x[b]-x[0], y[b]-y[0]
+			d2 := dx*dx + dy*dy + 1
+			inv := m[0] * m[b] / (d2 * math.Sqrt(d2))
+			fx += dx * inv
+			fy += dy * inv
+		}
+		for a := 0; a < bodies; a++ {
+			for b := a + 1; b < bodies; b++ {
+				dx, dy := x[b]-x[a], y[b]-y[a]
+				pot -= m[a] * m[b] / math.Sqrt(dx*dx+dy*dy+1)
+			}
+		}
+	}
+	return digest(fx*1e3) ^ digest(fy*1e3) ^ digest(pot)
+}
+
+// kernelWater evaluates Lennard-Jones pair potentials over a molecule
+// neighborhood (SPLASH water_nsquared / water_spatial).
+func kernelWater(i, n int) uint32 {
+	const mols = 8
+	var px, py, pz [mols]float64
+	r := uint32(i + 23)
+	for m := 0; m < mols; m++ {
+		r = xorshift(r)
+		px[m] = float64(r%500) / 10
+		r = xorshift(r)
+		py[m] = float64(r%500) / 10
+		r = xorshift(r)
+		pz[m] = float64(r%500) / 10
+	}
+	reps := n/200 + 1
+	var energy float64
+	for rep := 0; rep < reps; rep++ {
+		for a := 0; a < mols; a++ {
+			for b := a + 1; b < mols; b++ {
+				dx, dy, dz := px[a]-px[b], py[a]-py[b], pz[a]-pz[b]
+				r2 := dx*dx + dy*dy + dz*dz + 0.5
+				inv6 := 1 / (r2 * r2 * r2)
+				energy += 4 * (inv6*inv6 - inv6)
+			}
+		}
+	}
+	return digest(energy * 1e3)
+}
+
+// kernelStreamcluster assigns one point to the nearest of k centers
+// (PARSEC streamcluster).
+func kernelStreamcluster(i, n int) uint32 {
+	const dims = 8
+	const centers = 4
+	var point [dims]float64
+	var cs [centers][dims]float64
+	r := uint32(i + 29)
+	for d := 0; d < dims; d++ {
+		r = xorshift(r)
+		point[d] = float64(r % 100)
+	}
+	for c := 0; c < centers; c++ {
+		for d := 0; d < dims; d++ {
+			r = xorshift(r)
+			cs[c][d] = float64(r % 100)
+		}
+	}
+	reps := n/72 + 1
+	best := 0
+	bestD := math.MaxFloat64
+	for rep := 0; rep < reps; rep++ {
+		bestD = math.MaxFloat64
+		for c := 0; c < centers; c++ {
+			var d2 float64
+			for d := 0; d < dims; d++ {
+				diff := point[d] - cs[c][d]
+				d2 += diff * diff
+			}
+			if d2 < bestD {
+				bestD = d2
+				best = c
+			}
+		}
+		point[0] += 1e-9
+	}
+	return uint32(best)<<28 ^ digest(bestD)
+}
+
+// kernelDedup chunkifies a pseudo-random buffer with a rolling hash and
+// fingerprints each chunk (PARSEC dedup's pipeline payload).
+func kernelDedup(i, n int) uint32 {
+	size := n/2 + 64
+	if size > 1024 {
+		size = 1024
+	}
+	r := uint32(i)*0x9e3779b9 + 1
+	var rolling, fp, chunks uint32
+	prev := uint32(0)
+	for b := 0; b < size; b++ {
+		r = xorshift(r)
+		octet := r & 0xff
+		rolling = rolling<<1 + octet
+		fp = fp*31 + octet
+		if rolling&0x3f == 0x3f { // chunk boundary
+			chunks++
+			prev ^= fp
+			fp = 0
+		}
+	}
+	return prev ^ chunks<<16
+}
+
+// kernelFerret computes an L2 feature distance (PARSEC ferret's similarity
+// search payload).
+func kernelFerret(i, n int) uint32 {
+	const dims = 16
+	var a, b [dims]float64
+	r := uint32(i + 31)
+	for d := 0; d < dims; d++ {
+		r = xorshift(r)
+		a[d] = float64(r % 256)
+		r = xorshift(r)
+		b[d] = float64(r % 256)
+	}
+	reps := n/48 + 1
+	var dist float64
+	for rep := 0; rep < reps; rep++ {
+		dist = 0
+		for d := 0; d < dims; d++ {
+			diff := a[d] - b[d]
+			dist += diff * diff
+		}
+		a[0] += 1e-9
+	}
+	return digest(math.Sqrt(dist))
+}
+
+// kernelBodytrack updates particle-filter weights (PARSEC bodytrack).
+func kernelBodytrack(i, n int) uint32 {
+	const particles = 16
+	var w [particles]float64
+	r := uint32(i + 37)
+	for p := 0; p < particles; p++ {
+		r = xorshift(r)
+		w[p] = float64(r%1000) / 1000
+	}
+	reps := n/120 + 1
+	for rep := 0; rep < reps; rep++ {
+		var sum float64
+		for p := 0; p < particles; p++ {
+			err := w[p] - 0.5
+			w[p] = math.Exp(-err * err * 4)
+			sum += w[p]
+		}
+		for p := 0; p < particles; p++ {
+			w[p] /= sum
+		}
+	}
+	return digest(w[0]*1e3) ^ digest(w[particles-1]*1e3)
+}
+
+// kernelRaytrace intersects a ray with a sphere field (PARSEC raytrace and
+// SPLASH raytrace).
+func kernelRaytrace(i, n int) uint32 {
+	r := uint32(i + 41)
+	reps := n/56 + 1
+	var hits uint32
+	var depth float64
+	for rep := 0; rep < reps; rep++ {
+		r = xorshift(r)
+		ox, oy := float64(r%100)/10, float64((r>>8)%100)/10
+		dx, dy, dz := 0.3, 0.2, 1.0
+		for s := 0; s < 4; s++ {
+			cx, cy, cz := float64(5+s*3), float64(4+s*2), 20.0
+			// |o + t d - c|^2 = r^2
+			lx, ly, lz := cx-ox, cy-oy, cz
+			tca := lx*dx + ly*dy + lz*dz
+			d2 := lx*lx + ly*ly + lz*lz - tca*tca
+			const rad2 = 9
+			if d2 < rad2 {
+				hits++
+				depth += tca - math.Sqrt(rad2-d2)
+			}
+		}
+	}
+	return hits ^ digest(depth)
+}
+
+// kernelVolrend marches a ray through a procedural density volume (SPLASH
+// volrend).
+func kernelVolrend(i, n int) uint32 {
+	r := uint32(i + 43)
+	steps := n/24 + 8
+	x := float64(r%64) / 8
+	y := float64((r>>8)%64) / 8
+	var acc, trans float64
+	trans = 1
+	for s := 0; s < steps; s++ {
+		z := float64(s) / 4
+		density := 0.5 + 0.5*math.Sin(x*0.7+z)*math.Cos(y*0.9-z*0.5)
+		acc += trans * density
+		trans *= 1 - density*0.1
+		if trans < 1e-3 {
+			break
+		}
+	}
+	return digest(acc * 100)
+}
+
+// kernelConvolve applies a 3x3 convolution to an image tile (PARSEC vips /
+// x264's filtering and SAD work).
+func kernelConvolve(i, n int) uint32 {
+	const dim = 10
+	var img [dim][dim]int32
+	r := uint32(i + 47)
+	for a := 0; a < dim; a++ {
+		for b := 0; b < dim; b++ {
+			r = xorshift(r)
+			img[a][b] = int32(r % 256)
+		}
+	}
+	kern := [3][3]int32{{1, 2, 1}, {2, 4, 2}, {1, 2, 1}}
+	reps := n/80 + 1
+	var acc int32
+	for rep := 0; rep < reps; rep++ {
+		acc = 0
+		for a := 1; a < dim-1; a++ {
+			for b := 1; b < dim-1; b++ {
+				var v int32
+				for ka := 0; ka < 3; ka++ {
+					for kb := 0; kb < 3; kb++ {
+						v += kern[ka][kb] * img[a+ka-1][b+kb-1]
+					}
+				}
+				acc += v >> 4
+			}
+		}
+	}
+	return uint32(acc)
+}
+
+// kernelFreqmine counts itemset intersections over bitsets (PARSEC
+// freqmine's FP-growth counting).
+func kernelFreqmine(i, n int) uint32 {
+	r := uint32(i + 53)
+	reps := n/40 + 1
+	var support uint32
+	for rep := 0; rep < reps; rep++ {
+		r = xorshift(r)
+		a := uint64(r) | uint64(xorshift(r))<<32
+		r = xorshift(r)
+		b := uint64(r) | uint64(xorshift(r))<<32
+		x := a & b
+		// popcount
+		for x != 0 {
+			x &= x - 1
+			support++
+		}
+	}
+	return support
+}
+
+// kernelFacesim relaxes a 1D spring-mass chain (PARSEC facesim's implicit
+// solver flavor).
+func kernelFacesim(i, n int) uint32 {
+	const nodes = 16
+	var pos, vel [nodes]float64
+	r := uint32(i + 59)
+	for k := 0; k < nodes; k++ {
+		r = xorshift(r)
+		pos[k] = float64(k) + float64(r%100)/1000
+	}
+	steps := n/112 + 1
+	for s := 0; s < steps; s++ {
+		for k := 1; k < nodes-1; k++ {
+			force := (pos[k-1] - pos[k]) + (pos[k+1] - pos[k])
+			vel[k] = 0.9*vel[k] + 0.1*force
+		}
+		for k := 1; k < nodes-1; k++ {
+			pos[k] += vel[k] * 0.1
+		}
+	}
+	return digest(pos[nodes/2] * 1e3)
+}
+
+// kernelRadiosity computes point-to-patch form factors (SPLASH radiosity).
+func kernelRadiosity(i, n int) uint32 {
+	r := uint32(i + 61)
+	reps := n/36 + 1
+	var ff float64
+	for rep := 0; rep < reps; rep++ {
+		r = xorshift(r)
+		dist2 := 1 + float64(r%1000)/10
+		cosA := float64(r%90+1) / 100
+		cosB := float64((r>>8)%90+1) / 100
+		area := 1 + float64((r>>16)%10)
+		ff += cosA * cosB * area / (math.Pi * dist2)
+	}
+	return digest(ff * 1e3)
+}

@@ -1,0 +1,138 @@
+package mvee
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// runP runs a program through the public API with a deadlock guard.
+func runP(t *testing.T, opts Options, prog Program) (*Session, *Result) {
+	t.Helper()
+	s := NewSession(opts, prog)
+	done := make(chan *Result, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case res := <-done:
+		return s, res
+	case <-time.After(60 * time.Second):
+		s.Kill()
+		t.Fatal("deadlock")
+		return nil, nil
+	}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog := Program{Name: "api", Main: func(th *Thread) {
+		mu := NewMutex(th)
+		n := 0
+		h := th.Spawn(func(th *Thread) {
+			for i := 0; i < 100; i++ {
+				mu.Lock(th)
+				n++
+				mu.Unlock(th)
+			}
+		})
+		for i := 0; i < 100; i++ {
+			mu.Lock(th)
+			n++
+			mu.Unlock(th)
+		}
+		h.Join()
+		if !WriteFile(th, "/api-out", []byte(fmt.Sprintf("%d", n))) {
+			t.Error("WriteFile failed")
+		}
+	}}
+	s, res := runP(t, Options{Variants: 2, Agent: WallOfClocks, ASLR: true}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("divergence: %v", res.Divergence)
+	}
+	got, ok := s.Kernel().ReadFile("/api-out")
+	if !ok || string(got) != "200" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestPublicReadFileReplicates(t *testing.T) {
+	kern := NewKernel()
+	kern.WriteFile("/seed", []byte("hello"))
+	prog := Program{Name: "readfile", Main: func(th *Thread) {
+		data, ok := ReadFile(th, "/seed", 64)
+		if !ok {
+			t.Error("ReadFile failed")
+			return
+		}
+		WriteFile(th, "/echo", data)
+	}}
+	s, res := runP(t, Options{Variants: 3, Agent: WallOfClocks, ASLR: true, Kernel: kern}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("divergence: %v", res.Divergence)
+	}
+	got, _ := s.Kernel().ReadFile("/echo")
+	if string(got) != "hello" {
+		t.Fatalf("echo = %q", got)
+	}
+}
+
+func TestPublicNowIsReplicatedAndMonotonic(t *testing.T) {
+	prog := Program{Name: "now", Main: func(th *Thread) {
+		t1 := Now(th)
+		t2 := Now(th)
+		if t2 <= t1 {
+			t.Errorf("Now not increasing: %d then %d", t1, t2)
+		}
+		WriteFile(th, "/now", []byte(fmt.Sprintf("%d-%d", t1, t2)))
+	}}
+	_, res := runP(t, Options{Variants: 2, Agent: WallOfClocks}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("timestamps differ across variants: %v", res.Divergence)
+	}
+}
+
+func TestPublicAllPrimitiveConstructors(t *testing.T) {
+	prog := Program{Name: "prims", Main: func(th *Thread) {
+		mu := NewMutex(th)
+		sl := NewSpinLock(th)
+		cv := NewCond(th)
+		bar := NewBarrier(th, 1)
+		sem := NewSemaphore(th, 1)
+		rw := NewRWMutex(th)
+		once := NewOnce(th)
+		wg := NewWaitGroup(th)
+
+		mu.Lock(th)
+		mu.Unlock(th)
+		sl.Lock(th)
+		sl.Unlock(th)
+		_ = cv
+		bar.Wait(th)
+		sem.Acquire(th)
+		sem.Release(th)
+		rw.RLock(th)
+		rw.RUnlock(th)
+		n := 0
+		once.Do(th, func() { n++ })
+		once.Do(th, func() { n++ })
+		wg.Add(th, 1)
+		wg.Done(th)
+		wg.Wait(th)
+		WriteFile(th, "/prims", []byte(fmt.Sprintf("%d", n)))
+	}}
+	s, res := runP(t, Options{Variants: 2, Agent: TotalOrder, ASLR: true}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("divergence: %v", res.Divergence)
+	}
+	got, _ := s.Kernel().ReadFile("/prims")
+	if string(got) != "1" {
+		t.Fatalf("once ran %s times", got)
+	}
+}
+
+func TestPublicPolicyConstants(t *testing.T) {
+	if StrictLockstep == SecuritySensitive {
+		t.Fatal("policies collide")
+	}
+	if NoAgent == WallOfClocks || TotalOrder == PartialOrder {
+		t.Fatal("agent kinds collide")
+	}
+}
