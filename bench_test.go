@@ -13,14 +13,19 @@ package mvee
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dmt"
+	"repro/internal/fleet"
 	"repro/internal/monitor"
+	"repro/internal/variant"
+	"repro/internal/webserver"
 	"repro/internal/workload"
 )
 
@@ -160,6 +165,130 @@ func BenchmarkNginxThroughput(b *testing.B) {
 	b.ReportMetric(native, "native-req/s")
 	b.ReportMetric(mv, "mvee-req/s")
 	b.ReportMetric(overhead*100, "overhead-%")
+}
+
+// fleetPools are the pool sizes the fleet benchmarks sweep.
+var fleetPools = []int{1, 4, 16}
+
+// startBenchFleet builds a warm fleet of `pool` webserver sessions.
+func startBenchFleet(b *testing.B, pool int, vulnerable bool) *fleet.Fleet {
+	b.Helper()
+	cfg := webserver.Config{Port: 8080, PoolThreads: 4, InstrumentCustomSync: true,
+		Vulnerable: vulnerable, PageSize: 1024}
+	f, err := fleet.New(webserver.FleetConfig(cfg, core.Options{
+		Variants: 2, Agent: agent.WallOfClocks, ASLR: true, DCL: true, Seed: 5, MaxThreads: 64,
+	}, pool))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// driveFleet pushes n requests through the gateway with `clients`
+// concurrent submitters and returns how many succeeded.
+func driveFleet(f *fleet.Fleet, clients, n int) uint64 {
+	var wg sync.WaitGroup
+	per := n / clients
+	if per == 0 {
+		per = 1
+	}
+	issued := 0
+	results := make(chan int, clients)
+	for c := 0; c < clients && issued < n; c++ {
+		take := per
+		if c == clients-1 {
+			take = n - issued
+		}
+		issued += take
+		wg.Add(1)
+		go func(take int) {
+			defer wg.Done()
+			good := 0
+			for r := 0; r < take; r++ {
+				if _, err := f.Do([]byte("GET /")); err == nil {
+					good++
+				}
+			}
+			results <- good
+		}(take)
+	}
+	wg.Wait()
+	close(results)
+	total := uint64(0)
+	for g := range results {
+		total += uint64(g)
+	}
+	return total
+}
+
+// BenchmarkFleetThroughput measures gateway throughput over pool sizes
+// 1/4/16 — the scaling curve from one MVEE session to a serving pool.
+// Each op is one request through the gateway (16 concurrent clients).
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, pool := range fleetPools {
+		pool := pool
+		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+			f := startBenchFleet(b, pool, false)
+			defer f.Close()
+			b.ResetTimer()
+			start := time.Now()
+			good := driveFleet(f, 16, b.N)
+			el := time.Since(start).Seconds()
+			b.StopTimer()
+			if el > 0 {
+				b.ReportMetric(float64(good)/el, "req/s")
+			}
+			s := f.Stats()
+			b.ReportMetric(float64(s.Latency.Quantile(0.5)), "p50-ns")
+			b.ReportMetric(float64(s.Latency.Quantile(0.99)), "p99-ns")
+		})
+	}
+}
+
+// BenchmarkFleetDivergenceChurn measures throughput while an adversary
+// keeps burning sessions: a layout-targeted exploit payload is injected
+// every 25ms, so the pool continuously quarantines and respawns members
+// under load. The interesting metrics are the surviving request rate and
+// the recycle volume.
+func BenchmarkFleetDivergenceChurn(b *testing.B) {
+	for _, pool := range fleetPools {
+		pool := pool
+		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+			f := startBenchFleet(b, pool, true)
+			defer f.Close()
+			gadget := variant.NewSpace(0, variant.Options{ASLR: true, DCL: true, Seed: 5}).AllocCode(64)
+			payload := []byte(fmt.Sprintf("POST /upload %x", gadget))
+			stop := make(chan struct{})
+			var attackWG sync.WaitGroup
+			attackWG.Add(1)
+			go func() {
+				defer attackWG.Done()
+				tick := time.NewTicker(25 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						f.Do(payload)
+					}
+				}
+			}()
+			b.ResetTimer()
+			start := time.Now()
+			good := driveFleet(f, 16, b.N)
+			el := time.Since(start).Seconds()
+			b.StopTimer()
+			close(stop)
+			attackWG.Wait()
+			if el > 0 {
+				b.ReportMetric(float64(good)/el, "req/s")
+			}
+			s := f.Stats()
+			b.ReportMetric(float64(s.Recycled), "recycled")
+			b.ReportMetric(float64(s.Divergences), "divergences")
+		})
+	}
 }
 
 // BenchmarkAgentMicro measures the raw per-op cost of each agent with 1

@@ -1,14 +1,18 @@
 // Quickstart: run a small multithreaded program as two diversified
 // variants in lockstep, first with the wall-of-clocks synchronization agent
 // (no divergence), then demonstrate that the monitor catches a variant
-// whose output depends on its (randomized) address-space layout.
+// whose output depends on its (randomized) address-space layout, and
+// finally scale the same protection out: a fleet of MVEE sessions serving
+// requests behind a gateway.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	mvee "repro"
+	"repro/internal/webserver"
 )
 
 func main() {
@@ -59,5 +63,27 @@ func main() {
 	if res.Divergence == nil {
 		log.Fatal("expected the monitor to catch the layout-dependent output")
 	}
-	fmt.Printf("leaky program: detected as expected:\n  %v\n", res.Divergence)
+	fmt.Printf("leaky program: detected as expected:\n  %v\n\n", res.Divergence)
+
+	// Serving shape: the same lockstep protection behind a gateway. A
+	// fleet runs a pool of MVEE sessions of a server program; requests
+	// fan over the pool, and a diverged session would be quarantined and
+	// hot-replaced while the rest keep serving.
+	pool, err := mvee.NewFleet(webserver.FleetConfig(
+		webserver.Config{Port: 8080, PoolThreads: 4, InstrumentCustomSync: true, PageSize: 512},
+		mvee.Options{Variants: 2, Agent: mvee.WallOfClocks, ASLR: true, DCL: true, Seed: 1},
+		2, // pool size
+	))
+	if err != nil {
+		log.Fatalf("fleet: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := pool.Do([]byte("GET /")); err != nil {
+			log.Fatalf("fleet request %d: %v", i, err)
+		}
+	}
+	s := pool.Stats()
+	pool.Close()
+	fmt.Printf("fleet: %d requests over 2 sessions, p99 latency %v, %d divergences\n",
+		s.Served, time.Duration(s.Latency.Quantile(0.99)), s.Divergences)
 }

@@ -7,14 +7,22 @@
 //     layout: against a single variant it succeeds; against two variants
 //     the monitor detects divergence and shuts the server down before the
 //     leaked data escapes.
+//  3. Scale out: serve the same workload from a FLEET of MVEE sessions
+//     behind a gateway, fire the attack mid-traffic, and watch the fleet
+//     quarantine the one diverged session, hot-replace it with a
+//     re-randomized one, and keep serving — the same payload is then
+//     harmless against the replacement.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	mvee "repro"
+	"repro/internal/fleet"
 	"repro/internal/variant"
 	"repro/internal/webserver"
 )
@@ -83,4 +91,77 @@ func main() {
 	} else {
 		fmt.Println("=> attack was not detected (unexpected)")
 	}
+
+	// 3. The fleet: a pool of 4 MVEE sessions behind a gateway, attacked
+	// mid-traffic. One session burns; the pool keeps serving.
+	fmt.Println("\n== the attack against a FLEET of 4 MVEE sessions ==")
+	pool, err := mvee.NewFleet(webserver.FleetConfig(
+		webserver.Config{Port: 8084, PoolThreads: 4, InstrumentCustomSync: true, Vulnerable: true},
+		mvee.Options{Variants: 2, Agent: mvee.WallOfClocks, ASLR: true, DCL: true, Seed: seed, MaxThreads: 64},
+		4,
+	))
+	if err != nil {
+		fmt.Println("fleet failed to start:", err)
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 25; r++ {
+				pool.Do([]byte("GET /"))
+			}
+		}()
+	}
+	payload := []byte(fmt.Sprintf("POST /upload %x", gadget))
+	fresp, ferr := pool.Do(payload)
+	fmt.Printf("attack response: %q err=%v\n", fresp, ferr)
+	wg.Wait()
+	for _, q := range pool.Quarantined() {
+		fmt.Printf("=> QUARANTINED slot %d (served %d requests before divergence):\n   %v\n",
+			q.Slot, q.Served, q.Divergence)
+	}
+
+	// Each exploit burns at most one session, and every replacement is
+	// re-randomized. Keep replaying the same payload until every
+	// original-layout session has been recycled (a replay that lands on
+	// a replacement is already benign); then the leaked address is
+	// garbage in EVERY variant — an error page, never a divergence.
+	waitHealthy := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for pool.Stats().Healthy < 4 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	originals := func() (n int) {
+		for _, m := range pool.Members() {
+			if m.Gen == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for round := 2; originals() > 0; round++ {
+		waitHealthy()
+		fresp, ferr = pool.Do(payload)
+		switch {
+		case errors.Is(ferr, fleet.ErrNoHealthyMember) || errors.Is(ferr, fleet.ErrClosed):
+			fmt.Printf("replay %d: pool busy recycling, retrying\n", round)
+		case ferr != nil:
+			// The member died mid-request: this payload burned it. (The
+			// slot swap lands asynchronously, so don't quote a
+			// remaining-originals count here — it would lag by one.)
+			fmt.Printf("replay %d: burned one more original-layout session\n", round)
+		default:
+			fmt.Printf("replay %d: landed on a re-randomized session — benign %q\n", round, fresp)
+		}
+	}
+	waitHealthy()
+	fresp, ferr = pool.Do(payload)
+	fmt.Printf("all original layouts recycled; the same payload is now harmless: %q err=%v\n", fresp, ferr)
+	stats := pool.Stats()
+	fmt.Printf("fleet served %d requests, %d divergence(s) quarantined, %d session(s) recycled, %d healthy\n",
+		stats.Served, stats.Divergences, stats.Recycled, stats.Healthy)
+	pool.Close()
 }

@@ -117,8 +117,24 @@ type Session struct {
 	vars  []*variantState
 	start time.Time
 
+	// Lifecycle: Start launches the variants exactly once; done closes
+	// after every variant thread unwound and result is populated.
+	startOnce sync.Once
+	done      chan struct{}
+	result    *Result
+	hooks     hooks
+
 	panicMu  sync.Mutex
 	panicVal any // first program panic, if any
+}
+
+// hooks are the session-lifecycle callbacks. They must be registered
+// before Start; registration is not synchronized against a running
+// session.
+type hooks struct {
+	start      []func()
+	finish     []func(*Result)
+	divergence []func(*monitor.Divergence)
 }
 
 // variantState is the per-variant runtime: its address space, kernel
@@ -151,7 +167,7 @@ func NewSession(opts Options, prog Program) *Session {
 	if kern == nil {
 		kern = kernel.New()
 	}
-	s := &Session{opts: opts, prog: prog, kern: kern}
+	s := &Session{opts: opts, prog: prog, kern: kern, done: make(chan struct{})}
 
 	procs := make([]*kernel.Proc, opts.Variants)
 	s.vars = make([]*variantState, opts.Variants)
@@ -208,14 +224,38 @@ func NewSession(opts Options, prog Program) *Session {
 		}
 	}
 	// Teardown: when the monitor kills the session, stop the agent
-	// exchange and release futex waiters so every vthread unwinds.
+	// exchange and release futex waiters so every vthread unwinds. If the
+	// kill was a divergence, notify the divergence hooks immediately —
+	// before the variants finish unwinding — so an embedding pool can stop
+	// routing work to this session as early as possible.
 	s.mon.OnKill(func() {
 		s.ex.Stop()
 		for _, vs := range s.vars {
 			vs.futex.InterruptAll()
 		}
+		if d := s.mon.Divergence(); d != nil {
+			for _, f := range s.hooks.divergence {
+				f(d)
+			}
+		}
 	})
 	return s
+}
+
+// OnStart registers f to run on the Start goroutine just before the
+// variants launch. Register hooks before calling Start or Run.
+func (s *Session) OnStart(f func()) { s.hooks.start = append(s.hooks.start, f) }
+
+// OnFinish registers f to run with the session result once every variant
+// thread has finished, before Wait unblocks.
+func (s *Session) OnFinish(f func(*Result)) { s.hooks.finish = append(s.hooks.finish, f) }
+
+// OnDivergence registers f to run as soon as the monitor kills the session
+// because the variants diverged — that is, while the variants are still
+// unwinding, ahead of OnFinish. External kills (Session.Kill) do not fire
+// it.
+func (s *Session) OnDivergence(f func(*monitor.Divergence)) {
+	s.hooks.divergence = append(s.hooks.divergence, f)
 }
 
 // agentKind degrades the agent to None for single-variant sessions: with no
@@ -238,15 +278,26 @@ func (s *Session) Monitor() *monitor.Monitor { return s.mon }
 // exchange publishes its sync buffers (§4.5).
 func (s *Session) IPC() *shm.Registry { return s.ipc }
 
-// Run executes the program in all variants and blocks until every variant
-// thread has finished or the session was killed.
-func (s *Session) Run() *Result {
-	s.start = time.Now()
-	for _, vs := range s.vars {
-		vs.wg.Add(1)
-		t := &Thread{ID: 0, sess: s, vs: vs}
-		go t.run(s.prog.Main)
-	}
+// Start launches the program in all variants and returns immediately;
+// Wait collects the outcome. Calling Start more than once is a no-op.
+func (s *Session) Start() {
+	s.startOnce.Do(func() {
+		s.start = time.Now()
+		for _, f := range s.hooks.start {
+			f()
+		}
+		for _, vs := range s.vars {
+			vs.wg.Add(1)
+			t := &Thread{ID: 0, sess: s, vs: vs}
+			go t.run(s.prog.Main)
+		}
+		go s.collect()
+	})
+}
+
+// collect joins every variant, assembles the Result, fires the finish
+// hooks, and releases Wait.
+func (s *Session) collect() {
 	for _, vs := range s.vars {
 		vs.wg.Wait()
 	}
@@ -273,7 +324,26 @@ func (s *Session) Run() *Result {
 			Syscalls:   s.mon.StopCapture(),
 		}
 	}
-	return res
+	s.result = res
+	for _, f := range s.hooks.finish {
+		f(res)
+	}
+	close(s.done)
+}
+
+// Wait blocks until every variant thread has finished or the session was
+// killed, then returns the result. It may be called from any number of
+// goroutines; all see the same Result.
+func (s *Session) Wait() *Result {
+	<-s.done
+	return s.result
+}
+
+// Run executes the program in all variants and blocks until every variant
+// thread has finished or the session was killed.
+func (s *Session) Run() *Result {
+	s.Start()
+	return s.Wait()
 }
 
 // Kill aborts the session from outside (e.g. test timeouts).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -514,5 +515,64 @@ func TestWallCollisionsStillCorrect(t *testing.T) {
 				t.Fatalf("sum = %q", got)
 			}
 		})
+	}
+}
+
+// TestSessionLifecycleHooks exercises the Start/Wait split and every
+// lifecycle callback: OnStart before the variants run, OnFinish with the
+// result before Wait unblocks, and OnDivergence only on divergence.
+func TestSessionLifecycleHooks(t *testing.T) {
+	var order []string
+	var mu sync.Mutex
+	log := func(ev string) { mu.Lock(); order = append(order, ev); mu.Unlock() }
+
+	ok := NewSession(Options{Variants: 2, Agent: agent.WallOfClocks, ASLR: true, Seed: 1},
+		Program{Name: "ok", Main: func(th *Thread) {
+			th.Syscall(kernel.SysGettimeofday, [6]uint64{}, nil)
+		}})
+	ok.OnStart(func() { log("start") })
+	ok.OnFinish(func(r *Result) {
+		if r == nil {
+			t.Error("OnFinish got nil result")
+		}
+		log("finish")
+	})
+	ok.OnDivergence(func(*monitor.Divergence) { log("divergence") })
+	ok.Start()
+	ok.Start() // idempotent
+	res := ok.Wait()
+	if res2 := ok.Wait(); res2 != res {
+		t.Fatal("Wait not stable across calls")
+	}
+	if res.Divergence != nil {
+		t.Fatalf("clean program diverged: %v", res.Divergence)
+	}
+	mu.Lock()
+	got := fmt.Sprint(order)
+	mu.Unlock()
+	if got != "[start finish]" {
+		t.Fatalf("hook order = %v", got)
+	}
+
+	// A diverging program fires OnDivergence (before OnFinish).
+	div := NewSession(Options{Variants: 2, Agent: agent.WallOfClocks, ASLR: true, Seed: 1},
+		Program{Name: "leaky", Main: func(th *Thread) {
+			addr := th.DataAddr(8) // layout-dependent under ASLR
+			fd := th.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/leak")).Val
+			th.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte(fmt.Sprintf("%x", addr)))
+		}})
+	fired := make(chan *monitor.Divergence, 1)
+	div.OnDivergence(func(d *monitor.Divergence) { fired <- d })
+	res = div.Run()
+	if res.Divergence == nil {
+		t.Fatal("leaky program did not diverge")
+	}
+	select {
+	case d := <-fired:
+		if d != res.Divergence {
+			t.Fatalf("hook saw %v, result has %v", d, res.Divergence)
+		}
+	default:
+		t.Fatal("OnDivergence hook never fired")
 	}
 }

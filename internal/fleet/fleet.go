@@ -1,0 +1,478 @@
+// Package fleet runs a pool of concurrent MVEE sessions behind a request
+// gateway, turning the single-session reproduction (one mvee.Run, one
+// divergence kills everything) into a serving system: N sessions of the
+// same server program run side by side, each with its own simulated kernel
+// and its own set of lockstepped variants, and a gateway fans incoming
+// requests over the pool.
+//
+// The fleet owns the whole session lifecycle. Members are spawned warm
+// (the gateway only dispatches to a member once its listener answers),
+// requests are dispatched round-robin or least-loaded, the gateway queue
+// is bounded so overload surfaces as backpressure instead of unbounded
+// memory growth, and Close drains gracefully. When the monitor kills a
+// session because its variants diverged — an attack, or a §5.5-style
+// uninstrumented synchronization primitive — the fleet quarantines the
+// session (capturing the monitor.Divergence and the session's forensic
+// counters, plus the full execution trace when Config.Forensics is set)
+// and hot-replaces it with a fresh session so the pool keeps serving. The
+// replacement is re-randomized: its diversity seed differs from the
+// quarantined session's, so a layout leak that let an attacker divert one
+// session is useless against its successor.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/monitor"
+	"repro/internal/stats"
+)
+
+// Dispatch selects how the gateway spreads requests over healthy members.
+type Dispatch int
+
+const (
+	// RoundRobin cycles through the healthy members in slot order.
+	RoundRobin Dispatch = iota
+	// LeastLoaded picks the healthy member with the fewest in-flight
+	// requests.
+	LeastLoaded
+)
+
+// Config shapes a fleet.
+type Config struct {
+	// Size is the number of concurrent MVEE sessions in the pool (>= 1).
+	Size int
+	// Session is the per-session MVEE template (variants, agent, policy,
+	// diversity). Session.Seed seeds slot 0's initial layout; respawned
+	// sessions are re-randomized (see recycle.go). Session.Kernel must be
+	// nil: every member owns a private kernel, which is what lets all
+	// members listen on the same Port without colliding.
+	Session core.Options
+	// Program is the server program every session runs. It must listen on
+	// Port and serve one response per accepted connection.
+	Program core.Program
+	// Port is the port the program listens on inside each session kernel.
+	Port uint16
+	// Dispatch selects the member-selection policy.
+	Dispatch Dispatch
+	// QueueCap bounds the gateway queue; a full queue rejects TryDo with
+	// ErrOverloaded and blocks Do (backpressure). Default 256.
+	QueueCap int
+	// Workers is the number of gateway goroutines draining the queue.
+	// Default 2*Size.
+	Workers int
+	// Retries is how many alternate members a request is re-dispatched to
+	// when connecting to a member fails (a member that died between
+	// selection and connect). Requests that already wrote bytes are never
+	// retried. 0 means the default (Size-1); negative disables retries.
+	Retries int
+	// MaxResponse caps the response read buffer. Default 64 KiB.
+	MaxResponse int
+	// SpawnTimeout bounds how long a spawned member may take to start
+	// listening, and how long a request waits for a healthy member while
+	// the pool is recycling. Default 10s.
+	SpawnTimeout time.Duration
+	// RequestTimeout bounds one request's write+read against a member; a
+	// member that accepts a connection and then hangs without diverging
+	// would otherwise pin a gateway worker (and wedge Close) forever.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the per-member session join during Close;
+	// members still running after it are killed. Default 30s.
+	DrainTimeout time.Duration
+	// MaxQuarantined caps the retained quarantine records (oldest are
+	// dropped first) so a long-lived pool under divergence churn does
+	// not grow without bound — each record can pin a full execution
+	// trace under Forensics. The divergence/crash/recycle counters keep
+	// counting past the cap. Default 64.
+	MaxQuarantined int
+	// Forensics records every session (core.Options.Record) so a
+	// quarantined session's Quarantine carries the full execution trace,
+	// replayable offline with core Replay. Recording forces the
+	// wall-of-clocks agent and costs memory proportional to session
+	// activity; leave it off for long-lived pools.
+	Forensics bool
+}
+
+func (c *Config) fill() error {
+	if c.Size <= 0 {
+		c.Size = 1
+	}
+	if c.Program.Main == nil {
+		return errors.New("fleet: Config.Program is required")
+	}
+	if c.Port == 0 {
+		return errors.New("fleet: Config.Port is required")
+	}
+	if c.Session.Kernel != nil {
+		return errors.New("fleet: Session.Kernel must be nil; every member owns a private kernel")
+	}
+	if c.Session.Replay != nil {
+		return errors.New("fleet: replay sessions cannot serve in a fleet")
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2 * c.Size
+	}
+	switch {
+	case c.Retries == 0:
+		c.Retries = c.Size - 1
+	case c.Retries < 0:
+		c.Retries = 0
+	case c.Retries > c.Size-1:
+		c.Retries = c.Size - 1
+	}
+	if c.MaxResponse <= 0 {
+		c.MaxResponse = 64 << 10
+	}
+	if c.SpawnTimeout <= 0 {
+		c.SpawnTimeout = 10 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxQuarantined <= 0 {
+		c.MaxQuarantined = 64
+	}
+	// Forensics implies recording; a caller-set Session.Record is
+	// honored either way (the trace then lands in Quarantine.Trace).
+	c.Session.Record = c.Session.Record || c.Forensics
+	return nil
+}
+
+// member is one pool slot's current session.
+type member struct {
+	slot int   // stable pool position
+	gen  int   // respawn generation of this slot (0 = initial)
+	seed int64 // diversity seed this session was built with
+
+	sess     *core.Session
+	healthy  atomic.Bool  // accepts dispatch
+	inflight atomic.Int64 // requests currently being served
+	served   atomic.Uint64
+	ready    chan struct{} // closed once the listener answered (or startup failed)
+	done     chan struct{} // closed once the session finished
+	res      *core.Result  // valid after done
+}
+
+// Fleet is a pool of MVEE sessions behind a gateway. Create with New.
+type Fleet struct {
+	cfg   Config
+	start time.Time
+
+	mu    sync.RWMutex // guards slots
+	slots []*member
+	rr    atomic.Uint64 // round-robin cursor
+
+	queue chan *pending
+	quit  chan struct{}
+	// closeMu serializes request enqueue against Close: submitters hold
+	// the read side across their closed-check + enqueue, so once Close
+	// has flipped closed under the write side, nothing can slip into the
+	// queue behind the exiting workers.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+	wg      sync.WaitGroup // gateway workers
+	liveWG  sync.WaitGroup // member lifecycle goroutines
+
+	shards []latencyShard // one per worker; merged by Stats
+
+	quarMu      sync.Mutex
+	quarantined []Quarantine
+	divergences atomic.Uint64
+	crashes     atomic.Uint64
+	recycled    atomic.Uint64
+
+	served   atomic.Uint64
+	errors   atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// latencyShard is one gateway worker's latency histogram. The lock is
+// uncontended in steady state (the owner writes, Stats reads rarely).
+type latencyShard struct {
+	mu sync.Mutex
+	h  stats.Histogram
+}
+
+// New builds the pool, spawns every member, waits until all of them are
+// serving, and starts the gateway workers.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		start:  time.Now(),
+		slots:  make([]*member, cfg.Size),
+		queue:  make(chan *pending, cfg.QueueCap),
+		quit:   make(chan struct{}),
+		shards: make([]latencyShard, cfg.Workers),
+	}
+	f.mu.Lock()
+	for slot := range f.slots {
+		m := f.newMember(slot, 0)
+		f.slots[slot] = m
+		f.launch(m)
+	}
+	f.mu.Unlock()
+	for _, m := range f.slots {
+		<-m.ready
+	}
+	for _, m := range f.slots {
+		if !m.healthy.Load() {
+			f.Close()
+			return nil, fmt.Errorf("fleet: slot %d never started listening on port %d", m.slot, cfg.Port)
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		f.wg.Add(1)
+		go f.worker(w)
+	}
+	return f, nil
+}
+
+// newMember builds slot's generation-gen session WITHOUT starting it.
+// Construction is deliberately separated from launch so replace can pay
+// the session-build cost outside f.mu.
+func (f *Fleet) newMember(slot, gen int) *member {
+	opts := f.cfg.Session
+	opts.Seed = memberSeed(f.cfg.Session.Seed, slot, gen)
+	m := &member{
+		slot: slot, gen: gen, seed: opts.Seed,
+		sess:  core.NewSession(opts, f.cfg.Program),
+		ready: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	// Stop dispatching to a diverged member as soon as the monitor kills
+	// it, without waiting for the variants to finish unwinding.
+	m.sess.OnDivergence(func(*monitor.Divergence) { m.healthy.Store(false) })
+	return m
+}
+
+// launch starts a constructed member's lifecycle goroutine. Callers hold
+// f.mu (which is what makes the liveWG.Add safe against Close: a launch
+// can only happen while closed is false, and then only from a goroutine
+// liveWG already counts or before the fleet is shared).
+func (f *Fleet) launch(m *member) {
+	f.liveWG.Add(1)
+	go f.runMember(m)
+}
+
+// runMember drives one member's lifecycle: start, warm up, serve, and on
+// divergence or crash quarantine + respawn.
+func (f *Fleet) runMember(m *member) {
+	defer f.liveWG.Done()
+	m.sess.Start()
+	warm := f.awaitListener(m)
+	if warm {
+		m.healthy.Store(true)
+		// A divergence can land between the successful probe and the
+		// store above, in which case the OnDivergence hook's
+		// healthy=false just lost the race — re-check so a dead session
+		// is never resurrected into dispatch.
+		if m.sess.Monitor().Killed() {
+			m.healthy.Store(false)
+		}
+	} else {
+		m.sess.Kill()
+	}
+	close(m.ready)
+	res := m.sess.Wait()
+	m.healthy.Store(false)
+	m.res = res
+	close(m.done)
+	// Recycle a session that died while serving — a divergence or a
+	// program crash (panic). A session that exited cleanly chose to (the
+	// fleet closing its listener, or the program finishing), and one
+	// that never warmed up would respawn-spin, so neither is replaced.
+	if warm && (res.Divergence != nil || res.Panic != nil) {
+		f.quarantine(m, res)
+		f.replace(m)
+	}
+}
+
+// awaitListener probes the member's kernel until the program's listener
+// accepts a connection (the warm-spawn barrier), or the session dies, or
+// the timeout passes.
+func (f *Fleet) awaitListener(m *member) bool {
+	deadline := time.Now().Add(f.cfg.SpawnTimeout)
+	for {
+		if cc, errno := m.sess.Kernel().Connect(f.cfg.Port); errno == kernel.OK {
+			cc.Close()
+			return true
+		}
+		if m.sess.Monitor().Killed() || f.closed.Load() || time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// pick returns a healthy member not in tried, or nil. See Dispatch.
+func (f *Fleet) pick(tried map[*member]bool) *member {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.cfg.Dispatch == LeastLoaded {
+		var best *member
+		var bestLoad int64
+		for _, m := range f.slots {
+			if m == nil || tried[m] || !m.healthy.Load() {
+				continue
+			}
+			if l := m.inflight.Load(); best == nil || l < bestLoad {
+				best, bestLoad = m, l
+			}
+		}
+		return best
+	}
+	n := len(f.slots)
+	at := int(f.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		m := f.slots[(at+i)%n]
+		if m != nil && !tried[m] && m.healthy.Load() {
+			return m
+		}
+	}
+	return nil
+}
+
+// pickWait is pick, waiting out a recycle window: with every member
+// quarantined at once the pool is briefly empty while replacements warm
+// up.
+func (f *Fleet) pickWait(tried map[*member]bool) *member {
+	deadline := time.Now().Add(f.cfg.SpawnTimeout)
+	for {
+		if m := f.pick(tried); m != nil {
+			return m
+		}
+		if f.closed.Load() || time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// MemberInfo is a point-in-time view of one pool slot.
+type MemberInfo struct {
+	Slot     int
+	Gen      int   // respawn generation (0 = initial session)
+	Seed     int64 // diversity seed of the current session
+	Healthy  bool
+	Inflight int64
+	Served   uint64
+}
+
+// Members returns a snapshot of every pool slot.
+func (f *Fleet) Members() []MemberInfo {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]MemberInfo, 0, len(f.slots))
+	for _, m := range f.slots {
+		if m == nil {
+			continue
+		}
+		out = append(out, MemberInfo{
+			Slot: m.slot, Gen: m.gen, Seed: m.seed,
+			Healthy:  m.healthy.Load(),
+			Inflight: m.inflight.Load(),
+			Served:   m.served.Load(),
+		})
+	}
+	return out
+}
+
+// Stats is the fleet-wide aggregate view.
+type Stats struct {
+	Served      uint64 // requests answered successfully
+	Errors      uint64 // requests that failed (including divergence kills)
+	Rejected    uint64 // TryDo rejections due to a full queue
+	Divergences uint64 // sessions quarantined because their variants diverged
+	Crashes     uint64 // sessions quarantined because the program panicked
+	Recycled    uint64 // replacement sessions spawned
+	Healthy     int    // members currently accepting dispatch
+	Uptime      time.Duration
+	// Latency pools every gateway worker's histogram (see
+	// internal/stats: Merge is exact, so these are the fleet-wide request
+	// latency quantiles).
+	Latency stats.Histogram
+}
+
+// Throughput returns successful responses per second of fleet uptime.
+func (s Stats) Throughput() float64 {
+	return stats.Rate(s.Served, s.Uptime.Seconds())
+}
+
+// Stats aggregates the fleet-wide counters and merges the per-worker
+// latency histograms.
+func (f *Fleet) Stats() Stats {
+	s := Stats{
+		Served:      f.served.Load(),
+		Errors:      f.errors.Load(),
+		Rejected:    f.rejected.Load(),
+		Divergences: f.divergences.Load(),
+		Crashes:     f.crashes.Load(),
+		Recycled:    f.recycled.Load(),
+		Uptime:      time.Since(f.start),
+	}
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		s.Latency.Merge(&sh.h)
+		sh.mu.Unlock()
+	}
+	f.mu.RLock()
+	for _, m := range f.slots {
+		if m != nil && m.healthy.Load() {
+			s.Healthy++
+		}
+	}
+	f.mu.RUnlock()
+	return s
+}
+
+// Close drains the fleet: no new requests are accepted, queued requests
+// are served, every member's listener is closed, and all sessions are
+// joined. Close is idempotent.
+func (f *Fleet) Close() {
+	f.closeMu.Lock()
+	first := f.closed.CompareAndSwap(false, true)
+	f.closeMu.Unlock()
+	if !first {
+		return
+	}
+	close(f.quit)
+	// Workers finish the queue before exiting, and no enqueue can follow
+	// the closed flip above (see Do), so after this wait the queue is
+	// provably empty.
+	f.wg.Wait()
+	f.mu.RLock()
+	slots := append([]*member(nil), f.slots...)
+	f.mu.RUnlock()
+	for _, m := range slots {
+		if m == nil {
+			continue
+		}
+		m.healthy.Store(false)
+		<-m.ready
+		m.sess.Kernel().CloseListener(f.cfg.Port)
+		select {
+		case <-m.done:
+		case <-time.After(f.cfg.DrainTimeout):
+			m.sess.Kill()
+			<-m.done
+		}
+	}
+	f.liveWG.Wait()
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// The gateway: request fan-in over the pool. Requests are opaque byte
+// payloads written to one connection of a member's server; the response is
+// whatever the server writes back on that connection. A bounded queue sits
+// between submitters and the worker goroutines so that overload turns
+// into backpressure (Do blocks, TryDo fails fast) instead of piling up
+// goroutines behind a saturated pool.
+
+var (
+	// ErrClosed is returned for requests submitted to a closed fleet.
+	ErrClosed = errors.New("fleet: closed")
+	// ErrOverloaded is returned by TryDo when the gateway queue is full.
+	ErrOverloaded = errors.New("fleet: gateway queue full")
+	// ErrNoHealthyMember is returned when no member accepted the request
+	// within the spawn timeout (the whole pool diverged faster than it
+	// respawns, or the fleet is shutting down).
+	ErrNoHealthyMember = errors.New("fleet: no healthy member")
+)
+
+type pending struct {
+	req  []byte
+	resp chan gwResult
+}
+
+type gwResult struct {
+	data []byte
+	err  error
+}
+
+// Do submits one request and blocks for the response. A full queue blocks
+// the caller (backpressure); use TryDo to fail fast instead.
+//
+// The closed-check and the enqueue happen under closeMu's read side:
+// while any submitter holds it, Close cannot proceed, so the workers are
+// guaranteed to still be draining the queue when the request lands in it.
+func (f *Fleet) Do(req []byte) ([]byte, error) {
+	p := &pending{req: req, resp: make(chan gwResult, 1)}
+	f.closeMu.RLock()
+	if f.closed.Load() {
+		f.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	f.queue <- p
+	f.closeMu.RUnlock()
+	r := <-p.resp
+	return r.data, r.err
+}
+
+// TryDo submits one request without blocking on a full queue: it returns
+// ErrOverloaded immediately when the gateway is saturated.
+func (f *Fleet) TryDo(req []byte) ([]byte, error) {
+	p := &pending{req: req, resp: make(chan gwResult, 1)}
+	f.closeMu.RLock()
+	if f.closed.Load() {
+		f.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case f.queue <- p:
+		f.closeMu.RUnlock()
+	default:
+		f.closeMu.RUnlock()
+		f.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	r := <-p.resp
+	return r.data, r.err
+}
+
+// worker drains the queue until the fleet closes, then finishes whatever
+// is still queued (graceful drain).
+func (f *Fleet) worker(id int) {
+	defer f.wg.Done()
+	sh := &f.shards[id]
+	// One response-sized scratch buffer per worker: tryMember reads into
+	// it and copies out only the bytes actually received, instead of
+	// allocating MaxResponse per request on the hot path.
+	scratch := make([]byte, f.cfg.MaxResponse)
+	for {
+		select {
+		case p := <-f.queue:
+			f.handle(p, sh, scratch)
+		case <-f.quit:
+			for {
+				select {
+				case p := <-f.queue:
+					f.handle(p, sh, scratch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (f *Fleet) handle(p *pending, sh *latencyShard, scratch []byte) {
+	t0 := time.Now()
+	data, err := f.serve(p.req, scratch)
+	sh.mu.Lock()
+	sh.h.ObserveDuration(time.Since(t0))
+	sh.mu.Unlock()
+	if err != nil {
+		f.errors.Add(1)
+	} else {
+		f.served.Add(1)
+	}
+	p.resp <- gwResult{data: data, err: err}
+}
+
+// serve dispatches one request to a member, re-dispatching to alternates
+// when CONNECTING to the chosen member fails — the member died between
+// selection and connect, so nothing reached it and the request is safe to
+// move. Once any bytes were written the request is never retried: the
+// gateway cannot know whether the member acted on them, and a request that
+// *caused* the divergence (an exploit payload) must burn at most one
+// session, not be walked across the whole pool.
+func (f *Fleet) serve(req, scratch []byte) ([]byte, error) {
+	var tried map[*member]bool
+	var lastErr error
+	for attempt := 0; attempt <= f.cfg.Retries; attempt++ {
+		m := f.pickWait(tried)
+		if m == nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, ErrNoHealthyMember
+		}
+		data, err, retry := f.tryMember(m, req, scratch)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !retry {
+			return nil, err
+		}
+		if tried == nil {
+			tried = make(map[*member]bool, f.cfg.Retries+1)
+		}
+		tried[m] = true
+	}
+	return nil, lastErr
+}
+
+// tryMember plays one request against one member. The third return value
+// reports whether the request may be re-dispatched (true only if nothing
+// was written to the member). A watchdog closes the connection after
+// RequestTimeout so a member that hangs without diverging cannot pin the
+// worker (closing unblocks the pipe read with EBADF).
+func (f *Fleet) tryMember(m *member, req, scratch []byte) ([]byte, error, bool) {
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	cc, errno := m.sess.Kernel().Connect(f.cfg.Port)
+	if errno != kernel.OK {
+		return nil, fmt.Errorf("fleet: connect to slot %d (gen %d): %w", m.slot, m.gen, errno), true
+	}
+	watchdog := time.AfterFunc(f.cfg.RequestTimeout, cc.Close)
+	defer watchdog.Stop()
+	defer cc.Close()
+	if _, err := cc.Write(req); err != nil {
+		return nil, fmt.Errorf("fleet: write to slot %d (gen %d): %w", m.slot, m.gen, err), false
+	}
+	n, err := cc.Read(scratch)
+	if err != nil || n == 0 {
+		return nil, fmt.Errorf("fleet: slot %d (gen %d) died mid-request: read: %v", m.slot, m.gen, err), false
+	}
+	m.served.Add(1)
+	return append([]byte(nil), scratch[:n]...), nil, false
+}
+
+// StatsTable renders the fleet stats as an aligned table (for
+// cmd/mvee-serve).
+func StatsTable(s Stats) string {
+	t := &stats.Table{Header: []string{"metric", "value"}}
+	t.Add("served", fmt.Sprintf("%d", s.Served))
+	t.Add("errors", fmt.Sprintf("%d", s.Errors))
+	t.Add("rejected (backpressure)", fmt.Sprintf("%d", s.Rejected))
+	t.Add("divergences quarantined", fmt.Sprintf("%d", s.Divergences))
+	t.Add("crashes quarantined", fmt.Sprintf("%d", s.Crashes))
+	t.Add("sessions recycled", fmt.Sprintf("%d", s.Recycled))
+	t.Add("healthy members", fmt.Sprintf("%d", s.Healthy))
+	t.Add("throughput", fmt.Sprintf("%.0f req/s", s.Throughput()))
+	t.Add("latency p50", time.Duration(s.Latency.Quantile(0.50)).String())
+	t.Add("latency p90", time.Duration(s.Latency.Quantile(0.90)).String())
+	t.Add("latency p99", time.Duration(s.Latency.Quantile(0.99)).String())
+	t.Add("latency max", time.Duration(s.Latency.MaxValue()).String())
+	return t.String()
+}

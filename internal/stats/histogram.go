@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is a fixed-size, power-of-two-bucketed latency histogram.
+// Bucket b (b >= 1) counts observations in [2^(b-1), 2^b) nanoseconds;
+// bucket 0 counts zero observations. Count, Sum, Min and Max are tracked
+// exactly, so Mean is exact and only quantiles are subject to bucket
+// resolution (a quantile is off by at most a factor of 2, and in practice
+// by much less because the bucket midpoint is reported).
+//
+// Merge semantics (fleet-level aggregation): histograms form a commutative
+// monoid under Merge — bucket counts, Count and Sum add; Min and Max take
+// the extrema. Merging the per-session (or per-worker) histograms of a
+// fleet therefore yields exactly the histogram that a single global
+// observer would have recorded over the pooled samples, regardless of
+// merge order or grouping; quantiles of the merged histogram are the
+// quantiles of the pooled population at bucket resolution. This is what
+// makes per-session collection safe: each session observes into its own
+// unsynchronized Histogram and the fleet folds them together only when
+// stats are read.
+//
+// A Histogram is NOT internally synchronized. The intended pattern is one
+// Histogram per producer goroutine, merged into a fresh Histogram by the
+// reader (see internal/fleet's Stats).
+type Histogram struct {
+	count uint64
+	sum   uint64
+	min   uint64
+	max   uint64
+	// buckets[bits.Len64(v)] counts v; index 0 holds exact zeros and the
+	// last index holds everything with the top bit set.
+	buckets [65]uint64
+}
+
+// Observe records one value (nanoseconds for latency use).
+func (h *Histogram) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// ObserveDuration records a duration (negative durations count as zero).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Merge folds o into h (bucket-wise addition; see the type comment for
+// the aggregation semantics). o is unchanged.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// MinValue and MaxValue return the exact extrema (0 for empty).
+func (h *Histogram) MinValue() uint64 { return h.min }
+
+// MaxValue returns the exact maximum observation (0 for empty).
+func (h *Histogram) MaxValue() uint64 { return h.max }
+
+// MeanValue returns the exact arithmetic mean (0 for empty).
+func (h *Histogram) MeanValue() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value below which a fraction p (0..1) of the
+// observations fall, at bucket resolution: the midpoint of the bucket
+// containing the p-th observation, clamped to the exact [min, max] range.
+func (h *Histogram) Quantile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Nearest-rank: the smallest observation with at least ceil(p*n)
+	// observations at or below it, so small samples don't bias the upper
+	// quantiles low (p99 of 10 samples is the maximum, not the 9th).
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			v := bucketMid(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// bucketMid returns the representative value of bucket b: the midpoint of
+// [2^(b-1), 2^b).
+func bucketMid(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	lo := uint64(1) << (b - 1)
+	return lo + lo/2
+}
+
+// String renders a compact latency summary, reading the values as
+// nanoseconds.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "no samples"
+	}
+	d := func(v uint64) time.Duration { return time.Duration(v) }
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		h.count, time.Duration(h.MeanValue()),
+		d(h.Quantile(0.50)), d(h.Quantile(0.90)), d(h.Quantile(0.99)), d(h.max))
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.MeanValue() != 0 || h.String() != "no samples" {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	for _, v := range []uint64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 100 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.MinValue() != 10 || h.MaxValue() != 40 {
+		t.Fatalf("min=%d max=%d", h.MinValue(), h.MaxValue())
+	}
+	if !approx(h.MeanValue(), 25) {
+		t.Fatalf("mean=%v", h.MeanValue())
+	}
+}
+
+func TestHistogramQuantileWithinBucket(t *testing.T) {
+	// A quantile must land within a factor of 2 of the true quantile (the
+	// bucket resolution guarantee), and within [min, max] exactly.
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(uint64(i))
+	}
+	for _, tc := range []struct{ p, exact float64 }{
+		{0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000},
+	} {
+		got := float64(h.Quantile(tc.p))
+		if got < tc.exact/2 || got > tc.exact*2 {
+			t.Fatalf("p%v = %v, exact %v: outside bucket resolution", tc.p, got, tc.exact)
+		}
+	}
+	if h.Quantile(0) < h.MinValue() || h.Quantile(1) > h.MaxValue() {
+		t.Fatal("quantile escaped [min, max]")
+	}
+}
+
+func TestHistogramMergeEqualsPooled(t *testing.T) {
+	// The aggregation contract: merging per-session histograms must be
+	// indistinguishable from one observer seeing every sample.
+	rng := rand.New(rand.NewSource(42))
+	var pooled Histogram
+	parts := make([]Histogram, 7)
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		pooled.Observe(v)
+		parts[rng.Intn(len(parts))].Observe(v)
+	}
+	var merged Histogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != pooled {
+		t.Fatalf("merged != pooled:\n  merged %v\n  pooled %v", merged.String(), pooled.String())
+	}
+}
+
+func TestHistogramMergeCommutes(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		var ha, hb Histogram
+		for _, v := range a {
+			ha.Observe(uint64(v))
+		}
+		for _, v := range b {
+			hb.Observe(uint64(v))
+		}
+		ab, ba := ha, hb
+		ab.Merge(&hb)
+		ba.Merge(&ha)
+		return ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,16 @@
 // Package stats provides the small statistical helpers the benchmark
 // harness uses to aggregate results into the paper's tables: means,
 // geometric means, rates, and formatted slowdown tables.
+//
+// For fleet-level aggregation (internal/fleet), the package also provides
+// Histogram: a power-of-two-bucketed latency histogram designed to be
+// collected per session (or per gateway worker) without locking and then
+// folded together with Merge. Merge is exact bucket-wise addition —
+// commutative and associative — so the merged histogram of N sessions is
+// identical to the histogram a single global observer would have recorded
+// over the pooled samples, and its Quantile answers are the pooled
+// population's quantiles at bucket resolution. See the Histogram type for
+// the full contract.
 package stats
 
 import (

@@ -1,0 +1,25 @@
+package webserver
+
+import (
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// FleetConfig is the fleet-backed serving mode for the §5.5 nginx model:
+// it wires this server program into a fleet.Config so the workload can be
+// served from a pool of `size` concurrent MVEE sessions behind a gateway
+// instead of one session per mvee.Run. Each pool member runs its own
+// kernel, so every member listens on cfg.Port without colliding; sess is
+// the per-session MVEE template (variants, agent, policy, diversity).
+//
+// Tune the remaining fleet.Config fields (dispatch policy, queue bound,
+// forensics) on the returned value before passing it to fleet.New.
+func FleetConfig(cfg Config, sess core.Options, size int) fleet.Config {
+	cfg.fill()
+	return fleet.Config{
+		Size:    size,
+		Session: sess,
+		Program: Program(cfg),
+		Port:    cfg.Port,
+	}
+}

@@ -36,6 +36,7 @@ package mvee
 import (
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/monitor"
 	"repro/internal/synclib"
@@ -124,6 +125,35 @@ var (
 	NewRWMutex   = synclib.NewRWMutex
 	NewOnce      = synclib.NewOnce
 	NewWaitGroup = synclib.NewWaitGroup
+)
+
+// The fleet layer: a pool of concurrent MVEE sessions behind a request
+// gateway, with divergence quarantine and hot replacement (see
+// internal/fleet). Build a FleetConfig (Program + Port + Session
+// template), pass it to NewFleet, and submit requests with Fleet.Do; a
+// diverged session is quarantined and replaced while the pool keeps
+// serving.
+type (
+	// Fleet is a running session pool; create with NewFleet.
+	Fleet = fleet.Fleet
+	// FleetConfig sizes and shapes a fleet.
+	FleetConfig = fleet.Config
+	// FleetStats is the fleet-wide aggregate (throughput, latency
+	// percentiles, divergences caught, sessions recycled).
+	FleetStats = fleet.Stats
+	// Quarantine is the forensic record of one diverged session.
+	Quarantine = fleet.Quarantine
+	// FleetMember is a point-in-time view of one pool slot.
+	FleetMember = fleet.MemberInfo
+)
+
+// NewFleet builds the pool, warms every session, and starts the gateway.
+var NewFleet = fleet.New
+
+// The gateway dispatch policies.
+const (
+	FleetRoundRobin  = fleet.RoundRobin
+	FleetLeastLoaded = fleet.LeastLoaded
 )
 
 // NewSession prepares a session without starting it; use it when the test
