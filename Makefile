@@ -1,0 +1,33 @@
+GO ?= go
+
+# bench-smoke pipes go test through awk; without pipefail a crashed
+# benchmark run would be masked by awk's zero exit.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: build test race bench bench-smoke vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench records the perf trajectory into BENCH_2.json (see scripts/bench.sh
+# and the README's Performance section for how to read it).
+bench:
+	scripts/bench.sh
+
+# bench-smoke is the CI gate: one iteration of every tracked benchmark, no
+# JSON rewrite — it proves the benchmarks still build, run, and hold the
+# 0 allocs/op invariant on the replication hot path (the awk stage fails
+# the target if any BenchmarkReplicationHotPath cell reports >0 allocs/op).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplicationHotPath|BenchmarkAgentMicro|BenchmarkWallClockAssignment' -benchmem -benchtime=1x . | \
+	awk '{ print } /BenchmarkReplicationHotPath/ && / allocs\/op/ { if ($$(NF-1) != 0) bad = 1 } END { exit bad }'

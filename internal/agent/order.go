@@ -1,7 +1,6 @@
 package agent
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -20,6 +19,13 @@ type Entry struct {
 // orderExchange backs both the total-order and the partial-order agents:
 // the two strategies share the single shared sync buffer and the master
 // recording protocol (§4.5); they differ only in how slaves consume it.
+//
+// Unlike the wall-of-clocks agent, the TO/PO slaves deliberately do NOT use
+// the ring's batched consumption: both must inspect the shared buffer's
+// head under the group mutex (an op is claimable only relative to what the
+// whole variant has consumed so far), so per-op head traffic is inherent to
+// the single-buffer design — the very scalability pathology §4.5 describes
+// and the WoC agent exists to avoid.
 type orderExchange struct {
 	partial bool
 	cfg     Config
@@ -125,9 +131,7 @@ func (s *toSlave) Before(tid int, addr uint64) {
 			s.stalls.Add(1)
 			first = false
 		}
-		if spins > 16 {
-			runtime.Gosched()
-		}
+		ring.Backoff(spins)
 	}
 }
 
@@ -175,9 +179,7 @@ func (s *poSlave) Before(tid int, addr uint64) {
 			s.stalls.Add(1)
 			first = false
 		}
-		if spins > 16 {
-			runtime.Gosched()
-		}
+		ring.Backoff(spins)
 	}
 }
 

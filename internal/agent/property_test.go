@@ -45,7 +45,7 @@ func TestWoCTicketInvariants(t *testing.T) {
 		perClock := map[uint32][]uint64{}
 		for tid := 0; tid < threads; tid++ {
 			lastPerClock := map[uint32]uint64{}
-			buf := ex.bufs[tid]
+			buf := ex.buf(tid)
 			for seq := uint64(0); seq < buf.Produced(); seq++ {
 				e, ok := buf.TryGet(seq)
 				if !ok {

@@ -49,39 +49,41 @@ func NewCapturingExchange(cfg Config) (Exchange, *Capture) {
 // drain consumes buffer tid on the tape group as entries appear.
 func (c *Capture) drain(tid int) {
 	defer c.done.Done()
-	buf := c.ex.bufs[tid]
-	seq := uint64(0)
+	// Batched consumption: one cursor move per run of published tickets.
+	// Buffers are created lazily by the variants; until thread tid's first
+	// sync op there is nothing to drain.
+	var batch [wocBatch]WEntry
 	var local []WEntry
-	for {
-		e, ok := buf.TryGet(seq)
-		if !ok {
-			select {
-			case <-c.stop:
-				// Final sweep: collect anything published after the
-				// last poll.
-				for {
-					e, ok := buf.TryGet(seq)
-					if !ok {
-						break
-					}
-					local = append(local, e)
-					buf.Advance(c.group, seq)
-					seq++
-				}
-				c.mu.Lock()
-				c.ops[tid] = local
-				c.mu.Unlock()
-				return
-			default:
-				// Poll gently: the tape must not steal the (possibly
-				// single) CPU from the variants it is recording.
-				time.Sleep(2 * time.Millisecond)
-				continue
-			}
+	take := func() bool {
+		buf := c.ex.bufs[tid].Load()
+		if buf == nil {
+			return false
 		}
-		local = append(local, e)
-		buf.Advance(c.group, seq)
-		seq++
+		n := buf.TryConsumeBatch(c.group, batch[:])
+		if n == 0 {
+			return false
+		}
+		local = append(local, batch[:n]...)
+		return true
+	}
+	for {
+		if take() {
+			continue
+		}
+		select {
+		case <-c.stop:
+			// Final sweep: collect anything published after the last poll.
+			for take() {
+			}
+			c.mu.Lock()
+			c.ops[tid] = local
+			c.mu.Unlock()
+			return
+		default:
+			// Poll gently: the tape must not steal the (possibly
+			// single) CPU from the variants it is recording.
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 }
 
@@ -116,9 +118,9 @@ func NewReplayExchange(ops [][]WEntry, cfg Config) Exchange {
 		if tid >= len(ex.bufs) {
 			break
 		}
-		for _, e := range stream {
-			ex.bufs[tid].Append(e)
-		}
+		// The buffers were sized to hold the whole trace, so this is one
+		// batched append (one sequence claim) per stream.
+		ex.buf(tid).AppendBatch(stream)
 	}
 	return ex
 }

@@ -1,7 +1,6 @@
 package agent
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -36,8 +35,12 @@ type wocExchange struct {
 	// threads contend here only if the original program already contended
 	// on variables hashing to c.
 	locks []sync.Mutex
-	bufs  []*ring.Log[WEntry] // one per master thread
-	walls []*clock.Wall       // one local wall per slave group
+	// bufs[tid] is master thread tid's sync buffer, created lazily on its
+	// first sync op (see buf): sessions sized for MaxThreads rarely run
+	// them all, and eager allocation of every buffer dominates exchange
+	// construction.
+	bufs  []atomic.Pointer[ring.Log[WEntry]]
+	walls []*clock.Wall // one local wall per slave group
 	stop  stopFlag
 }
 
@@ -46,18 +49,29 @@ func newWoCExchange(cfg Config) *wocExchange {
 		cfg:   cfg,
 		wall:  clock.NewWall(cfg.WallSize),
 		locks: make([]sync.Mutex, cfg.WallSize),
-		bufs:  make([]*ring.Log[WEntry], cfg.MaxThreads),
+		bufs:  make([]atomic.Pointer[ring.Log[WEntry]], cfg.MaxThreads),
 		walls: make([]*clock.Wall, cfg.Slaves),
-	}
-	for i := range ex.bufs {
-		ex.bufs[i] = ring.NewLog[WEntry](cfg.BufCap, max(cfg.Slaves, 1))
-		ex.bufs[i].SetStop(ex.stop.stopped.Load)
 	}
 	for g := range ex.walls {
 		ex.walls[g] = clock.NewWall(cfg.WallSize)
 	}
 	publishBuffers(cfg, ex.bufs, cfg.MaxThreads*cfg.BufCap*12)
 	return ex
+}
+
+// buf returns thread tid's sync buffer, creating it on first use. The fast
+// path is one atomic load; the master-records vs slave-replays creation
+// race is settled by a compare-and-swap.
+func (ex *wocExchange) buf(tid int) *ring.Log[WEntry] {
+	if b := ex.bufs[tid].Load(); b != nil {
+		return b
+	}
+	b := ring.NewLog[WEntry](ex.cfg.BufCap, max(ex.cfg.Slaves, 1))
+	b.SetStop(ex.stop.stopped.Load)
+	if !ex.bufs[tid].CompareAndSwap(nil, b) {
+		return ex.bufs[tid].Load()
+	}
+	return b
 }
 
 func (ex *wocExchange) Kind() Kind { return WallOfClocks }
@@ -73,7 +87,9 @@ func (ex *wocExchange) SlaveAgent(g int) Agent {
 		group: g,
 		wall:  ex.walls[g],
 		cur:   make([]WEntry, ex.cfg.MaxThreads),
-		seqs:  make([]uint64, ex.cfg.MaxThreads),
+		pre:   make([]WEntry, ex.cfg.MaxThreads*wocBatch),
+		bi:    make([]int, ex.cfg.MaxThreads),
+		bn:    make([]int, ex.cfg.MaxThreads),
 	}
 }
 
@@ -94,7 +110,7 @@ func (m *wocMaster) Before(tid int, addr uint64) {
 func (m *wocMaster) After(tid int, addr uint64) {
 	cid := int(m.held[tid])
 	t := m.ex.wall.Tick(cid) // returns pre-increment time, i.e. the ticket
-	m.ex.bufs[tid].Append(WEntry{Clock: uint32(cid), Time: t})
+	m.ex.buf(tid).Append(WEntry{Clock: uint32(cid), Time: t})
 	m.ex.locks[cid].Unlock()
 	m.ops.Add(1)
 }
@@ -102,57 +118,64 @@ func (m *wocMaster) After(tid int, addr uint64) {
 func (m *wocMaster) Ops() uint64    { return m.ops.Load() }
 func (m *wocMaster) Stalls() uint64 { return 0 }
 
+// wocBatch is how many tickets a slave thread prefetches from its
+// per-thread buffer in one consume: one cursor move per batch instead of
+// one per sync op. Prefetching is safe precisely because each buffer is
+// SPSC per (group, thread): tickets are pure values consumed strictly in
+// program order by their one thread, so eager cursor advancement only
+// hands the master a little extra ring slack.
+const wocBatch = 16
+
 // wocSlave replays tickets: thread tid reads the next entry from its own
 // buffer and waits until the slave's local copy of that clock reaches the
 // recorded time. Threads whose variables hash to different clocks never
 // wait on one another.
 type wocSlave struct {
-	ex     *wocExchange
-	group  int
-	wall   *clock.Wall
-	cur    []WEntry // per tid: entry claimed in Before
-	seqs   []uint64 // per tid: next sequence in this thread's buffer
+	ex    *wocExchange
+	group int
+	wall  *clock.Wall
+	cur   []WEntry // per tid: entry claimed in Before
+	// pre[tid*wocBatch:] is thread tid's prefetched ticket batch;
+	// bi/bn[tid] is the consumption window into it.
+	pre    []WEntry
+	bi, bn []int
 	ops    atomic.Uint64
 	stalls atomic.Uint64
 }
 
 func (s *wocSlave) Before(tid int, addr uint64) {
-	buf := s.ex.bufs[tid]
-	seq := s.seqs[tid]
-	// Fetch this thread's next ticket.
-	var e WEntry
-	for spins := 0; ; spins++ {
-		s.ex.stop.check()
-		var ok bool
-		if e, ok = buf.TryGet(seq); ok {
-			break
-		}
-		if spins == 0 {
-			s.stalls.Add(1)
-		}
-		if spins > 16 {
-			runtime.Gosched()
+	// Refill this thread's ticket batch if it ran dry.
+	if s.bi[tid] >= s.bn[tid] {
+		buf := s.ex.buf(tid)
+		batch := s.pre[tid*wocBatch : (tid+1)*wocBatch]
+		for spins := 0; ; spins++ {
+			s.ex.stop.check()
+			if n := buf.TryConsumeBatch(s.group, batch); n > 0 {
+				s.bi[tid], s.bn[tid] = 0, n
+				break
+			}
+			if spins == 0 {
+				s.stalls.Add(1)
+			}
+			ring.Backoff(spins)
 		}
 	}
-	// Wait for the local clock to reach the ticket's time.
+	e := s.pre[tid*wocBatch+s.bi[tid]]
+	// Wait for the local clock to reach the ticket's time. Inline wait (no
+	// closure: this runs per sync op and must not allocate).
 	if s.wall.Now(int(e.Clock)) < e.Time {
 		s.stalls.Add(1)
 	}
-	spins := 0
-	s.wall.WaitFor(int(e.Clock), e.Time, func() {
+	for spins := 0; s.wall.Now(int(e.Clock)) < e.Time; spins++ {
 		s.ex.stop.check()
-		spins++
-		if spins > 16 {
-			runtime.Gosched()
-		}
-	})
+		ring.Backoff(spins)
+	}
 	s.cur[tid] = e
 }
 
 func (s *wocSlave) After(tid int, addr uint64) {
 	e := s.cur[tid]
-	s.ex.bufs[tid].Advance(s.group, s.seqs[tid])
-	s.seqs[tid]++
+	s.bi[tid]++
 	s.wall.Tick(int(e.Clock))
 	s.ops.Add(1)
 }

@@ -72,10 +72,19 @@ func (o *Options) fill() {
 		o.MaxThreads = 64
 	}
 	if o.SyncBufCap <= 0 {
-		o.SyncBufCap = 4096
+		// Per-thread WoC sync buffers (and the shared TO/PO buffer). 1024
+		// tickets of run-ahead per thread is far beyond what the slaves
+		// ever lag in practice; larger buffers only add creation cost and
+		// GC-scanned memory.
+		o.SyncBufCap = 1024
 	}
 	if o.RingCap <= 0 {
-		o.RingCap = 1024
+		// Per-thread syscall rings. Under strict lockstep the in-flight
+		// depth is ~1 and even the relaxed run-ahead protocol stays within
+		// a few dozen records; 256 leaves ample slack while keeping lazy
+		// ring creation (a zeroing of cap × sizeof(Record)) off the
+		// first-request latency path.
+		o.RingCap = 256
 	}
 	if o.WallSize <= 0 {
 		o.WallSize = 4096

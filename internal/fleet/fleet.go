@@ -199,11 +199,14 @@ type Fleet struct {
 	rejected atomic.Uint64
 }
 
-// latencyShard is one gateway worker's latency histogram. The lock is
-// uncontended in steady state (the owner writes, Stats reads rarely).
+// latencyShard is one gateway worker's latency histogram. Recording is
+// lock-free (see stats.AtomicHistogram): the owning worker observes on
+// every request and a Stats reader snapshots concurrently, with neither
+// ever blocking the other. Sharding per worker keeps even the atomic
+// counters essentially uncontended.
 type latencyShard struct {
-	mu sync.Mutex
-	h  stats.Histogram
+	h stats.AtomicHistogram
+	_ [64]byte // keep neighboring shards' hot words off one cache line
 }
 
 // New builds the pool, spawns every member, waits until all of them are
@@ -427,10 +430,8 @@ func (f *Fleet) Stats() Stats {
 		Uptime:      time.Since(f.start),
 	}
 	for i := range f.shards {
-		sh := &f.shards[i]
-		sh.mu.Lock()
-		s.Latency.Merge(&sh.h)
-		sh.mu.Unlock()
+		snap := f.shards[i].h.Snapshot()
+		s.Latency.Merge(&snap)
 	}
 	f.mu.RLock()
 	for _, m := range f.slots {

@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/kernel"
@@ -37,6 +38,27 @@ type gwResult struct {
 	err  error
 }
 
+// pendingPool recycles pending structs together with their response
+// channels, so a steady-state request allocates neither. The reuse
+// invariant: every pending that enters the queue receives exactly one send
+// on resp (handle always responds, and Close's graceful drain finishes the
+// queue), and the submitter receives it before releasing the pending back
+// to the pool — so a pooled pending's channel is always empty.
+var pendingPool = sync.Pool{
+	New: func() any { return &pending{resp: make(chan gwResult, 1)} },
+}
+
+func getPending(req []byte) *pending {
+	p := pendingPool.Get().(*pending)
+	p.req = req
+	return p
+}
+
+func putPending(p *pending) {
+	p.req = nil // don't pin the caller's payload in the pool
+	pendingPool.Put(p)
+}
+
 // Do submits one request and blocks for the response. A full queue blocks
 // the caller (backpressure); use TryDo to fail fast instead.
 //
@@ -44,25 +66,28 @@ type gwResult struct {
 // while any submitter holds it, Close cannot proceed, so the workers are
 // guaranteed to still be draining the queue when the request lands in it.
 func (f *Fleet) Do(req []byte) ([]byte, error) {
-	p := &pending{req: req, resp: make(chan gwResult, 1)}
+	p := getPending(req)
 	f.closeMu.RLock()
 	if f.closed.Load() {
 		f.closeMu.RUnlock()
+		putPending(p)
 		return nil, ErrClosed
 	}
 	f.queue <- p
 	f.closeMu.RUnlock()
 	r := <-p.resp
+	putPending(p)
 	return r.data, r.err
 }
 
 // TryDo submits one request without blocking on a full queue: it returns
 // ErrOverloaded immediately when the gateway is saturated.
 func (f *Fleet) TryDo(req []byte) ([]byte, error) {
-	p := &pending{req: req, resp: make(chan gwResult, 1)}
+	p := getPending(req)
 	f.closeMu.RLock()
 	if f.closed.Load() {
 		f.closeMu.RUnlock()
+		putPending(p)
 		return nil, ErrClosed
 	}
 	select {
@@ -70,10 +95,12 @@ func (f *Fleet) TryDo(req []byte) ([]byte, error) {
 		f.closeMu.RUnlock()
 	default:
 		f.closeMu.RUnlock()
+		putPending(p)
 		f.rejected.Add(1)
 		return nil, ErrOverloaded
 	}
 	r := <-p.resp
+	putPending(p)
 	return r.data, r.err
 }
 
@@ -106,9 +133,7 @@ func (f *Fleet) worker(id int) {
 func (f *Fleet) handle(p *pending, sh *latencyShard, scratch []byte) {
 	t0 := time.Now()
 	data, err := f.serve(p.req, scratch)
-	sh.mu.Lock()
 	sh.h.ObserveDuration(time.Since(t0))
-	sh.mu.Unlock()
 	if err != nil {
 		f.errors.Add(1)
 	} else {

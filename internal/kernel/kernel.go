@@ -35,7 +35,7 @@ type Kernel struct {
 	// parked in the kernel unwind.
 	intMu       sync.Mutex
 	interrupted bool
-	blockables  []interruptible
+	blockables  map[interruptible]struct{}
 }
 
 type interruptible interface{ interrupt() }
@@ -49,12 +49,32 @@ func (k *Kernel) track(x interruptible) {
 	k.intMu.Lock()
 	dead := k.interrupted
 	if !dead {
-		k.blockables = append(k.blockables, x)
+		if k.blockables == nil {
+			k.blockables = make(map[interruptible]struct{})
+		}
+		k.blockables[x] = struct{}{}
 	}
 	k.intMu.Unlock()
 	if dead {
 		x.interrupt()
 	}
+}
+
+// untrack forgets a blockable whose lifetime ended on its own. Without it,
+// every connection's pipes would stay pinned on the interrupt list (buffers
+// included) for the whole session — unbounded live-heap growth that the
+// collector re-scans on every cycle while the server is under load.
+func (k *Kernel) untrack(x interruptible) {
+	k.intMu.Lock()
+	delete(k.blockables, x)
+	k.intMu.Unlock()
+}
+
+// trackPipe tracks a pipe and arranges for it to untrack itself as soon as
+// both of its directions are closed (a finished connection).
+func (k *Kernel) trackPipe(p *pipe) {
+	p.onDead = func() { k.untrack(p) }
+	k.track(p)
 }
 
 // Interrupt force-closes every pipe, socket and listener so that any thread
@@ -65,7 +85,7 @@ func (k *Kernel) Interrupt() {
 	blockables := k.blockables
 	k.blockables = nil
 	k.intMu.Unlock()
-	for _, x := range blockables {
+	for x := range blockables {
 		x.interrupt()
 	}
 }
@@ -155,9 +175,14 @@ func (k *Kernel) Connect(port uint16) (*ClientConn, Errno) {
 		return nil, ECONNREFUSED
 	}
 	c := &conn{toServer: newPipe(), fromServer: newPipe()}
-	k.track(c.toServer)
-	k.track(c.fromServer)
+	k.trackPipe(c.toServer)
+	k.trackPipe(c.fromServer)
 	if errno := l.enqueue(c); errno != OK {
+		// Close both pipes so they untrack themselves: a refused connect
+		// (full backlog under overload) must not pin its pipes on the
+		// interrupt list for the session's lifetime.
+		c.toServer.interrupt()
+		c.fromServer.interrupt()
 		return nil, errno
 	}
 	return &ClientConn{c: c}, OK
@@ -256,8 +281,10 @@ func (k *Kernel) Do(p *Proc, c Call) Ret {
 		return Ret{Val: uint64(p.Pid)}
 	case SysSocket:
 		// The descriptor is allocated at connect/accept/listen time in
-		// this simplified stack; socket() reserves a placeholder.
-		fd, errno := p.allocFD(&socketObj{rx: newPipe(), tx: newPipe()}, 0)
+		// this simplified stack; socket() reserves a placeholder (the
+		// endpoint pipes are attached by connect/accept, so none are
+		// allocated here).
+		fd, errno := p.allocFD(&socketObj{}, 0)
 		return Ret{Val: uint64(fd), Err: errno}
 	case SysBind, SysListen:
 		return k.doListen(p, c)
@@ -314,7 +341,28 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	buf := make([]byte, int(c.Args[1]))
+	count := int(c.Args[1])
+	// Streams (pipes, sockets) return a result sized to the bytes actually
+	// pending: a recv asking for 4 KiB costs a 14-byte allocation when 14
+	// bytes arrived, not a 4 KiB one. This is the kernel half of keeping
+	// the per-request allocation volume proportional to the traffic.
+	if ar, ok := e.obj.(availableReader); ok {
+		data, errno := ar.readAvailable(count)
+		if errno != OK {
+			return Ret{Err: errno}
+		}
+		return Ret{Val: uint64(len(data)), Data: data}
+	}
+	// Seekable objects know how much is left; don't allocate for bytes
+	// that cannot arrive.
+	if e.obj.seekable() {
+		if sz, errno := e.obj.size(); errno == OK {
+			if rem := sz - e.offset; rem < int64(count) {
+				count = int(max(rem, 0))
+			}
+		}
+	}
+	buf := make([]byte, count)
 	n, errno := e.obj.read(buf, e.offset)
 	if errno != OK {
 		return Ret{Err: errno}
@@ -323,6 +371,12 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 		e.offset += int64(n)
 	}
 	return Ret{Val: uint64(n), Data: buf[:n]}
+}
+
+// availableReader is implemented by stream objects that can hand back an
+// exactly-sized read result (see pipe.readAvailable).
+type availableReader interface {
+	readAvailable(max int) ([]byte, Errno)
 }
 
 func (k *Kernel) doWrite(p *Proc, c Call) Ret {
@@ -408,7 +462,7 @@ func (k *Kernel) doStat(c Call) Ret {
 
 func (k *Kernel) doPipe(p *Proc) Ret {
 	pi := newPipe()
-	k.track(pi)
+	k.trackPipe(pi)
 	rfd, errno := p.allocFD(&readEnd{p: pi}, ORdonly)
 	if errno != OK {
 		return Ret{Err: errno}
@@ -486,9 +540,12 @@ func (k *Kernel) doConnect(p *Proc, c Call) Ret {
 		return Ret{Err: ECONNREFUSED}
 	}
 	cn := &conn{toServer: newPipe(), fromServer: newPipe()}
-	k.track(cn.toServer)
-	k.track(cn.fromServer)
+	k.trackPipe(cn.toServer)
+	k.trackPipe(cn.fromServer)
 	if errno := l.enqueue(cn); errno != OK {
+		// See Connect: refused connects must release their pipes.
+		cn.toServer.interrupt()
+		cn.fromServer.interrupt()
 		return Ret{Err: errno}
 	}
 	e, errno := p.lookupFD(int(c.Args[0]))

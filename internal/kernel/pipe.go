@@ -7,12 +7,26 @@ const pipeBufSize = 64 * 1024
 
 // pipe is a bounded unidirectional byte stream with blocking reads and
 // writes, shared by pipe2 and by each direction of a socket connection.
+//
+// Data is kept in a compacting buffer: reads consume from the front (r is
+// the read offset into buf) and the buffer is rewound to offset 0 whenever
+// it drains, so the backing array is reused across the request/response
+// exchanges of a connection instead of append() abandoning a prefix per
+// read and reallocating per write — connection churn is the serving hot
+// path, and the old behavior made every request leave a trail of dead
+// buffers for the collector.
 type pipe struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	buf         []byte
+	r           int // read offset into buf; len(buf)-r bytes are unread
 	readClosed  bool
 	writeClosed bool
+	// onDead is invoked exactly once, outside the dead-state transition's
+	// critical section, when both directions are closed. The kernel uses
+	// it to drop the pipe from its interrupt list, so finished connections
+	// do not accumulate for the lifetime of the session.
+	onDead func()
 }
 
 func newPipe() *pipe {
@@ -25,11 +39,12 @@ func newPipe() *pipe {
 type readEnd struct{ p *pipe }
 type writeEnd struct{ p *pipe }
 
-func (r *readEnd) read(b []byte, _ int64) (int, Errno) { return r.p.read(b) }
-func (r *readEnd) write([]byte, int64) (int, Errno)    { return 0, EBADF }
-func (r *readEnd) size() (int64, Errno)                { return 0, ESPIPE }
-func (r *readEnd) close() Errno                        { r.p.closeRead(); return OK }
-func (r *readEnd) seekable() bool                      { return false }
+func (r *readEnd) read(b []byte, _ int64) (int, Errno)   { return r.p.read(b) }
+func (r *readEnd) readAvailable(max int) ([]byte, Errno) { return r.p.readAvailable(max) }
+func (r *readEnd) write([]byte, int64) (int, Errno)      { return 0, EBADF }
+func (r *readEnd) size() (int64, Errno)                  { return 0, ESPIPE }
+func (r *readEnd) close() Errno                          { r.p.closeRead(); return OK }
+func (r *readEnd) seekable() bool                        { return false }
 
 func (w *writeEnd) read([]byte, int64) (int, Errno)      { return 0, EBADF }
 func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(b) }
@@ -37,22 +52,67 @@ func (w *writeEnd) size() (int64, Errno)                 { return 0, ESPIPE }
 func (w *writeEnd) close() Errno                         { w.p.closeWrite(); return OK }
 func (w *writeEnd) seekable() bool                       { return false }
 
-func (p *pipe) read(b []byte) (int, Errno) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for len(p.buf) == 0 {
+// unread returns the pending byte count. Callers hold p.mu.
+func (p *pipe) unread() int { return len(p.buf) - p.r }
+
+// waitReadableLocked blocks until data is pending or the stream ended.
+// ok=false means "stop with errno": OK is EOF, EBADF a closed read side.
+// Callers hold p.mu.
+func (p *pipe) waitReadableLocked() (errno Errno, ok bool) {
+	for p.unread() == 0 {
 		if p.writeClosed {
-			return 0, OK // EOF
+			return OK, false // EOF
 		}
 		if p.readClosed {
-			return 0, EBADF
+			return EBADF, false
 		}
 		p.cond.Wait()
 	}
-	n := copy(b, p.buf)
-	p.buf = p.buf[n:]
-	p.cond.Broadcast() // wake writers waiting for space
+	return OK, true
+}
+
+// consumeLocked advances the read offset past n delivered bytes, rewinding
+// the buffer when it drains (so the backing array is reused), and wakes
+// writers waiting for space. Callers hold p.mu.
+func (p *pipe) consumeLocked(n int) {
+	p.r += n
+	if p.r == len(p.buf) {
+		p.buf = p.buf[:0]
+		p.r = 0
+	}
+	p.cond.Broadcast()
+}
+
+func (p *pipe) read(b []byte) (int, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if errno, ok := p.waitReadableLocked(); !ok {
+		return 0, errno
+	}
+	n := copy(b, p.buf[p.r:])
+	p.consumeLocked(n)
 	return n, OK
+}
+
+// readAvailable blocks like read, but returns a freshly allocated slice
+// sized to the data actually pending (capped at max) instead of filling a
+// caller buffer. The kernel's read/recv handlers use it so that a request
+// asking for N bytes costs an allocation proportional to the bytes
+// delivered, not to N.
+func (p *pipe) readAvailable(max int) ([]byte, Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if errno, ok := p.waitReadableLocked(); !ok {
+		return nil, errno
+	}
+	n := p.unread()
+	if n > max {
+		n = max
+	}
+	out := make([]byte, n)
+	copy(out, p.buf[p.r:])
+	p.consumeLocked(n)
+	return out, OK
 }
 
 func (p *pipe) write(b []byte) (int, Errno) {
@@ -66,7 +126,7 @@ func (p *pipe) write(b []byte) (int, Errno) {
 		if p.writeClosed {
 			return written, EBADF
 		}
-		space := pipeBufSize - len(p.buf)
+		space := pipeBufSize - p.unread()
 		if space == 0 {
 			p.cond.Wait()
 			continue
@@ -74,6 +134,13 @@ func (p *pipe) write(b []byte) (int, Errno) {
 		chunk := b[written:]
 		if len(chunk) > space {
 			chunk = chunk[:space]
+		}
+		// Compact before growing: if the dead prefix alone makes room,
+		// reuse it rather than extending the backing array.
+		if p.r > 0 && len(p.buf)+len(chunk) > cap(p.buf) {
+			n := copy(p.buf, p.buf[p.r:])
+			p.buf = p.buf[:n]
+			p.r = 0
 		}
 		p.buf = append(p.buf, chunk...)
 		written += len(chunk)
@@ -85,13 +152,33 @@ func (p *pipe) write(b []byte) (int, Errno) {
 func (p *pipe) closeRead() {
 	p.mu.Lock()
 	p.readClosed = true
+	dead := p.deadLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if dead != nil {
+		dead()
+	}
 }
 
 func (p *pipe) closeWrite() {
 	p.mu.Lock()
 	p.writeClosed = true
+	dead := p.deadLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if dead != nil {
+		dead()
+	}
+}
+
+// deadLocked returns the onDead hook (clearing it, so it fires once) when
+// both directions have closed. Callers hold p.mu and invoke the hook after
+// unlocking.
+func (p *pipe) deadLocked() func() {
+	if p.readClosed && p.writeClosed && p.onDead != nil {
+		f := p.onDead
+		p.onDead = nil
+		return f
+	}
+	return nil
 }

@@ -18,13 +18,35 @@ type socketObj struct {
 	tx *pipe
 }
 
-func (s *socketObj) read(b []byte, _ int64) (int, Errno)  { return s.rx.read(b) }
-func (s *socketObj) write(b []byte, _ int64) (int, Errno) { return s.tx.write(b) }
-func (s *socketObj) size() (int64, Errno)                 { return 0, ESPIPE }
-func (s *socketObj) seekable() bool                       { return false }
+func (s *socketObj) read(b []byte, _ int64) (int, Errno) {
+	if s.rx == nil {
+		return 0, EINVAL // unconnected placeholder (see SysSocket)
+	}
+	return s.rx.read(b)
+}
+
+func (s *socketObj) readAvailable(max int) ([]byte, Errno) {
+	if s.rx == nil {
+		return nil, EINVAL
+	}
+	return s.rx.readAvailable(max)
+}
+
+func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
+	if s.tx == nil {
+		return 0, EINVAL
+	}
+	return s.tx.write(b)
+}
+func (s *socketObj) size() (int64, Errno) { return 0, ESPIPE }
+func (s *socketObj) seekable() bool       { return false }
 func (s *socketObj) close() Errno {
-	s.rx.closeRead()
-	s.tx.closeWrite()
+	if s.rx != nil {
+		s.rx.closeRead()
+	}
+	if s.tx != nil {
+		s.tx.closeWrite()
+	}
 	return OK
 }
 

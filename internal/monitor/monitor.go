@@ -3,7 +3,6 @@ package monitor
 import (
 	"bytes"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -17,14 +16,83 @@ import (
 // at the top of every variant thread.
 var ErrKilled = fmt.Errorf("monitor: session killed")
 
+// InlinePayload is the number of input-payload bytes a Record or digest
+// carries inline, inside the ring slot itself. Payloads at or below this
+// size (the vast majority of write/open/send payloads in server traffic)
+// cross the master→slave and slave→master rings with zero heap allocations
+// and zero shared mutable state; only larger payloads spill (see
+// spillArena).
+const InlinePayload = 64
+
+// payloadBox is the inline-or-spill storage both Record and digest embed
+// for the call's input payload: up to InlinePayload bytes live in the
+// fixed array inside the ring slot itself; larger payloads live in spill
+// (a per-thread arena slot on the hot path, a fresh allocation otherwise).
+// Keeping the triple in one embedded type keeps the storage invariant in
+// one place for both directions of the replication protocol.
+type payloadBox struct {
+	n      int32
+	inline [InlinePayload]byte
+	spill  []byte
+}
+
+// Payload returns the stored input payload (nil if none). The returned
+// slice must not be retained past the record's consumption window (for a
+// slave: until it advances past the record) — large payloads may live in a
+// recycled arena.
+func (b *payloadBox) Payload() []byte {
+	if b.spill != nil {
+		return b.spill
+	}
+	return b.inline[:b.n]
+}
+
+// SetPayload stores p, inline if it fits and in a freshly allocated spill
+// otherwise. The hot path does not use this (it places large payloads in
+// per-thread arenas; see storeSpill) — SetPayload is for trace
+// construction and tests.
+func (b *payloadBox) SetPayload(p []byte) {
+	b.n = int32(len(p))
+	if len(p) <= InlinePayload {
+		copy(b.inline[:], p)
+		b.spill = nil
+		return
+	}
+	b.spill = append([]byte(nil), p...)
+}
+
+// storeInline stores a payload known to fit inline.
+func (b *payloadBox) storeInline(p []byte) {
+	b.n = int32(len(p))
+	copy(b.inline[:], p)
+}
+
+// storeSpill stores an oversized payload through arena slot seq (of a ring
+// with capacity rcap), or a fresh allocation when arena recycling is
+// unsound (arena == nil). Callers must have Reserved seq first — that is
+// what makes the arena slot reusable (see spillArena).
+func (b *payloadBox) storeSpill(p []byte, arena *spillArena, rcap int, seq uint64) {
+	b.n = int32(len(p))
+	if arena != nil {
+		b.spill = arena.put(rcap, seq, p)
+		return
+	}
+	b.spill = append([]byte(nil), p...)
+}
+
 // Record is one entry in a per-thread syscall buffer: the master's account
 // of one monitored system call, against which slaves validate their own.
+// The input payload travels in the embedded payloadBox; use Payload and
+// SetPayload. Records gob-encode compactly (see GobEncode): only the
+// payload bytes cross the wire, not the fixed inline array.
 type Record struct {
-	Nr      kernel.Sysno
-	Args    [6]uint64
-	Data    []byte // input payload (write data, open path)
-	Ret     kernel.Ret
-	Ts      uint64 // syscall-ordering-clock stamp, valid if Ordered
+	Nr   kernel.Sysno
+	Args [6]uint64
+	Ret  kernel.Ret
+	Ts   uint64 // syscall-ordering-clock stamp, valid if Ordered
+
+	payloadBox
+
 	Ordered bool
 	Exit    bool // thread-exit marker, not a syscall
 }
@@ -51,7 +119,9 @@ type Config struct {
 	RingCap    int
 	Policy     Policy
 	// Capture adds a tape consumer group that drains every record into
-	// memory for offline replay (see trace.go).
+	// memory for offline replay (see trace.go). Capture retains records
+	// indefinitely, so it disables the spill arenas (large payloads are
+	// freshly allocated instead of recycled).
 	Capture bool
 	// Replay pre-fills the syscall buffers from a recorded trace; the
 	// single variant then consumes them like an online slave.
@@ -67,11 +137,91 @@ func (c *Config) fill() {
 	}
 }
 
+// slaveBatch is how many master records a slave thread consumes from its
+// ring in one peek: one cursor release per batch instead of one per record.
+// Under the relaxed (run-ahead) policy the master is typically several
+// records ahead, so real batches form; under strict lockstep batches
+// degenerate to length 1 without costing anything extra.
+const slaveBatch = 8
+
+// slaveCons is one (consumer group, thread) pair's consumption state over
+// its per-thread syscall ring: a prefetched batch of records plus the next
+// ring sequence to peek. The ring cursor deliberately lags `next` while a
+// batch is in flight — slots (and their arena payloads) may only be
+// recycled once the slave is completely done with them, so the cursor is
+// released in a single AdvanceTo when the next batch is fetched.
+type slaveCons struct {
+	next  uint64 // next ring sequence to peek
+	i, n  int    // batch[i:n] are fetched but unprocessed
+	batch [slaveBatch]Record
+}
+
+// counter is a cache-line-isolated event counter: the per-variant syscall
+// counters are bumped on every monitored call by different threads, and
+// without padding variant 0's and variant 1's counters share a line.
+type counter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// spillArena is a per-thread recycler for oversized payloads. Slot
+// seq&(cap-1) backs the payload of ring entry seq; it may be reused exactly
+// when ring slot seq&(cap-1) may (the producer Reserves the sequence first,
+// which blocks until every consumer group's cursor has passed the old
+// occupant), so in steady state large payloads cost zero allocations too.
+// The backing slices are allocated lazily: most threads never spill.
+type spillArena struct {
+	bufs [][]byte
+}
+
+// put copies p into the arena slot for seq (of a ring with capacity rcap)
+// and returns the stable copy.
+func (a *spillArena) put(rcap int, seq uint64, p []byte) []byte {
+	if a.bufs == nil {
+		a.bufs = make([][]byte, rcap)
+	}
+	i := seq & uint64(rcap-1)
+	b := append(a.bufs[i][:0], p...)
+	a.bufs[i] = b
+	return b
+}
+
 // Monitor supervises one MVEE session: variant 0 is the master, variants
 // 1..N-1 are slaves. One Monitor thread per variant-thread-set is implicit
 // in the design (§4: "each of ReMon's threads monitors one set of
 // equivalent variant threads"); here the per-thread syscall buffers play
 // that role.
+//
+// Ordering (§4.1, ticket form). The paper's monitor wraps every
+// non-blocking monitored call in an "ordered critical section": enter,
+// stamp the call with the current syscall-ordering-clock time, execute,
+// and leave — so that the stamps form a total order identical to the order
+// in which the master actually executed the calls, and the slaves can
+// replay exactly that order by waiting for their own copy of the clock to
+// reach each record's stamp. The first implementation here used a global
+// mutex for that critical section; this one uses ordering tickets instead:
+//
+//   - A master thread Takes a ticket t from a cache-line-isolated dispenser
+//     (clock.Tickets) — one uncontended fetch-add, no lock.
+//   - It waits until the master's Lamport clock reads exactly t (its turn
+//     in the total order). When only one thread is making ordered calls —
+//     the common case for a server handling one request per thread — the
+//     clock already equals t and the wait is a single load.
+//   - It executes the call with Ts = t and Ticks the clock, passing the
+//     turn to ticket t+1.
+//
+// This is a ticket lock whose "now serving" word IS the syscall ordering
+// clock, which is what makes it secure in the paper's sense: the stamp is
+// not merely taken inside a critical section, the stamp is the critical
+// section — a thread holding ticket t is by construction the t-th ordered
+// call, so no interleaving of threads can produce records whose stamps
+// disagree with the execution order. Genuine cross-thread rendezvous (two
+// threads with adjacent tickets) costs one cache-line transfer of the
+// serving clock; threads that don't contend never synchronize at all.
+// Publication of the record happens after the turn is passed: records
+// travel through per-thread rings, so cross-thread publication order is
+// irrelevant and keeping it out of the ordered section shortens the
+// serialized path to stamp+execute.
 type Monitor struct {
 	cfg   Config
 	kern  *kernel.Kernel
@@ -79,20 +229,36 @@ type Monitor struct {
 
 	// clocks[v] is variant v's private copy of the syscall ordering clock.
 	clocks []*clock.Lamport
-	// seqMu serializes the master's ordered critical sections (§4.1).
-	seqMu sync.Mutex
+	// tickets dispenses the master's ordering tickets (see the type
+	// comment); clocks[0] is the corresponding "now serving" word.
+	tickets clock.Tickets
 	// rings[tid] carries master records to the slaves; group g serves
-	// slave variant g+1. cursors[v-1][tid] is that slave thread's read
-	// position.
-	rings   []*ring.Log[Record]
-	cursors [][]uint64
+	// slave variant g+1. scons[g][tid] is that slave thread's batched
+	// consumption state. Rings are created lazily on first use (see
+	// Monitor.ring): a session sized for MaxThreads=64 typically runs a
+	// dozen threads, and eagerly allocating 64 record rings dominates both
+	// session construction (zeroing megabytes of slots) and steady-state
+	// GC cost (the slots hold pointers, so the collector scans them on
+	// every cycle, used or not).
+	rings     []atomic.Pointer[ring.Log[Record]]
+	ringCap   int
+	ringGroup int
+	scons     [][]slaveCons
 	// inboxes[g][tid] carries slave g+1's call digests to the master for
 	// lockstep calls: the master waits for (and validates) every slave's
 	// equivalent call BEFORE executing, so no variant proceeds past a
 	// lockstepped call until all variants have made it (§2). inboxPos
-	// tracks the master's read position per (g, tid).
-	inboxes  [][]*ring.Log[digest]
+	// tracks the master's read position per (g, tid). Lazily created like
+	// rings (see Monitor.inbox).
+	inboxes  [][]atomic.Pointer[ring.Log[digest]]
 	inboxPos [][]uint64
+
+	// arenas[tid] recycles the master's oversized record payloads;
+	// darenas[g][tid] recycles slave g+1's oversized digest payloads. Nil
+	// when recycling would be unsound (capture retains records; replay has
+	// no live producer).
+	arenas  []spillArena
+	darenas [][]spillArena
 
 	// publish is true when master records have at least one consumer
 	// (live slaves or the capture tape).
@@ -106,8 +272,8 @@ type Monitor struct {
 	onKill   []func()
 	killMu   sync.Mutex
 
-	syscalls []atomic.Uint64 // per variant: monitored syscall count
-	unmon    []atomic.Uint64 // per variant: unmonitored syscall count
+	syscalls []counter // per variant: monitored syscall count
+	unmon    []counter // per variant: unmonitored syscall count
 }
 
 // New creates a monitor for nvariants over kern. procs[v] is variant v's
@@ -120,10 +286,9 @@ func New(kern *kernel.Kernel, procs []*kernel.Proc, cfg Config) *Monitor {
 		kern:     kern,
 		procs:    procs,
 		clocks:   make([]*clock.Lamport, len(procs)),
-		rings:    make([]*ring.Log[Record], cfg.MaxThreads),
-		cursors:  make([][]uint64, len(procs)-1),
-		syscalls: make([]atomic.Uint64, len(procs)),
-		unmon:    make([]atomic.Uint64, len(procs)),
+		rings:    make([]atomic.Pointer[ring.Log[Record]], cfg.MaxThreads),
+		syscalls: make([]counter, len(procs)),
+		unmon:    make([]counter, len(procs)),
 	}
 	m.replay = cfg.Replay != nil
 	m.publish = cfg.Variants > 1 || cfg.Capture
@@ -155,17 +320,22 @@ func New(kern *kernel.Kernel, procs []*kernel.Proc, cfg Config) *Monitor {
 	if groups < 1 {
 		groups = 1 // rings still need a consumer group; unused for 1 variant
 	}
-	for tid := range m.rings {
-		m.rings[tid] = ring.NewLog[Record](ringCap, groups)
-		m.rings[tid].SetStop(m.killed.Load)
-	}
-	cursorGroups := slaves
+	m.ringCap = ringCap
+	m.ringGroup = groups
+	consGroups := slaves
 	if m.replay {
-		cursorGroups = 1
+		consGroups = 1
 	}
-	m.cursors = make([][]uint64, cursorGroups)
-	for g := range m.cursors {
-		m.cursors[g] = make([]uint64, cfg.MaxThreads)
+	m.scons = make([][]slaveCons, consGroups)
+	for g := range m.scons {
+		m.scons[g] = make([]slaveCons, cfg.MaxThreads)
+	}
+	// Spill arenas recycle large payloads in lockstep with ring-slot
+	// recycling; see spillArena. Capture retains records past consumption
+	// (the tape), so recycling the master arenas would corrupt the trace;
+	// replay publishes nothing live.
+	if m.publish && !cfg.Capture && !m.replay {
+		m.arenas = make([]spillArena, cfg.MaxThreads)
 	}
 	if m.replay {
 		m.prefillReplay(cfg.Replay)
@@ -173,25 +343,66 @@ func New(kern *kernel.Kernel, procs []*kernel.Proc, cfg Config) *Monitor {
 	if cfg.Capture {
 		m.capture = m.startCapture()
 	}
-	m.inboxes = make([][]*ring.Log[digest], len(procs)-1)
+	m.inboxes = make([][]atomic.Pointer[ring.Log[digest]], len(procs)-1)
 	m.inboxPos = make([][]uint64, len(procs)-1)
+	if !m.replay {
+		m.darenas = make([][]spillArena, len(procs)-1)
+	}
 	for g := range m.inboxes {
-		m.inboxes[g] = make([]*ring.Log[digest], cfg.MaxThreads)
+		m.inboxes[g] = make([]atomic.Pointer[ring.Log[digest]], cfg.MaxThreads)
 		m.inboxPos[g] = make([]uint64, cfg.MaxThreads)
-		for tid := range m.inboxes[g] {
-			m.inboxes[g][tid] = ring.NewLog[digest](cfg.RingCap, 1)
-			m.inboxes[g][tid].SetStop(m.killed.Load)
+		if m.darenas != nil {
+			m.darenas[g] = make([]spillArena, cfg.MaxThreads)
 		}
 	}
 	return m
 }
 
+// ring returns thread tid's syscall ring, creating it on first use. The
+// fast path is a single atomic load; creation races (master publishing vs
+// slave consuming the same thread's first call) are settled by one
+// compare-and-swap, with the loser discarding its candidate.
+func (m *Monitor) ring(tid int) *ring.Log[Record] {
+	if r := m.rings[tid].Load(); r != nil {
+		return r
+	}
+	r := ring.NewLog[Record](m.ringCap, m.ringGroup)
+	r.SetStop(m.killed.Load)
+	if !m.rings[tid].CompareAndSwap(nil, r) {
+		return m.rings[tid].Load()
+	}
+	return r
+}
+
+// inboxCap sizes the per-(slave, thread) digest inboxes. The lockstep
+// protocol bounds the in-flight depth intrinsically: a slave submits a
+// digest and then blocks on that very call's record, and the master cannot
+// pass its own lockstepped call without consuming the matching digest — so
+// at most a couple of digests are ever unconsumed. A small ring keeps lazy
+// creation cheap; 64 is pure slack.
+const inboxCap = 64
+
+// inbox returns slave g+1's digest inbox for thread tid, creating it on
+// first use (see ring).
+func (m *Monitor) inbox(g, tid int) *ring.Log[digest] {
+	if ib := m.inboxes[g][tid].Load(); ib != nil {
+		return ib
+	}
+	ib := ring.NewLog[digest](inboxCap, 1)
+	ib.SetStop(m.killed.Load)
+	if !m.inboxes[g][tid].CompareAndSwap(nil, ib) {
+		return m.inboxes[g][tid].Load()
+	}
+	return ib
+}
+
 // digest is a slave's account of the call it is about to make, submitted to
-// the master for pre-execution validation.
+// the master for pre-execution validation. The payload travels in the same
+// embedded payloadBox as Record's (spills go to the slave's digest arena).
 type digest struct {
 	Nr   kernel.Sysno
 	Args [6]uint64
-	Data []byte
+	payloadBox
 	Exit bool
 }
 
@@ -240,7 +451,7 @@ func (m *Monitor) Killed() bool { return m.killed.Load() }
 func (m *Monitor) Divergence() *Divergence { return m.diverged.Load() }
 
 // Syscalls returns variant v's monitored syscall count.
-func (m *Monitor) Syscalls(v int) uint64 { return m.syscalls[v].Load() }
+func (m *Monitor) Syscalls(v int) uint64 { return m.syscalls[v].n.Load() }
 
 // StopCapture ends the record capture (if any) and returns the per-thread
 // record streams. Call only after the session has finished.
@@ -257,6 +468,11 @@ func (m *Monitor) checkKilled() {
 	}
 }
 
+// relax backs a polling loop off using the ring package's adaptive backoff
+// (busy spin → pause → scheduler yield; immediate yield on a single-CPU
+// process), so every wait in the replication path shares one policy.
+func relax(spins int) { ring.Backoff(spins) }
+
 // Invoke performs one system call on behalf of thread tid of variant v.
 // This is the interposition point: the variant's thread "traps" here
 // instead of entering the kernel directly.
@@ -265,15 +481,15 @@ func (m *Monitor) Invoke(v, tid int, call kernel.Call) kernel.Ret {
 	// The MVEE-awareness call never reaches the kernel (§4.5): the
 	// monitor answers it, telling the variant its role.
 	if call.Nr == kernel.SysMVEEAware {
-		m.unmon[v].Add(1)
+		m.unmon[v].n.Add(1)
 		return kernel.Ret{Val: uint64(v)}
 	}
 	cls := classify(call.Nr)
 	if !cls.monitored {
-		m.unmon[v].Add(1)
+		m.unmon[v].n.Add(1)
 		return m.kern.Do(m.procs[v], call)
 	}
-	m.syscalls[v].Add(1)
+	m.syscalls[v].n.Add(1)
 	if m.replay && v == 0 {
 		// The replayed variant consumes the trace like an online slave.
 		return m.slaveCall(1, tid, call, cls)
@@ -305,11 +521,11 @@ func (m *Monitor) ThreadExit(v, tid int) {
 	if v == 0 {
 		if m.publish {
 			m.awaitDigests(tid, kernel.Call{}, class{}, true)
-			m.rings[tid].Append(Record{Exit: true})
+			m.ring(tid).Append(Record{Exit: true})
 		}
 		return
 	}
-	m.inboxes[v-1][tid].Append(digest{Exit: true})
+	m.submitDigest(v, tid, kernel.Call{}, true)
 	rec := m.nextRecord(v, tid)
 	if !rec.Exit {
 		m.Kill(&Divergence{Variant: v, Tid: tid,
@@ -320,37 +536,62 @@ func (m *Monitor) ThreadExit(v, tid int) {
 	m.advance(v, tid)
 }
 
+// submitDigest publishes slave v's account of its next call (or thread
+// exit) to the master's inbox for thread tid. Small payloads travel inline
+// in the ring slot; large ones go through the slave's digest arena, whose
+// slots recycle in lockstep with the inbox ring's (Reserve blocks until the
+// old occupant was consumed), so steady-state digests are allocation-free
+// at any payload size.
+func (m *Monitor) submitDigest(v, tid int, call kernel.Call, exit bool) {
+	ib := m.inbox(v-1, tid)
+	d := digest{Nr: call.Nr, Args: call.Args, Exit: exit}
+	if len(call.Data) <= InlinePayload {
+		d.storeInline(call.Data)
+		ib.Append(d)
+		return
+	}
+	seq := ib.Reserve()
+	var arena *spillArena
+	if m.darenas != nil {
+		arena = &m.darenas[v-1][tid]
+	}
+	d.storeSpill(call.Data, arena, ib.Cap(), seq)
+	ib.Publish(seq, d)
+}
+
 // awaitDigests blocks until every slave has submitted its digest for the
 // master's current call of thread tid, validates the digests, and kills the
 // session on mismatch. This is the lockstep barrier: the master does not
 // execute until every variant has arrived with an equivalent call.
+//
+// Validation happens BEFORE the inbox cursor advances: a digest's spilled
+// payload lives in the slave's arena, which may recycle the slot as soon as
+// the cursor passes it.
 func (m *Monitor) awaitDigests(tid int, call kernel.Call, cls class, exit bool) {
 	for g := 0; g < m.cfg.Variants-1; g++ {
 		pos := m.inboxPos[g][tid]
-		var d digest
-		for spins := 0; ; spins++ {
+		ib := m.inbox(g, tid)
+		// Poll the publication word only (Ready), not TryGet: a TryGet
+		// miss constructs a zero digest, and this loop spins once per
+		// lockstepped call.
+		for spins := 0; !ib.Ready(pos); spins++ {
 			m.checkKilled()
-			var ok bool
-			if d, ok = m.inboxes[g][tid].TryGet(pos); ok {
-				break
-			}
-			if spins > 16 {
-				runtime.Gosched()
-			}
+			relax(spins)
 		}
-		m.inboxes[g][tid].Advance(0, pos)
-		m.inboxPos[g][tid]++
-		if dv := m.validateDigest(g+1, tid, call, cls, exit, d); dv != nil {
+		d, _ := ib.TryGet(pos)
+		if dv := m.validateDigest(g+1, tid, call, cls, exit, &d); dv != nil {
 			m.Kill(dv)
 			panic(ErrKilled)
 		}
+		ib.Advance(0, pos)
+		m.inboxPos[g][tid]++
 	}
 }
 
 // validateDigest compares a slave's submitted call against the master's.
-func (m *Monitor) validateDigest(v, tid int, call kernel.Call, cls class, exit bool, d digest) *Divergence {
+func (m *Monitor) validateDigest(v, tid int, call kernel.Call, cls class, exit bool, d *digest) *Divergence {
 	fail := func(reason string) *Divergence {
-		slave := renderCall(kernel.Call{Nr: d.Nr, Args: d.Args, Data: d.Data})
+		slave := renderCall(kernel.Call{Nr: d.Nr, Args: d.Args, Data: d.Payload()})
 		if d.Exit {
 			slave = "thread exit"
 		}
@@ -378,7 +619,7 @@ func (m *Monitor) validateDigest(v, tid int, call kernel.Call, cls class, exit b
 			return fail(fmt.Sprintf("argument %d mismatch", i))
 		}
 	}
-	if !bytes.Equal(call.Data, d.Data) {
+	if !bytes.Equal(call.Data, d.Payload()) {
 		return fail("payload mismatch")
 	}
 	return nil
@@ -390,18 +631,27 @@ func (m *Monitor) masterCall(tid int, call kernel.Call, cls class) kernel.Ret {
 	if m.cfg.Variants > 1 && m.lockstepped(cls) {
 		m.awaitDigests(tid, call, cls, false)
 	}
-	rec := Record{Nr: call.Nr, Args: call.Args, Data: call.Data, Ordered: cls.ordered}
+	rec := Record{Nr: call.Nr, Args: call.Args, Ordered: cls.ordered}
 	if cls.ordered {
-		// §4.1: enter the critical section, stamp the call with the
-		// current syscall-ordering-clock time, execute, publish — all
-		// before leaving the critical section.
-		m.seqMu.Lock()
-		rec.Ts = m.clocks[0].Tick()
-		rec.Ret = m.execute(0, call)
-		if m.publish {
-			m.rings[tid].Append(rec)
+		// §4.1, ticket form (see the Monitor type comment): take the next
+		// position in the total order, wait for the turn, execute, pass
+		// the turn. The stamp-execute window is the serialized section;
+		// publication happens after the turn is passed because records
+		// travel through per-thread rings, where cross-thread order is
+		// immaterial.
+		t := m.tickets.Take()
+		// Inline wait (no closure: this runs per ordered call and must not
+		// allocate). The common, uncontended case exits on the first load.
+		for spins := 0; m.clocks[0].Now() < t; spins++ {
+			m.checkKilled()
+			relax(spins)
 		}
-		m.seqMu.Unlock()
+		rec.Ts = t
+		rec.Ret = m.execute(0, call)
+		m.clocks[0].Tick()
+		if m.publish {
+			m.publishRecord(tid, &rec, call.Data)
+		}
 		return rec.Ret
 	}
 	// Blocking call: may not be wrapped in the ordering critical section
@@ -409,9 +659,31 @@ func (m *Monitor) masterCall(tid int, call kernel.Call, cls class) kernel.Ret {
 	// executed by the master only and replicated positionally.
 	rec.Ret = m.execute(0, call)
 	if m.publish {
-		m.rings[tid].Append(rec)
+		m.publishRecord(tid, &rec, call.Data)
 	}
 	return rec.Ret
+}
+
+// publishRecord appends rec (with the call's input payload) to thread tid's
+// syscall ring. Small payloads are copied inline into the ring slot —
+// copying, rather than aliasing the caller's buffer, is what makes the
+// record immutable the moment it is published. Large payloads go through
+// the per-thread arena (or a fresh allocation when recycling is unsound;
+// see Monitor.arenas).
+func (m *Monitor) publishRecord(tid int, rec *Record, payload []byte) {
+	r := m.ring(tid)
+	if len(payload) <= InlinePayload {
+		rec.storeInline(payload)
+		r.Append(*rec)
+		return
+	}
+	seq := r.Reserve()
+	var arena *spillArena
+	if m.arenas != nil {
+		arena = &m.arenas[tid]
+	}
+	rec.storeSpill(payload, arena, r.Cap(), seq)
+	r.Publish(seq, *rec)
 }
 
 // slaveCall validates thread tid's call against the master's record,
@@ -423,7 +695,7 @@ func (m *Monitor) slaveCall(v, tid int, call kernel.Call, cls class) kernel.Ret 
 		// the master will not execute until every slave has arrived.
 		// (Replay has no master to validate against; the trace is the
 		// authority.)
-		m.inboxes[v-1][tid].Append(digest{Nr: call.Nr, Args: call.Args, Data: call.Data})
+		m.submitDigest(v, tid, call, false)
 	}
 	rec := m.nextRecord(v, tid)
 	if d := m.compare(v, tid, call, rec, cls); d != nil {
@@ -433,15 +705,14 @@ func (m *Monitor) slaveCall(v, tid int, call kernel.Call, cls class) kernel.Ret 
 	var ret kernel.Ret
 	if rec.Ordered {
 		// Wait until this variant's ordering clock reaches the recorded
-		// stamp; then this thread alone may proceed (§4.1).
-		spins := 0
-		m.clocks[v].WaitFor(rec.Ts, func() {
+		// stamp; then this thread alone may proceed (§4.1). This is the
+		// slave half of the ticket scheme: rec.Ts is the master's ticket,
+		// and the slave's own Lamport clock is its serving word. Inline
+		// wait — no closure — so the per-call path stays allocation-free.
+		for spins := 0; m.clocks[v].Now() < rec.Ts; spins++ {
 			m.checkKilled()
-			spins++
-			if spins > 16 {
-				runtime.Gosched()
-			}
-		})
+			relax(spins)
+		}
 		ret = m.slaveResult(v, tid, call, rec, cls)
 		m.clocks[v].Tick()
 	} else {
@@ -451,7 +722,7 @@ func (m *Monitor) slaveCall(v, tid int, call kernel.Call, cls class) kernel.Ret 
 	return ret
 }
 
-func (m *Monitor) slaveResult(v, tid int, call kernel.Call, rec Record, cls class) kernel.Ret {
+func (m *Monitor) slaveResult(v, tid int, call kernel.Call, rec *Record, cls class) kernel.Ret {
 	if cls.perVariant {
 		if m.replay {
 			v = 0 // the replayed variant owns the only process
@@ -466,31 +737,43 @@ func (m *Monitor) execute(v int, call kernel.Call) kernel.Ret {
 	return m.kern.Do(m.procs[v], call)
 }
 
-// nextRecord fetches the master's record for slave v's thread tid,
-// blocking (with kill checks) until the master publishes it.
-func (m *Monitor) nextRecord(v, tid int) Record {
+// nextRecord returns the master's record for slave v's thread tid,
+// blocking (with kill checks) until the master publishes it. Records are
+// fetched in batches: one peek copies up to slaveBatch published records
+// out of the ring, and the ring cursor is released for the whole previous
+// batch in a single move — one cross-core cursor write per batch instead of
+// one per record. The returned pointer is into the batch buffer and stays
+// valid until the record is advanced past and a further batch is fetched.
+func (m *Monitor) nextRecord(v, tid int) *Record {
 	g := v - 1
-	seq := m.cursors[g][tid]
+	sc := &m.scons[g][tid]
+	if sc.i < sc.n {
+		return &sc.batch[sc.i]
+	}
+	r := m.ring(tid)
+	// The previous batch is fully processed: release its slots (and any
+	// arena payloads they reference) in one cursor move.
+	r.AdvanceTo(g, sc.next)
 	for spins := 0; ; spins++ {
 		m.checkKilled()
-		if rec, ok := m.rings[tid].TryGet(seq); ok {
-			return rec
+		if n := r.PeekBatch(sc.next, sc.batch[:]); n > 0 {
+			sc.i, sc.n = 0, n
+			sc.next += uint64(n)
+			return &sc.batch[0]
 		}
-		if spins > 16 {
-			runtime.Gosched()
-		}
+		relax(spins)
 	}
 }
 
+// advance marks the current record of slave v's thread tid consumed. The
+// ring cursor itself moves lazily at the next batch fetch (see nextRecord).
 func (m *Monitor) advance(v, tid int) {
-	g := v - 1
-	m.rings[tid].Advance(g, m.cursors[g][tid])
-	m.cursors[g][tid]++
+	m.scons[v-1][tid].i++
 }
 
 // compare validates a slave call against the master record under the
 // session policy. It returns a non-nil Divergence on mismatch.
-func (m *Monitor) compare(v, tid int, call kernel.Call, rec Record, cls class) *Divergence {
+func (m *Monitor) compare(v, tid int, call kernel.Call, rec *Record, cls class) *Divergence {
 	fail := func(reason string) *Divergence {
 		return &Divergence{Variant: v, Tid: tid, Reason: reason,
 			Master: renderRecord(rec), Slave: renderCall(call)}
@@ -510,17 +793,17 @@ func (m *Monitor) compare(v, tid int, call kernel.Call, rec Record, cls class) *
 			return fail(fmt.Sprintf("argument %d mismatch", i))
 		}
 	}
-	if !bytes.Equal(call.Data, rec.Data) {
+	if !bytes.Equal(call.Data, rec.Payload()) {
 		return fail("payload mismatch")
 	}
 	return nil
 }
 
-func renderRecord(r Record) string {
+func renderRecord(r *Record) string {
 	if r.Exit {
 		return "thread exit"
 	}
-	return fmt.Sprintf("%v(args=%v, %d bytes) @ts=%d", r.Nr, r.Args, len(r.Data), r.Ts)
+	return fmt.Sprintf("%v(args=%v, %d bytes) @ts=%d", r.Nr, r.Args, r.n, r.Ts)
 }
 
 func renderCall(c kernel.Call) string {

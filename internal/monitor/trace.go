@@ -37,17 +37,24 @@ func (m *Monitor) startCapture() *RecordCapture {
 
 func (c *RecordCapture) drain(tid int) {
 	defer c.done.Done()
-	buf := c.m.rings[tid]
-	seq := uint64(0)
 	var local []Record
+	// Batched consumption: one cursor move per run of published records.
+	// The tape owns the copies outright (the monitor disables the payload
+	// arenas under capture), so consuming eagerly is safe. Rings are
+	// created lazily by the variants; until thread tid makes its first
+	// monitored call there is nothing to drain (and polling the atomic
+	// pointer creates nothing).
+	var batch [slaveBatch]Record
 	take := func() bool {
-		r, ok := buf.TryGet(seq)
-		if !ok {
+		buf := c.m.rings[tid].Load()
+		if buf == nil {
 			return false
 		}
-		local = append(local, r)
-		buf.Advance(c.group, seq)
-		seq++
+		n := buf.TryConsumeBatch(c.group, batch[:])
+		if n == 0 {
+			return false
+		}
+		local = append(local, batch[:n]...)
 		return true
 	}
 	for {
@@ -85,8 +92,8 @@ func (m *Monitor) prefillReplay(recs [][]Record) {
 		if tid >= len(m.rings) {
 			break
 		}
-		for _, r := range stream {
-			m.rings[tid].Append(r)
-		}
+		// One batched append per thread: the rings were sized to hold the
+		// whole trace, so this is one sequence claim per stream.
+		m.ring(tid).AppendBatch(stream)
 	}
 }

@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// Compact gob wire format for Record (internal/trace encodes captured
+// sessions as [][]Record with encoding/gob). The default struct encoding
+// would serialize the fixed InlinePayload array in full for every record —
+// tripling traces of small-payload syscalls — and cannot see the
+// unexported payloadBox fields anyway, so Record implements GobEncoder/
+// GobDecoder with a flat little-endian layout that carries only the bytes
+// that exist:
+//
+//	u32 Nr | 6×u64 Args | u64 Ret.Val | u64 Ret.Val2 | u32 Ret.Err |
+//	u32 len(Ret.Data) | Ret.Data | u64 Ts | u8 flags | u32 plen | payload
+const (
+	wireFlagOrdered = 1 << 0
+	wireFlagExit    = 1 << 1
+)
+
+// GobEncode implements gob.GobEncoder.
+func (r Record) GobEncode() ([]byte, error) {
+	pay := r.Payload()
+	buf := make([]byte, 0, 4+48+8+8+4+4+len(r.Ret.Data)+8+1+4+len(pay))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Nr))
+	for _, a := range r.Args {
+		buf = binary.LittleEndian.AppendUint64(buf, a)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, r.Ret.Val)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Ret.Val2)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Ret.Err))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Ret.Data)))
+	buf = append(buf, r.Ret.Data...)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Ts)
+	var flags byte
+	if r.Ordered {
+		flags |= wireFlagOrdered
+	}
+	if r.Exit {
+		flags |= wireFlagExit
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pay)))
+	buf = append(buf, pay...)
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *Record) GobDecode(buf []byte) error {
+	d := wireReader{buf: buf}
+	*r = Record{}
+	r.Nr = kernel.Sysno(d.u32())
+	for i := range r.Args {
+		r.Args[i] = d.u64()
+	}
+	r.Ret.Val = d.u64()
+	r.Ret.Val2 = d.u64()
+	r.Ret.Err = kernel.Errno(d.u32())
+	if data := d.bytes(); len(data) > 0 {
+		r.Ret.Data = append([]byte(nil), data...)
+	}
+	r.Ts = d.u64()
+	flags := d.u8()
+	r.Ordered = flags&wireFlagOrdered != 0
+	r.Exit = flags&wireFlagExit != 0
+	r.SetPayload(d.bytes())
+	if d.err != nil {
+		return fmt.Errorf("monitor: decode record: %w", d.err)
+	}
+	return nil
+}
+
+// wireReader is a cursor over the wire buffer that latches the first
+// error, so the decode path reads straight through without per-field
+// error plumbing.
+type wireReader struct {
+	buf []byte
+	err error
+}
+
+func (d *wireReader) take(n int) []byte {
+	if d.err != nil || len(d.buf) < n {
+		if d.err == nil {
+			d.err = fmt.Errorf("truncated record (want %d bytes, have %d)", n, len(d.buf))
+		}
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *wireReader) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wireReader) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *wireReader) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *wireReader) bytes() []byte {
+	n := d.u32()
+	return d.take(int(n))
+}

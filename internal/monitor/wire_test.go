@@ -1,0 +1,81 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestRecordGobRoundTrip(t *testing.T) {
+	big := bytes.Repeat([]byte("spill!"), 40) // > InlinePayload
+	recs := []Record{
+		{Exit: true},
+		{Nr: kernel.SysGetpid, Args: [6]uint64{1, 2, 3, 4, 5, 6},
+			Ret: kernel.Ret{Val: 7}, Ts: 42, Ordered: true},
+		func() Record {
+			r := Record{Nr: kernel.SysWrite, Ret: kernel.Ret{Val: 5, Val2: 9, Err: kernel.EPIPE,
+				Data: []byte("resp")}}
+			r.SetPayload([]byte("small"))
+			return r
+		}(),
+		func() Record {
+			r := Record{Nr: kernel.SysSend}
+			r.SetPayload(big)
+			return r
+		}(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		w, g := &recs[i], &got[i]
+		if w.Nr != g.Nr || w.Args != g.Args || w.Ts != g.Ts ||
+			w.Ordered != g.Ordered || w.Exit != g.Exit {
+			t.Fatalf("record %d header mismatch: %+v vs %+v", i, w, g)
+		}
+		if w.Ret.Val != g.Ret.Val || w.Ret.Val2 != g.Ret.Val2 || w.Ret.Err != g.Ret.Err ||
+			!bytes.Equal(w.Ret.Data, g.Ret.Data) {
+			t.Fatalf("record %d Ret mismatch", i)
+		}
+		if !bytes.Equal(w.Payload(), g.Payload()) {
+			t.Fatalf("record %d payload mismatch: %q vs %q", i, w.Payload(), g.Payload())
+		}
+	}
+}
+
+func TestRecordGobDecodeTruncated(t *testing.T) {
+	r := Record{Nr: kernel.SysWrite}
+	r.SetPayload([]byte("payload"))
+	enc, err := r.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Record
+	if err := out.GobDecode(enc[:len(enc)-3]); err == nil {
+		t.Fatal("decoding a truncated record did not fail")
+	}
+}
+
+// The compact wire format is the point: a record with a small payload must
+// not pay for the fixed inline array.
+func TestRecordGobCompact(t *testing.T) {
+	r := Record{Nr: kernel.SysWrite}
+	r.SetPayload([]byte("hello"))
+	enc, err := r.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > 100 {
+		t.Fatalf("5-byte-payload record encodes to %d bytes; the inline array is leaking into the wire format", len(enc))
+	}
+}

@@ -13,6 +13,21 @@
 // With a single producer the Log degenerates to the per-thread SPSC buffers
 // used by the wall-of-clocks agent (§4.5); with many producers it is the
 // single shared buffer of the total-order and partial-order agents.
+//
+// Hot-path design (§4's shared-ring lessons, applied):
+//
+//   - The producer sequence word and every consumer-group cursor live on
+//     their own cache line. The master writes prod and the slaves write
+//     their cursors at syscall rate; without padding those words share
+//     lines and every append/advance ping-pongs the line across cores
+//     (false sharing).
+//   - AppendBatch and TryConsumeBatch amortize the cross-core traffic over
+//     k events: one producer fetch-add and one back-pressure wait per
+//     batch, and one cursor compare-and-swap per consumed run.
+//   - Blocking operations back off adaptively: a short busy spin (the
+//     common case — the counterpart thread is mid-operation on another
+//     core), then a procyield-style pause that keeps the OS thread but
+//     stays off the interconnect, then scheduler yields.
 package ring
 
 import (
@@ -28,14 +43,30 @@ import (
 // recover it.
 var ErrStopped = errors.New("ring: stopped")
 
+// cacheLine is the assumed coherence granule. 64 bytes covers x86-64 and
+// most arm64 parts; over-padding on 128-byte-line machines costs a few
+// bytes, under-padding would cost false sharing.
+const cacheLine = 64
+
+// paddedCursor is one consumer group's read position, alone on its cache
+// line so that group A advancing never invalidates the line group B (or the
+// producer) is spinning on.
+type paddedCursor struct {
+	c atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
 // Log is a bounded multi-producer broadcast log. See the package comment.
 // Create Logs with NewLog; the zero value is not usable.
 type Log[T any] struct {
-	slots   []slot[T]
-	mask    uint64
-	prod    atomic.Uint64   // next sequence number to allocate
-	cursors []atomic.Uint64 // per consumer group: next sequence to consume
-	stop    func() bool     // optional shutdown signal; see SetStop
+	slots []slot[T]
+	mask  uint64
+	stop  func() bool // optional shutdown signal; see SetStop
+
+	_       [cacheLine]byte
+	prod    atomic.Uint64 // next sequence number to allocate
+	_       [cacheLine - 8]byte
+	cursors []paddedCursor // per consumer group: next sequence to consume
 }
 
 type slot[T any] struct {
@@ -57,7 +88,7 @@ func NewLog[T any](capacity, groups int) *Log[T] {
 	return &Log[T]{
 		slots:   make([]slot[T], c),
 		mask:    uint64(c - 1),
-		cursors: make([]atomic.Uint64, groups),
+		cursors: make([]paddedCursor, groups),
 	}
 }
 
@@ -68,21 +99,108 @@ func (l *Log[T]) Cap() int { return len(l.slots) }
 func (l *Log[T]) Groups() int { return len(l.cursors) }
 
 // Append publishes v and returns its sequence number. Append blocks (spins,
-// yielding to the scheduler) while the slot it needs is still unread by the
-// slowest consumer group; this is the back-pressure a bounded shared ring
-// applies to the master variant.
+// then backs off) while the slot it needs is still unread by the slowest
+// consumer group; this is the back-pressure a bounded shared ring applies
+// to the master variant.
 func (l *Log[T]) Append(v T) uint64 {
 	seq := l.prod.Add(1) - 1
 	// The slot for seq was previously occupied by seq-cap. It may be
 	// reused only once every group's cursor has passed that occupant.
-	for spins := 0; seq >= l.minCursor()+uint64(len(l.slots)); spins++ {
-		l.checkStop(spins)
-		backoff(spins)
-	}
+	l.awaitSpace(seq)
 	s := &l.slots[seq&l.mask]
 	s.val = v
 	s.pub.Store(seq + 1)
 	return seq
+}
+
+// AppendBatch publishes vs in order and returns the sequence number of the
+// first element (meaningless when vs is empty). The whole batch costs one
+// producer fetch-add and one back-pressure wait; per-producer FIFO order is
+// preserved because the sequence range is claimed atomically. Batches
+// larger than the capacity are split internally so they cannot deadlock
+// against the ring's own bound.
+func (l *Log[T]) AppendBatch(vs []T) uint64 {
+	if len(vs) == 0 {
+		return l.prod.Load()
+	}
+	// A batch can only be in flight whole if it fits the ring: the
+	// back-pressure wait below needs the LAST slot of the chunk to be
+	// recyclable while the first is still unpublished.
+	first := uint64(0)
+	for chunk := 0; len(vs) > 0; chunk++ {
+		n := len(vs)
+		if n > len(l.slots) {
+			n = len(l.slots)
+		}
+		seq := l.prod.Add(uint64(n)) - uint64(n)
+		if chunk == 0 {
+			first = seq
+		}
+		// One wait for the whole chunk: space for the last slot implies
+		// space for every earlier one.
+		l.awaitSpace(seq + uint64(n) - 1)
+		for i := 0; i < n; i++ {
+			l.slots[(seq+uint64(i))&l.mask].val = vs[i]
+		}
+		// Publish in order. Consumers poll slot i's publication word, so
+		// the batch becomes visible front to back; the amortized part is
+		// the single fetch-add and single back-pressure check above.
+		for i := 0; i < n; i++ {
+			l.slots[(seq+uint64(i))&l.mask].pub.Store(seq + uint64(i) + 1)
+		}
+		vs = vs[n:]
+	}
+	return first
+}
+
+// Reserve claims the next sequence number and blocks until its slot is
+// recyclable, without publishing anything. Publish(seq, v) completes the
+// append. The split exists for producers that must place a value into
+// slot-lifetime storage (e.g. a payload arena recycled in lockstep with the
+// ring) before it becomes visible: once Reserve returns, every consumer
+// group has moved past the slot's previous occupant, so whatever backed
+// that occupant may be reused safely. Consumers at seq simply keep polling
+// until Publish lands, exactly as with a producer mid-Append.
+func (l *Log[T]) Reserve() uint64 {
+	seq := l.prod.Add(1) - 1
+	l.awaitSpace(seq)
+	return seq
+}
+
+// Publish completes an append started with Reserve.
+func (l *Log[T]) Publish(seq uint64, v T) {
+	s := &l.slots[seq&l.mask]
+	s.val = v
+	s.pub.Store(seq + 1)
+}
+
+// PeekBatch copies the run of published entries starting at sequence from
+// into out (at most len(out)) and returns how many were copied, without
+// moving any cursor. It never blocks. Callers must only peek at sequences
+// that are not yet overwritten, i.e. from >= Cursor(g) for their group;
+// the copies then stay valid even after the producer recycles the slots,
+// but any slot-lifetime storage a value references (see Reserve) is only
+// valid until the cursor advances past it.
+func (l *Log[T]) PeekBatch(from uint64, out []T) int {
+	n := 0
+	for n < len(out) {
+		s := &l.slots[(from+uint64(n))&l.mask]
+		if s.pub.Load() != from+uint64(n)+1 {
+			break
+		}
+		out[n] = s.val
+		n++
+	}
+	return n
+}
+
+// awaitSpace blocks until the slot for seq is recyclable, i.e. every
+// consumer group's cursor has passed seq-cap.
+func (l *Log[T]) awaitSpace(seq uint64) {
+	for spins := 0; seq >= l.minCursor()+uint64(len(l.slots)); spins++ {
+		l.checkStop(spins)
+		backoff(spins)
+	}
 }
 
 // Get returns the value with sequence number seq, blocking until it has
@@ -97,6 +215,15 @@ func (l *Log[T]) Get(seq uint64) T {
 	return s.val
 }
 
+// Ready reports whether the value with sequence number seq has been
+// published. It is the cheap way to poll: a single load of the slot's
+// publication word, with none of the value-copy (or zero-value
+// construction) TryGet pays on every miss — which matters when T is a
+// fat record and the poll loop runs per syscall.
+func (l *Log[T]) Ready(seq uint64) bool {
+	return l.slots[seq&l.mask].pub.Load() == seq+1
+}
+
 // TryGet returns the value with sequence number seq if it has been
 // published, without blocking.
 func (l *Log[T]) TryGet(seq uint64) (T, bool) {
@@ -108,16 +235,41 @@ func (l *Log[T]) TryGet(seq uint64) (T, bool) {
 	return s.val, true
 }
 
+// TryConsumeBatch copies the run of published entries at group g's cursor
+// into out (at most len(out) of them), advances the cursor past the run
+// with a single compare-and-swap, and returns how many were consumed (0 if
+// none are ready). It never blocks.
+//
+// Each consumer group must have a single consuming goroutine, exactly like
+// Advance: TryConsumeBatch panics if the cursor moved underneath it, which
+// would indicate two threads of the same variant racing on consumption.
+//
+// The copies are the point: once TryConsumeBatch returns, the consumer
+// owns out[:n] outright and the producer may recycle the slots, so a slave
+// can validate a whole batch of records without touching the shared ring
+// again.
+func (l *Log[T]) TryConsumeBatch(g int, out []T) int {
+	cur := l.cursors[g].c.Load()
+	n := l.PeekBatch(cur, out)
+	if n == 0 {
+		return 0
+	}
+	if !l.cursors[g].c.CompareAndSwap(cur, cur+uint64(n)) {
+		panic(fmt.Sprintf("ring: group %d consumed concurrently (cursor moved from %d)", g, cur))
+	}
+	return n
+}
+
 // Cursor returns the next sequence number consumer group g will consume.
-func (l *Log[T]) Cursor(g int) uint64 { return l.cursors[g].Load() }
+func (l *Log[T]) Cursor(g int) uint64 { return l.cursors[g].c.Load() }
 
 // Advance moves group g's cursor from seq to seq+1. Groups must consume in
 // order; Advance panics if seq is not the current cursor, which would
 // indicate two threads of the same variant racing on consumption.
 func (l *Log[T]) Advance(g int, seq uint64) {
-	if !l.cursors[g].CompareAndSwap(seq, seq+1) {
+	if !l.cursors[g].c.CompareAndSwap(seq, seq+1) {
 		panic(fmt.Sprintf("ring: group %d advanced out of order (cursor %d, advancing %d)",
-			g, l.cursors[g].Load(), seq))
+			g, l.cursors[g].c.Load(), seq))
 	}
 }
 
@@ -126,11 +278,11 @@ func (l *Log[T]) Advance(g int, seq uint64) {
 // proving the entries were consumed elsewhere.
 func (l *Log[T]) AdvanceTo(g int, seq uint64) {
 	for {
-		cur := l.cursors[g].Load()
+		cur := l.cursors[g].c.Load()
 		if cur >= seq {
 			return
 		}
-		if l.cursors[g].CompareAndSwap(cur, seq) {
+		if l.cursors[g].c.CompareAndSwap(cur, seq) {
 			return
 		}
 	}
@@ -142,9 +294,9 @@ func (l *Log[T]) AdvanceTo(g int, seq uint64) {
 func (l *Log[T]) Produced() uint64 { return l.prod.Load() }
 
 func (l *Log[T]) minCursor() uint64 {
-	min := l.cursors[0].Load()
+	min := l.cursors[0].c.Load()
 	for i := 1; i < len(l.cursors); i++ {
-		if c := l.cursors[i].Load(); c < min {
+		if c := l.cursors[i].c.Load(); c < min {
 			min = c
 		}
 	}
@@ -155,19 +307,86 @@ func (l *Log[T]) minCursor() uint64 {
 // Append and Get calls panic with ErrStopped rather than spinning forever.
 func (l *Log[T]) SetStop(f func() bool) { l.stop = f }
 
+// stopPollDue reports whether a blocked operation polls its stop callback
+// at this spin count. The schedule matters for teardown latency: the first
+// poll must land at the end of the initial busy-spin phase (spin
+// busySpins-1), before the loop escalates to pauses and scheduler yields —
+// a dead session must not burn tens of extra iterations before noticing.
+// Later polls happen every busySpins iterations, which bounds the polling
+// cost to a flag load per escalation step.
+func stopPollDue(spins int) bool {
+	return spins&(busySpins-1) == busySpins-1
+}
+
 func (l *Log[T]) checkStop(spins int) {
-	if l.stop != nil && spins&63 == 63 && l.stop() {
+	if l.stop != nil && stopPollDue(spins) && l.stop() {
 		panic(ErrStopped)
 	}
 }
 
-// backoff yields the processor with increasing politeness: a few busy spins,
-// then scheduler yields. The MVEE's consumers are latency sensitive (a slave
-// thread waiting on its ticket sits on the program's critical path), so we
-// spin briefly before involving the scheduler.
-func backoff(spins int) {
-	if spins < 16 {
-		return // busy spin
+// Backoff phases, in spin-iteration counts. The boundaries are powers of
+// two so stopPollDue can mask instead of divide.
+const (
+	busySpins  = 16 // phase 1: pure busy loop (counterpart is mid-operation)
+	pauseSpins = 64 // phase 2: procyield-style pause, still on-CPU
+)
+
+// pauseSink gives the pause loop a data dependency the compiler cannot
+// delete. It is only ever loaded, so the cache line stays shared and the
+// loop generates no coherence traffic.
+var pauseSink atomic.Uint64
+
+// pause burns a few cycles off the interconnect, approximating the PAUSE /
+// YIELD instruction a shared-memory MVEE ring uses between polls: cheaper
+// than a scheduler yield, politer than a raw busy loop to the sibling
+// hyperthread.
+func pause(n int) {
+	for i := 0; i < n; i++ {
+		_ = pauseSink.Load()
 	}
-	runtime.Gosched()
 }
+
+// multicore is whether busy-waiting can ever be productive: with a single
+// schedulable CPU the counterpart thread cannot be running concurrently,
+// so every spin is stolen from it and the only useful move is to yield.
+// GOMAXPROCS can change after package init (go test -cpu, explicit
+// runtime.GOMAXPROCS calls), so Backoff re-samples it at each wait's
+// escalation boundary rather than trusting the init-time snapshot.
+var multicore atomic.Bool
+
+func init() { multicore.Store(runtime.GOMAXPROCS(0) > 1) }
+
+// Backoff waits out one failed poll at the given spin count, with
+// increasing politeness: a few busy spins (the counterpart is likely
+// mid-operation on another core), then procyield-style pauses that stay
+// off the interconnect, then scheduler yields. On a single-CPU process it
+// yields immediately — spinning there only delays the thread being waited
+// on. The MVEE's consumers are latency sensitive (a slave thread waiting
+// on its ticket sits on the program's critical path), which is why the
+// escalation is gradual rather than jumping straight to the scheduler.
+//
+// Backoff is exported for the ring's polling consumers (monitor, agents):
+// every TryGet/TryConsumeBatch retry loop in the replication path shares
+// this one policy.
+func Backoff(spins int) {
+	if spins == busySpins {
+		// One wait escalated past its busy phase: re-sample the CPU count
+		// (a cheap read; GOMAXPROCS(0) takes no lock) so a process moved
+		// to one P after init still degrades to immediate yields.
+		multicore.Store(runtime.GOMAXPROCS(0) > 1)
+	}
+	if !multicore.Load() {
+		runtime.Gosched()
+		return
+	}
+	switch {
+	case spins < busySpins:
+		// busy spin
+	case spins < pauseSpins:
+		pause(8 * (spins - busySpins + 1)) // linearly growing pause
+	default:
+		runtime.Gosched()
+	}
+}
+
+func backoff(spins int) { Backoff(spins) }

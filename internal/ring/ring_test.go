@@ -2,7 +2,9 @@ package ring
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -262,4 +264,221 @@ func TestLogPropertyBroadcast(t *testing.T) {
 
 func errf(format string, args ...any) error {
 	return fmt.Errorf(format, args...)
+}
+
+func TestAppendBatchSequential(t *testing.T) {
+	l := NewLog[int](8, 1)
+	if first := l.AppendBatch([]int{10, 11, 12}); first != 0 {
+		t.Fatalf("first seq = %d, want 0", first)
+	}
+	if first := l.AppendBatch([]int{13}); first != 3 {
+		t.Fatalf("first seq = %d, want 3", first)
+	}
+	for i := 0; i < 4; i++ {
+		if got := l.Get(uint64(i)); got != 10+i {
+			t.Fatalf("entry %d = %d, want %d", i, got, 10+i)
+		}
+		l.Advance(0, uint64(i))
+	}
+}
+
+func TestAppendBatchEmpty(t *testing.T) {
+	l := NewLog[int](8, 1)
+	l.AppendBatch(nil)
+	if l.Produced() != 0 {
+		t.Fatalf("empty batch produced %d entries", l.Produced())
+	}
+}
+
+func TestAppendBatchLargerThanCapacity(t *testing.T) {
+	// A batch exceeding the ring capacity must be split internally, with
+	// the consumer draining mid-batch, instead of deadlocking on the ring's
+	// own bound.
+	l := NewLog[int](4, 1)
+	const n = 19
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			seq := l.Cursor(0)
+			if got := l.Get(seq); got != i {
+				t.Errorf("entry %d = %d, want %d", seq, got, i)
+				return
+			}
+			l.Advance(0, seq)
+		}
+	}()
+	l.AppendBatch(vs)
+	<-done
+}
+
+func TestTryConsumeBatch(t *testing.T) {
+	l := NewLog[int](16, 2)
+	out := make([]int, 4)
+	if n := l.TryConsumeBatch(0, out); n != 0 {
+		t.Fatalf("consumed %d from empty log", n)
+	}
+	for i := 0; i < 6; i++ {
+		l.Append(i)
+	}
+	if n := l.TryConsumeBatch(0, out); n != 4 {
+		t.Fatalf("consumed %d, want 4 (len(out))", n)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if n := l.TryConsumeBatch(0, out); n != 2 {
+		t.Fatalf("second consume = %d, want 2", n)
+	}
+	if out[0] != 4 || out[1] != 5 {
+		t.Fatalf("second batch = %v", out[:2])
+	}
+	if l.Cursor(0) != 6 {
+		t.Fatalf("cursor = %d, want 6", l.Cursor(0))
+	}
+	// Group 1 is independent and still sees everything.
+	if n := l.TryConsumeBatch(1, out); n != 4 || out[0] != 0 {
+		t.Fatalf("group 1 first consume = %d (%v)", n, out)
+	}
+}
+
+func TestTryConsumeBatchStopsAtUnpublished(t *testing.T) {
+	// A multi-producer log can have a published entry after an unpublished
+	// one; the batch must stop at the gap.
+	l := NewLog[int](8, 1)
+	l.prod.Add(1) // producer A claimed seq 0 but has not published
+	l.slots[1].val = 42
+	l.prod.Add(1)
+	l.slots[1].pub.Store(2) // producer B published seq 1
+	out := make([]int, 4)
+	if n := l.TryConsumeBatch(0, out); n != 0 {
+		t.Fatalf("consumed %d across an unpublished gap", n)
+	}
+	l.slots[0].val = 41
+	l.slots[0].pub.Store(1)
+	if n := l.TryConsumeBatch(0, out); n != 2 || out[0] != 41 || out[1] != 42 {
+		t.Fatalf("consume after publish = %d (%v)", n, out[:2])
+	}
+}
+
+// Regression: the stop callback must be polled at the end of the initial
+// busy-spin phase, not only deep into the escalated backoff. Before the
+// fix, the first poll landed at spin 63 — a dead session could spin ~64
+// iterations (including scheduler yields) longer than needed.
+func TestStopPolledDuringBusySpinEscalation(t *testing.T) {
+	first := -1
+	for s := 0; s < 1024 && first < 0; s++ {
+		if stopPollDue(s) {
+			first = s
+		}
+	}
+	if first != busySpins-1 {
+		t.Fatalf("first stop poll at spin %d, want %d (end of busy-spin phase)", first, busySpins-1)
+	}
+	// And it keeps being polled periodically through the escalation path.
+	polls := 0
+	for s := 0; s < 256; s++ {
+		if stopPollDue(s) {
+			polls++
+		}
+	}
+	if want := 256 / busySpins; polls != want {
+		t.Fatalf("%d polls in 256 spins, want %d", polls, want)
+	}
+}
+
+func TestStopUnblocksFullRingAppendPromptly(t *testing.T) {
+	l := NewLog[int](2, 1)
+	calls := 0
+	l.SetStop(func() bool { calls++; return true })
+	l.Append(0)
+	l.Append(1)
+	defer func() {
+		if recover() != ErrStopped {
+			t.Fatal("Append on a stopped full ring did not panic ErrStopped")
+		}
+		// The stop flag must have been consulted exactly once: at the first
+		// due poll, before any further backoff escalation.
+		if calls != 1 {
+			t.Fatalf("stop callback polled %d times before unwinding, want 1", calls)
+		}
+	}()
+	l.Append(2)
+}
+
+// Property (satellite): batched ring ops are observation-equivalent to
+// single-event ops — for any mix of Append and AppendBatch producers and a
+// consumer using TryConsumeBatch, every group observes exactly the same
+// thing single-op consumers would: every value exactly once, per-producer
+// FIFO. Run under -race in CI.
+func TestLogPropertyBatchedEquivalentToSingle(t *testing.T) {
+	f := func(counts [3]uint8, batchSizes [3]uint8) bool {
+		l := NewLog[[2]int](16, 2)
+		var wg sync.WaitGroup
+		total := 0
+		for p, c := range counts {
+			n := int(c % 48)
+			total += n
+			bs := int(batchSizes[p]%5) + 1 // batch size 1..5
+			wg.Add(1)
+			go func(p, n, bs int) {
+				defer wg.Done()
+				batch := make([][2]int, 0, bs)
+				for i := 0; i < n; i++ {
+					if p%2 == 0 {
+						// Batched producer: flush every bs values.
+						batch = append(batch, [2]int{p, i})
+						if len(batch) == bs || i == n-1 {
+							l.AppendBatch(batch)
+							batch = batch[:0]
+						}
+					} else {
+						l.Append([2]int{p, i})
+					}
+				}
+			}(p, n, bs)
+		}
+		var ok atomic.Bool
+		ok.Store(true)
+		var cg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			cg.Add(1)
+			go func(g int) {
+				defer cg.Done()
+				next := [3]int{}
+				out := make([][2]int, 3)
+				if g == 1 {
+					out = out[:1] // group 1 consumes in singles: same observation
+				}
+				seen := 0
+				for seen < total {
+					n := l.TryConsumeBatch(g, out)
+					if n == 0 {
+						runtime.Gosched()
+						continue
+					}
+					for _, v := range out[:n] {
+						if v[1] != next[v[0]] {
+							ok.Store(false)
+							return
+						}
+						next[v[0]]++
+					}
+					seen += n
+				}
+			}(g)
+		}
+		wg.Wait()
+		cg.Wait()
+		return ok.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHistogram is the internally synchronized sibling of Histogram: the
+// same power-of-two buckets and exact count/sum/min/max, but every Observe
+// is lock-free — a handful of atomic adds plus (rarely) a min/max
+// compare-and-swap. It exists for hot paths where a mutex around a plain
+// Histogram would put lock traffic on every request (see internal/fleet's
+// gateway): concurrent observers never block each other, and a slow reader
+// can never hold a recording goroutine up.
+//
+// Observations are totally ordered per field but not across fields, so a
+// concurrent Snapshot may see a count that includes an observation whose
+// sum does not (and vice versa). For latency telemetry that skew is
+// harmless and momentary; quantiles remain correct to bucket resolution.
+//
+// The zero value is an empty histogram, ready to use.
+type AtomicHistogram struct {
+	count atomic.Uint64
+	sum   atomic.Uint64
+	// Extrema are stored shifted by one (0 means "unset") so the zero
+	// value needs no initialization and a genuine 0 observation is still
+	// distinguishable.
+	minP1   atomic.Uint64
+	maxP1   atomic.Uint64
+	buckets [65]atomic.Uint64
+}
+
+// Observe records one value (nanoseconds for latency use). Safe for
+// concurrent use; never blocks.
+func (h *AtomicHistogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.minP1.Load()
+		if cur != 0 && cur-1 <= v {
+			break
+		}
+		if h.minP1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.maxP1.Load()
+		if cur != 0 && cur-1 >= v {
+			break
+		}
+		if h.maxP1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration (negative durations count as zero).
+func (h *AtomicHistogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations so far.
+func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy as a plain Histogram, suitable for
+// Merge-based aggregation and quantile queries. See the type comment for
+// the (benign) cross-field skew a concurrent snapshot can observe.
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var s Histogram
+	s.count = h.count.Load()
+	s.sum = h.sum.Load()
+	if m := h.minP1.Load(); m > 0 {
+		s.min = m - 1
+	}
+	if m := h.maxP1.Load(); m > 0 {
+		s.max = m - 1
+	}
+	for i := range s.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicHistogramMatchesPlainHistogram(t *testing.T) {
+	var a AtomicHistogram
+	var p Histogram
+	vals := []uint64{0, 1, 5, 17, 1000, 1 << 40, 3, 3, 3}
+	for _, v := range vals {
+		a.Observe(v)
+		p.Observe(v)
+	}
+	s := a.Snapshot()
+	if s.Count() != p.Count() || s.Sum() != p.Sum() ||
+		s.MinValue() != p.MinValue() || s.MaxValue() != p.MaxValue() {
+		t.Fatalf("snapshot %v != plain %v", s.String(), p.String())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if s.Quantile(q) != p.Quantile(q) {
+			t.Fatalf("q%.2f: %d != %d", q, s.Quantile(q), p.Quantile(q))
+		}
+	}
+}
+
+func TestAtomicHistogramZeroObservation(t *testing.T) {
+	var a AtomicHistogram
+	a.Observe(0)
+	s := a.Snapshot()
+	if s.Count() != 1 || s.MinValue() != 0 || s.MaxValue() != 0 {
+		t.Fatalf("after Observe(0): %s", s.String())
+	}
+}
+
+func TestAtomicHistogramEmptySnapshot(t *testing.T) {
+	var a AtomicHistogram
+	s := a.Snapshot()
+	if s.Count() != 0 || s.MinValue() != 0 || s.MaxValue() != 0 {
+		t.Fatalf("empty snapshot: %s", s.String())
+	}
+	// Merging an empty snapshot must be a no-op.
+	var into Histogram
+	into.Observe(7)
+	into.Merge(&s)
+	if into.Count() != 1 || into.MinValue() != 7 {
+		t.Fatalf("merge of empty snapshot changed target: %s", into.String())
+	}
+}
+
+// Concurrent observers: exact count/sum and correct extrema, under -race.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	var a AtomicHistogram
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Observe(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := a.Snapshot()
+	n := uint64(workers * per)
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d", s.Count(), n)
+	}
+	if s.Sum() != n*(n-1)/2 {
+		t.Fatalf("sum = %d, want %d", s.Sum(), n*(n-1)/2)
+	}
+	if s.MinValue() != 0 || s.MaxValue() != n-1 {
+		t.Fatalf("extrema [%d, %d], want [0, %d]", s.MinValue(), s.MaxValue(), n-1)
+	}
+}

@@ -48,8 +48,12 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.count++
 	h.sum += v
-	h.buckets[bits.Len64(v)]++
+	h.buckets[bucketOf(v)]++
 }
+
+// bucketOf returns the bucket index for value v (shared with
+// AtomicHistogram so both histograms agree on bucketing).
+func bucketOf(v uint64) int { return bits.Len64(v) }
 
 // ObserveDuration records a duration (negative durations count as zero).
 func (h *Histogram) ObserveDuration(d time.Duration) {

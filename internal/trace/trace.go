@@ -17,7 +17,9 @@ import (
 )
 
 // Format version; bump on incompatible changes to the encoded layout.
-const Version = 1
+// Version 2: monitor.Record stores its input payload inline/spilled
+// (PayloadLen/Inline/Spill) instead of a single Data slice.
+const Version = 2
 
 // Trace is one recorded execution.
 type Trace struct {

@@ -34,11 +34,16 @@ func GenerateLoad(k *kernel.Kernel, port uint16, conns, requestsPerConn int) Loa
 	var mu sync.Mutex
 	res := LoadResult{}
 	var wg sync.WaitGroup
+	// Hoisted out of the request loop: the request bytes are constant and
+	// the response buffer is reused — the load generator must not be the
+	// process's allocation hot spot when it is the measuring instrument.
+	request := []byte("GET / HTTP/1.1")
 	for c := 0; c < conns; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			local := LoadResult{}
+			buf := make([]byte, 8192)
 			for r := 0; r < requestsPerConn; r++ {
 				cc, errno := k.Connect(port)
 				if errno != kernel.OK {
@@ -46,12 +51,11 @@ func GenerateLoad(k *kernel.Kernel, port uint16, conns, requestsPerConn int) Loa
 					continue
 				}
 				local.Requests++
-				if _, err := cc.Write([]byte("GET / HTTP/1.1")); err != nil {
+				if _, err := cc.Write(request); err != nil {
 					local.Errors++
 					cc.Close()
 					continue
 				}
-				buf := make([]byte, 8192)
 				n, err := cc.Read(buf)
 				if err != nil || n == 0 {
 					local.Errors++

@@ -82,6 +82,10 @@ type request struct {
 
 func runServer(t *core.Thread, cfg Config) {
 	page := strings.Repeat("x", cfg.PageSize)
+	// The static response is served on every default-path request; build
+	// it once instead of concatenating header+page per request in every
+	// variant.
+	response := []byte("HTTP/1.1 200 OK\r\n\r\n" + page)
 
 	// The "function pointer" the vulnerability overwrites: it holds the
 	// variant-local code address of the page handler. Diversity (DCL)
@@ -143,7 +147,7 @@ func runServer(t *core.Thread, cfg Config) {
 				req := queue[0]
 				queue = queue[1:]
 				qmu.Unlock(tt)
-				handle(tt, cfg, req, page, handlerPtr, bumpCount)
+				handle(tt, cfg, req, response, handlerPtr, bumpCount)
 			}
 		})
 	}
@@ -175,7 +179,7 @@ func (i instrumented) Lock(t *core.Thread)   { i.l.Lock(t) }
 func (i instrumented) Unlock(t *core.Thread) { i.l.Unlock(t) }
 
 // handle serves one connection: reads the request line, dispatches.
-func handle(t *core.Thread, cfg Config, req request, page string, handlerPtr uint64,
+func handle(t *core.Thread, cfg Config, req request, response []byte, handlerPtr uint64,
 	bump func(*core.Thread) uint32) {
 	r := t.Syscall(kernel.SysRecv, [6]uint64{req.fd, 4096}, nil)
 	if !r.Ok() || r.Val == 0 {
@@ -221,8 +225,7 @@ func handle(t *core.Thread, cfg Config, req request, page string, handlerPtr uin
 		// this response diverges.
 		t.Syscall(kernel.SysSend, [6]uint64{req.fd}, []byte(fmt.Sprintf("count=%d", n)))
 	default:
-		t.Syscall(kernel.SysSend, [6]uint64{req.fd},
-			[]byte("HTTP/1.1 200 OK\r\n\r\n"+page))
+		t.Syscall(kernel.SysSend, [6]uint64{req.fd}, response)
 	}
 	t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-trajectory benchmark set and record it in
+# BENCH_2.json (benchmark name → ns/op, B/op, allocs/op + custom metrics).
+# The file keeps a "baseline" section from its first run (the pre-PR
+# reference) and rewrites only "current", so regressions are visible by
+# diffing the two sections.
+#
+#   scripts/bench.sh                 # default set, BENCH_TIME=3x
+#   BENCH_TIME=1x scripts/bench.sh   # smoke run (CI)
+#   BENCH_PATTERN='BenchmarkFleet.*' scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The default set tracks the replication hot path and the serving path —
+# fast enough to run on every PR. The full paper regeneration
+# (Figure5/Table1) is available via BENCH_PATTERN but takes minutes.
+PATTERN="${BENCH_PATTERN:-BenchmarkReplicationHotPath|BenchmarkAgentMicro|BenchmarkWallClockAssignment|BenchmarkNginxThroughput|BenchmarkPolicyComparison}"
+TIME="${BENCH_TIME:-3x}"
+OUT="${BENCH_OUT:-BENCH_2.json}"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . |
+  go run scripts/benchjson.go -out "$OUT" -commit "$COMMIT"

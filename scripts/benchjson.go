@@ -1,0 +1,133 @@
+//go:build ignore
+
+// benchjson converts `go test -bench` output (stdin) into BENCH_<n>.json:
+// benchmark name → ns/op, B/op, allocs/op, plus any custom b.ReportMetric
+// units. The output file keeps a "baseline" section: on the first run it is
+// seeded from the same results; afterwards it is preserved verbatim, so the
+// file always carries the pre-PR reference next to the current numbers.
+//
+// Usage: go test -run '^$' -bench ... -benchmem . | go run scripts/benchjson.go -out BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type section struct {
+	Commit string `json:"commit,omitempty"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+	// Method annotates how the numbers were obtained (e.g. "medians of 7
+	// interleaved baseline/current pairs" on a host too noisy for
+	// sequential captures). Preserved across rewrites.
+	Method     string            `json:"method,omitempty"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+type file struct {
+	Baseline *section `json:"baseline,omitempty"`
+	Current  *section `json:"current"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON file")
+	commit := flag.String("commit", "", "commit id recorded in the section")
+	flag.Parse()
+
+	cur := &section{
+		Commit:     *commit,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Benchmarks: map[string]result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass output through for the console
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the trailing -<GOMAXPROCS> from the name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Iterations: iters}
+		// The rest are "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		cur.Benchmarks[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	var f file
+	if prev, err := os.ReadFile(*out); err == nil {
+		_ = json.Unmarshal(prev, &f) // a corrupt file just loses its baseline
+	}
+	if f.Baseline == nil {
+		f.Baseline = cur // first run: current numbers become the reference
+	}
+	f.Current = cur
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(cur.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
