@@ -19,8 +19,9 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench records the perf trajectory into BENCH_2.json (see scripts/bench.sh
-# and the README's Performance section for how to read it).
+# bench records the perf trajectory into BENCH_3.json (see scripts/bench.sh
+# and the README's Performance section for how to read it — compare
+# interleaved medians, not single sequential runs).
 bench:
 	scripts/bench.sh
 

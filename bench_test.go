@@ -13,7 +13,9 @@ package mvee
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/monitor"
+	"repro/internal/ring"
 	"repro/internal/variant"
 	"repro/internal/webserver"
 	"repro/internal/workload"
@@ -335,18 +338,33 @@ func BenchmarkAgentMicro(b *testing.B) {
 }
 
 // BenchmarkWallClockAssignment measures the WoC hash (ClockOf) — it sits on
-// the master's critical path for every sync op.
+// the master's critical path for every sync op. A replaying slave drains
+// the sync buffer concurrently: without one, any b.N past the buffer
+// capacity stalls the master on back-pressure forever (the old Gosched
+// tail spun invisibly there; the parked wait turns it into a detected
+// deadlock, which is how this benchmark's missing consumer was found).
 func BenchmarkWallClockAssignment(b *testing.B) {
 	b.ReportAllocs()
 	ex := agent.NewExchange(agent.WallOfClocks, agent.Config{Slaves: 1, MaxThreads: 1, BufCap: 64, WallSize: 4096})
 	defer ex.Stop()
 	m := ex.MasterAgent()
+	s := ex.SlaveAgent(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			addr := uint64(0x1000 + i*64)
+			s.Before(0, addr)
+			s.After(0, addr)
+		}
+	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		addr := uint64(0x1000 + i*64)
 		m.Before(0, addr)
 		m.After(0, addr)
 	}
+	<-done
 }
 
 // BenchmarkDMTBaseline measures the token-passing DMT scheduler (§2.1
@@ -535,4 +553,144 @@ func BenchmarkReplicationHotPath(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkLaggingSlaveWait measures what a far-behind waiter costs —
+// the PR-3 tentpole's target. A producer/consumer pair streams b.N events
+// through a ring at full speed while "lagging slaves" wait for an event
+// that is only published after the run (the shape of a slave stuck on a
+// record the master has not produced yet):
+//
+//	parked   the laggards park on the ring's futex wait set — a handful
+//	         of poll iterations each, then zero CPU until woken
+//	gosched  the pre-parking behavior: the backoff tail yields forever,
+//	         so every laggard stays runnable, burning a scheduler pass
+//	         and a poll per iteration for the whole run
+//
+// laggard-polls/op is the waste: poll-loop iterations the laggards burned
+// per produced event. Parked waits hold it near zero; the Gosched tail
+// scales it with run length (and, on a loaded machine, those polls are
+// timeslices stolen from the variants doing real work — wall-clock ns/op
+// shows that part only when cores are contended, so the poll count is the
+// portable signal).
+func BenchmarkLaggingSlaveWait(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		park bool
+	}{{"parked", true}, {"gosched", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			prevPark := ring.SetParking(mode.park)
+			defer ring.SetParking(prevPark)
+			prevProcs := runtime.GOMAXPROCS(2)
+			defer runtime.GOMAXPROCS(prevProcs)
+			b.ReportAllocs()
+
+			const laggards = 8
+			release := ring.NewLog[int](2, 1)
+			var polls atomic.Uint64
+			var lagWG sync.WaitGroup
+			for g := 0; g < laggards; g++ {
+				lagWG.Add(1)
+				go func() {
+					defer lagWG.Done()
+					n := uint64(0)
+					for spins := 0; !release.Ready(0); spins++ {
+						n++
+						if ring.ParkDue(spins) {
+							pk := release.Parker()
+							gen := pk.Prepare()
+							if release.Ready(0) {
+								pk.Cancel()
+								break
+							}
+							pk.Park(gen)
+							continue
+						}
+						ring.Backoff(spins)
+					}
+					polls.Add(n)
+				}()
+			}
+
+			l := ring.NewLog[int](1024, 1)
+			var consWG sync.WaitGroup
+			consWG.Add(1)
+			go func() {
+				defer consWG.Done()
+				var batch [64]int
+				seen := 0
+				for spins := 0; seen < b.N; {
+					n := l.TryConsumeBatch(0, batch[:])
+					if n == 0 {
+						ring.Backoff(spins)
+						spins++
+						continue
+					}
+					spins = 0
+					seen += n
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Append(i)
+			}
+			consWG.Wait()
+			b.StopTimer()
+			release.Append(1)
+			lagWG.Wait()
+			b.ReportMetric(float64(polls.Load())/float64(b.N), "laggard-polls/op")
+		})
+	}
+}
+
+// BenchmarkConnectPath measures the serving path's per-connection kernel
+// cost outside the MVEE machinery: connect, one request/response exchange
+// against a raw-kernel echo server, close. The pooled connection objects
+// (pipes with retained buffers, recycled socket endpoints) are what keep
+// allocs/op low here; before pooling every cycle paid for two pipes, two
+// conds, a socket endpoint, and fresh stream buffers.
+func BenchmarkConnectPath(b *testing.B) {
+	b.ReportAllocs()
+	k := kernel.New()
+	p := k.NewProc(0x1000_0000, 0x7000_0000)
+	sfd := k.Do(p, kernel.Call{Nr: kernel.SysSocket})
+	if !sfd.Ok() {
+		b.Fatalf("socket: %v", sfd.Err)
+	}
+	if r := k.Do(p, kernel.Call{Nr: kernel.SysListen, Args: [6]uint64{sfd.Val, 8088, 128}}); !r.Ok() {
+		b.Fatalf("listen: %v", r.Err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c := k.Do(p, kernel.Call{Nr: kernel.SysAccept, Args: [6]uint64{sfd.Val}})
+			if !c.Ok() {
+				return
+			}
+			msg := k.Do(p, kernel.Call{Nr: kernel.SysRecv, Args: [6]uint64{c.Val, 4096}})
+			if msg.Ok() && len(msg.Data) > 0 {
+				k.Do(p, kernel.Call{Nr: kernel.SysSend, Args: [6]uint64{c.Val}, Data: msg.Data})
+			}
+			k.Do(p, kernel.Call{Nr: kernel.SysClose, Args: [6]uint64{c.Val}})
+		}
+	}()
+	req := []byte("GET /bench")
+	buf := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc, errno := k.Connect(8088)
+		if errno != kernel.OK {
+			b.Fatalf("connect: %v", errno)
+		}
+		cc.Write(req)
+		if n, err := cc.Read(buf); err != nil || n == 0 {
+			b.Fatalf("read: n=%d err=%v", n, err)
+		}
+		cc.Close()
+	}
+	b.StopTimer()
+	k.CloseListener(8088)
+	<-done
 }

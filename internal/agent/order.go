@@ -57,7 +57,12 @@ func (ex *orderExchange) Kind() Kind {
 	return TotalOrder
 }
 
-func (ex *orderExchange) Stop() { ex.stop.stopped.Store(true) }
+func (ex *orderExchange) Stop() {
+	ex.stop.stopped.Store(true)
+	// Wake anything parked on the shared buffer so it re-checks the stop
+	// flag and unwinds (see ring.Log.SetStop's contract).
+	ex.log.Interrupt()
+}
 
 func (ex *orderExchange) MasterAgent() Agent {
 	return &orderMaster{ex: ex}
@@ -112,24 +117,48 @@ type toSlave struct {
 	stalls  atomic.Uint64
 }
 
+// tryClaim claims the head entry for tid if it is published and addressed
+// to this thread, recording the claimed sequence in pending.
+func (s *toSlave) tryClaim(tid int) bool {
+	s.st.mu.Lock()
+	seq := s.ex.log.Cursor(s.group)
+	e, ok := s.ex.log.TryGet(seq)
+	claimed := ok && int(e.Tid) == tid
+	if claimed {
+		s.pending[tid] = seq
+	}
+	s.st.mu.Unlock()
+	return claimed
+}
+
 func (s *toSlave) Before(tid int, addr uint64) {
 	first := true
+	pk := s.ex.log.Parker()
 	for spins := 0; ; spins++ {
 		s.ex.stop.check()
-		s.st.mu.Lock()
-		seq := s.ex.log.Cursor(s.group)
-		e, ok := s.ex.log.TryGet(seq)
-		claimed := ok && int(e.Tid) == tid
-		if claimed {
-			s.pending[tid] = seq
-		}
-		s.st.mu.Unlock()
-		if claimed {
+		if s.tryClaim(tid) {
 			return
 		}
 		if first {
 			s.stalls.Add(1)
 			first = false
+		}
+		// A thread whose turn is far off (the total order stalls unrelated
+		// threads by design — Figure 4(a)) parks on the buffer's wait set;
+		// the master's next append and every sibling's head advance wake
+		// it.
+		if ring.ParkDue(spins) {
+			g := pk.Prepare()
+			if s.ex.stop.stopped.Load() {
+				pk.Cancel()
+				continue
+			}
+			if s.tryClaim(tid) {
+				pk.Cancel()
+				return
+			}
+			pk.Park(g)
+			continue
 		}
 		ring.Backoff(spins)
 	}
@@ -169,6 +198,7 @@ type poSlave struct {
 
 func (s *poSlave) Before(tid int, addr uint64) {
 	first := true
+	pk := s.ex.log.Parker()
 	for spins := 0; ; spins++ {
 		s.ex.stop.check()
 		if seq, ok := s.tryClaim(tid); ok {
@@ -178,6 +208,23 @@ func (s *poSlave) Before(tid int, addr uint64) {
 		if first {
 			s.stalls.Add(1)
 			first = false
+		}
+		// Park once spinning stops paying off. Wakes come from the
+		// master's appends (ring publish) and from sibling consumption
+		// (After wakes the set explicitly — see the comment there).
+		if ring.ParkDue(spins) {
+			g := pk.Prepare()
+			if s.ex.stop.stopped.Load() {
+				pk.Cancel()
+				continue
+			}
+			if seq, ok := s.tryClaim(tid); ok {
+				pk.Cancel()
+				s.pending[tid] = seq
+				return
+			}
+			pk.Park(g)
+			continue
 		}
 		ring.Backoff(spins)
 	}
@@ -222,6 +269,11 @@ func (s *poSlave) After(tid int, addr uint64) {
 	head := s.st.head
 	s.st.mu.Unlock()
 	s.ex.log.AdvanceTo(s.group, head)
+	// Wake parked siblings even when the head did not move (AdvanceTo
+	// no-ops then, so the ring wakes nobody): consuming a mid-window entry
+	// can clear another thread's same-address dependence, and that thread
+	// may be parked waiting for exactly this.
+	s.ex.log.Parker().Wake()
 	s.ops.Add(1)
 }
 

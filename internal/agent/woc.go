@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/clock"
+	"repro/internal/futex"
 	"repro/internal/ring"
 )
 
@@ -41,16 +42,23 @@ type wocExchange struct {
 	// construction.
 	bufs  []atomic.Pointer[ring.Log[WEntry]]
 	walls []*clock.Wall // one local wall per slave group
-	stop  stopFlag
+	// wallParks[g] parks slave group g's threads once a wall-time wait has
+	// spun past the pause phase; every local Tick by a sibling thread
+	// wakes it. One wait set per wall (not per clock): 4096 parkers per
+	// group would bloat the exchange, and a broadcast only costs the
+	// (rare) parked waiters a re-check.
+	wallParks []futex.Parker
+	stop      stopFlag
 }
 
 func newWoCExchange(cfg Config) *wocExchange {
 	ex := &wocExchange{
-		cfg:   cfg,
-		wall:  clock.NewWall(cfg.WallSize),
-		locks: make([]sync.Mutex, cfg.WallSize),
-		bufs:  make([]atomic.Pointer[ring.Log[WEntry]], cfg.MaxThreads),
-		walls: make([]*clock.Wall, cfg.Slaves),
+		cfg:       cfg,
+		wall:      clock.NewWall(cfg.WallSize),
+		locks:     make([]sync.Mutex, cfg.WallSize),
+		bufs:      make([]atomic.Pointer[ring.Log[WEntry]], cfg.MaxThreads),
+		walls:     make([]*clock.Wall, cfg.Slaves),
+		wallParks: make([]futex.Parker, cfg.Slaves),
 	}
 	for g := range ex.walls {
 		ex.walls[g] = clock.NewWall(cfg.WallSize)
@@ -75,7 +83,20 @@ func (ex *wocExchange) buf(tid int) *ring.Log[WEntry] {
 }
 
 func (ex *wocExchange) Kind() Kind { return WallOfClocks }
-func (ex *wocExchange) Stop()      { ex.stop.stopped.Store(true) }
+
+func (ex *wocExchange) Stop() {
+	ex.stop.stopped.Store(true)
+	// Wake everything parked on a sync buffer or a wall so it re-checks
+	// the stop flag and unwinds (see ring.Log.SetStop's contract).
+	for i := range ex.bufs {
+		if b := ex.bufs[i].Load(); b != nil {
+			b.Interrupt()
+		}
+	}
+	for g := range ex.wallParks {
+		ex.wallParks[g].Wake()
+	}
+}
 
 func (ex *wocExchange) MasterAgent() Agent {
 	return &wocMaster{ex: ex, held: make([]int32, ex.cfg.MaxThreads)}
@@ -83,13 +104,14 @@ func (ex *wocExchange) MasterAgent() Agent {
 
 func (ex *wocExchange) SlaveAgent(g int) Agent {
 	return &wocSlave{
-		ex:    ex,
-		group: g,
-		wall:  ex.walls[g],
-		cur:   make([]WEntry, ex.cfg.MaxThreads),
-		pre:   make([]WEntry, ex.cfg.MaxThreads*wocBatch),
-		bi:    make([]int, ex.cfg.MaxThreads),
-		bn:    make([]int, ex.cfg.MaxThreads),
+		ex:       ex,
+		group:    g,
+		wall:     ex.walls[g],
+		wallPark: &ex.wallParks[g],
+		cur:      make([]WEntry, ex.cfg.MaxThreads),
+		pre:      make([]WEntry, ex.cfg.MaxThreads*wocBatch),
+		bi:       make([]int, ex.cfg.MaxThreads),
+		bn:       make([]int, ex.cfg.MaxThreads),
 	}
 }
 
@@ -131,10 +153,11 @@ const wocBatch = 16
 // recorded time. Threads whose variables hash to different clocks never
 // wait on one another.
 type wocSlave struct {
-	ex    *wocExchange
-	group int
-	wall  *clock.Wall
-	cur   []WEntry // per tid: entry claimed in Before
+	ex       *wocExchange
+	group    int
+	wall     *clock.Wall
+	wallPark *futex.Parker // this group's wall wait set (see wocExchange)
+	cur      []WEntry      // per tid: entry claimed in Before
 	// pre[tid*wocBatch:] is thread tid's prefetched ticket batch;
 	// bi/bn[tid] is the consumption window into it.
 	pre    []WEntry
@@ -157,17 +180,41 @@ func (s *wocSlave) Before(tid int, addr uint64) {
 			if spins == 0 {
 				s.stalls.Add(1)
 			}
+			// A slave thread far behind its master counterpart parks on
+			// the (SPSC) buffer's wait set; the master's next append wakes
+			// it.
+			if ring.ParkDue(spins) {
+				pk := buf.Parker()
+				g := pk.Prepare()
+				if buf.Ready(buf.Cursor(s.group)) || s.ex.stop.stopped.Load() {
+					pk.Cancel()
+					continue
+				}
+				pk.Park(g)
+				continue
+			}
 			ring.Backoff(spins)
 		}
 	}
 	e := s.pre[tid*wocBatch+s.bi[tid]]
 	// Wait for the local clock to reach the ticket's time. Inline wait (no
-	// closure: this runs per sync op and must not allocate).
+	// closure: this runs per sync op and must not allocate). Past the
+	// spin/pause/yield phases the thread parks on the group's wall wait
+	// set; each sibling Tick (After) wakes it.
 	if s.wall.Now(int(e.Clock)) < e.Time {
 		s.stalls.Add(1)
 	}
 	for spins := 0; s.wall.Now(int(e.Clock)) < e.Time; spins++ {
 		s.ex.stop.check()
+		if ring.ParkDue(spins) {
+			g := s.wallPark.Prepare()
+			if s.wall.Now(int(e.Clock)) >= e.Time || s.ex.stop.stopped.Load() {
+				s.wallPark.Cancel()
+				continue
+			}
+			s.wallPark.Park(g)
+			continue
+		}
 		ring.Backoff(spins)
 	}
 	s.cur[tid] = e
@@ -177,6 +224,8 @@ func (s *wocSlave) After(tid int, addr uint64) {
 	e := s.cur[tid]
 	s.bi[tid]++
 	s.wall.Tick(int(e.Clock))
+	// The tick may be exactly the time a parked sibling is waiting for.
+	s.wallPark.Wake()
 	s.ops.Add(1)
 }
 

@@ -76,17 +76,22 @@ func TestLamportConcurrentTicksAreUnique(t *testing.T) {
 	}
 }
 
-func TestLamportWaitFor(t *testing.T) {
+func TestLamportInlineWait(t *testing.T) {
+	// The wait idiom the replication paths use: poll Now inline (the
+	// closure-taking WaitFor was removed — it allocated on the per-call
+	// path and could not park).
 	var c Lamport
 	done := make(chan struct{})
 	go func() {
-		c.WaitFor(3, runtime.Gosched)
+		for c.Now() < 3 {
+			runtime.Gosched()
+		}
 		close(done)
 	}()
 	c.Tick()
 	c.Tick()
 	c.Tick()
-	<-done // deadlocks (test timeout) if WaitFor never observes 3
+	<-done // deadlocks (test timeout) if the wait never observes 3
 }
 
 func TestWallSizeMustBePowerOfTwo(t *testing.T) {
@@ -142,7 +147,9 @@ func TestWallTickAndWait(t *testing.T) {
 	}
 	done := make(chan struct{})
 	go func() {
-		w.WaitFor(cid, 3, runtime.Gosched)
+		for w.Now(cid) < 3 {
+			runtime.Gosched()
+		}
 		close(done)
 	}()
 	w.Tick(cid)

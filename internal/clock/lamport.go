@@ -49,15 +49,11 @@ func (c *Lamport) Advance(t uint64) {
 	}
 }
 
-// WaitFor spins until the clock reaches exactly t, calling yield between
-// polls. It returns immediately if the clock is already at or past t.
-// The caller supplies the yield strategy so that the clock package does not
-// depend on any particular parking mechanism.
-func (c *Lamport) WaitFor(t uint64, yield func()) {
-	for c.t.Load() < t {
-		yield()
-	}
-}
+// Waiting for a clock value is the caller's job, not this package's: the
+// replication paths poll Now inline (no closure — the per-call path must
+// not allocate) and park on a futex.Parker past ring.ParkDue, which a
+// yield-callback API here could neither express nor stay allocation-free
+// doing. The old closure-taking WaitFor was removed for that reason.
 
 // String implements fmt.Stringer.
 func (c *Lamport) String() string { return fmt.Sprintf("L(%d)", c.Now()) }

@@ -52,13 +52,10 @@ func (w *Wall) Now(cid int) uint64 { return w.clocks[cid].Load() }
 // timestamp to record in the sync buffer.
 func (w *Wall) Tick(cid int) uint64 { return w.clocks[cid].Add(1) - 1 }
 
-// WaitFor spins until clock cid reaches at least t, calling yield between
-// polls.
-func (w *Wall) WaitFor(cid int, t uint64, yield func()) {
-	for w.clocks[cid].Load() < t {
-		yield()
-	}
-}
+// (Wall deliberately has no WaitFor: waits on wall time are the agent's
+// job — an inline poll that parks on the group's futex.Parker; see
+// wocSlave.Before — and a closure-taking wait API here would allocate on
+// the per-sync-op path. The old WaitFor was removed for that reason.)
 
 // Reset zeroes every clock. Used when a wall is recycled between runs.
 func (w *Wall) Reset() {

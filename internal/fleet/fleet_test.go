@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -503,5 +504,72 @@ func TestFleetClosedRejects(t *testing.T) {
 	}
 	if _, err := f.TryDo([]byte("GET /")); err != fleet.ErrClosed {
 		t.Fatalf("TryDo after Close: %v", err)
+	}
+}
+
+// TestGatewayBatchedDispatchStress floods a deliberately narrow gateway
+// (one worker, so every batch fills) with concurrent submitters and
+// verifies batched dequeuing loses nothing: every request is answered
+// exactly once with the right payload, in the presence of Do and TryDo
+// mixed. Run under -race in CI (the satellite's gateway stress test).
+func TestGatewayBatchedDispatchStress(t *testing.T) {
+	f, err := fleet.New(fleet.Config{
+		Size:     1,
+		Session:  sessOpts(),
+		Program:  slowEchoProgram(9100, 0),
+		Port:     9100,
+		Workers:  1, // force deep batches: one worker drains everything
+		QueueCap: 512,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	defer f.Close()
+
+	const clients, perClient = 16, 25
+	var wg sync.WaitGroup
+	var rejected atomic.Uint64
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				req := []byte(fmt.Sprintf("batch-%d-%d", c, r))
+				var resp []byte
+				var err error
+				if r%5 == 4 {
+					resp, err = f.TryDo(req)
+					if err == fleet.ErrOverloaded {
+						rejected.Add(1)
+						continue // backpressure is a valid outcome for TryDo
+					}
+				} else {
+					resp, err = f.Do(req)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %v", c, r, err)
+					return
+				}
+				if string(resp) != string(req) {
+					errs <- fmt.Errorf("client %d req %d: echoed %q, want %q", c, r, resp, req)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := f.Stats()
+	want := uint64(clients*perClient) - rejected.Load()
+	if s.Served != want {
+		t.Fatalf("served %d, want %d (rejected %d)", s.Served, want, rejected.Load())
+	}
+	if s.Errors != 0 {
+		t.Fatalf("gateway reported %d errors under pure load", s.Errors)
 	}
 }

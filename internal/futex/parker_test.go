@@ -1,0 +1,197 @@
+package futex
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression for the unbounded-queue-map bug: queueFor used to only ever
+// insert, so a process churning through sync addresses grew the table by
+// one queue per address it ever touched. Queues must disappear once their
+// last waiter drains.
+func TestTableRemovesDrainedQueues(t *testing.T) {
+	var tbl Table
+	words := make([]atomic.Uint32, 64)
+	for round := 0; round < 4; round++ {
+		var wg sync.WaitGroup
+		for i := range words {
+			w := &words[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tbl.Wait(w, 0)
+			}()
+		}
+		for i := range words {
+			w := &words[i]
+			for tbl.Waiters(w) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		for i := range words {
+			tbl.WakeAll(&words[i])
+		}
+		wg.Wait()
+		if n := tbl.Queues(); n != 0 {
+			t.Fatalf("round %d: %d queues left after all waiters drained, want 0", round, n)
+		}
+	}
+}
+
+func TestTableValueChangedLeavesNoQueue(t *testing.T) {
+	var tbl Table
+	var w atomic.Uint32
+	w.Store(7)
+	if tbl.Wait(&w, 3) {
+		t.Fatal("Wait slept although *w != val")
+	}
+	if n := tbl.Queues(); n != 0 {
+		t.Fatalf("%d queues after an EAGAIN wait, want 0", n)
+	}
+	if tbl.Wake(&w, 1) != 0 {
+		t.Fatal("Wake released a phantom waiter")
+	}
+	if n := tbl.Queues(); n != 0 {
+		t.Fatalf("%d queues after a waiterless wake, want 0", n)
+	}
+}
+
+func TestTableInterruptAllDropsQueues(t *testing.T) {
+	var tbl Table
+	var w atomic.Uint32
+	done := make(chan struct{})
+	go func() {
+		tbl.Wait(&w, 0)
+		close(done)
+	}()
+	for tbl.Waiters(&w) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	tbl.InterruptAll()
+	<-done
+	if n := tbl.Queues(); n != 0 {
+		t.Fatalf("%d queues after InterruptAll, want 0", n)
+	}
+	// Future waits return immediately and leave nothing behind.
+	if !tbl.Wait(&w, 0) {
+		t.Fatal("post-interrupt Wait returned false")
+	}
+	if n := tbl.Queues(); n != 0 {
+		t.Fatalf("%d queues after post-interrupt Wait, want 0", n)
+	}
+}
+
+func TestParkerWakeBeforeParkDoesNotSleep(t *testing.T) {
+	var p Parker
+	g := p.Prepare()
+	p.Wake() // lands between Prepare and Park
+	done := make(chan struct{})
+	go func() {
+		p.Park(g) // must return immediately: a wake already happened
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Park slept through a Wake issued after Prepare")
+	}
+}
+
+func TestParkerCancelBalancesWaiters(t *testing.T) {
+	var p Parker
+	p.Prepare()
+	if p.Waiters() != 1 {
+		t.Fatalf("Waiters = %d after Prepare, want 1", p.Waiters())
+	}
+	p.Cancel()
+	if p.Waiters() != 0 {
+		t.Fatalf("Waiters = %d after Cancel, want 0", p.Waiters())
+	}
+}
+
+// The store-buffer race the eventcount exists to close: a producer storing
+// a word and a consumer parking on it must never both "miss" — under the
+// protocol (announce, re-check, park / store, wake) every published value
+// is observed. Run with -race in CI.
+func TestParkerNoLostWakeups(t *testing.T) {
+	var p Parker
+	var word atomic.Uint64
+	const total = 20000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := uint64(1)
+		for next <= total {
+			if word.Load() >= next {
+				next++
+				continue
+			}
+			g := p.Prepare()
+			if word.Load() >= next {
+				p.Cancel()
+				continue
+			}
+			p.Park(g)
+		}
+	}()
+	for v := uint64(1); v <= total; v++ {
+		word.Store(v)
+		p.Wake()
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer missed a wakeup and parked forever")
+	}
+	if p.Waiters() != 0 {
+		t.Fatalf("Waiters = %d after drain, want 0", p.Waiters())
+	}
+}
+
+// Many parked waiters, one broadcast: everyone must come back.
+func TestParkerBroadcast(t *testing.T) {
+	var p Parker
+	var flag atomic.Bool
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !flag.Load() {
+				g := p.Prepare()
+				if flag.Load() {
+					p.Cancel()
+					return
+				}
+				p.Park(g)
+			}
+		}()
+	}
+	// Let most of them actually park before the flag flips.
+	for p.Waiters() < n/2 {
+		time.Sleep(time.Millisecond)
+	}
+	flag.Store(true)
+	p.Wake()
+	wg.Wait()
+}
+
+func TestParkerWakeIsAllocationFree(t *testing.T) {
+	var p Parker
+	if allocs := testing.AllocsPerRun(100, p.Wake); allocs != 0 {
+		t.Fatalf("Wake with no waiters allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// The uncontended FUTEX_WAKE — value changed, nobody waiting — must not
+// create (and then tear down) a queue per call.
+func TestTableWakeWithoutQueueIsAllocationFree(t *testing.T) {
+	var tbl Table
+	var w atomic.Uint32
+	if allocs := testing.AllocsPerRun(100, func() { tbl.Wake(&w, 1) }); allocs != 0 {
+		t.Fatalf("waiterless Wake allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -29,6 +29,10 @@ type Kernel struct {
 	// never return the identical instant — the property the covert
 	// channel PoC (§5.4) depends on.
 	logical atomic.Uint64
+	// sleeps counts executed nanosleeps. Under the monitor only the
+	// master's sleep reaches the kernel (slaves consume the replicated
+	// result), and tests assert exactly that.
+	sleeps atomic.Uint64
 
 	// Interruption support: when the monitor tears the session down (on
 	// divergence), every blockable object is force-closed so that threads
@@ -36,11 +40,21 @@ type Kernel struct {
 	intMu       sync.Mutex
 	interrupted bool
 	blockables  map[interruptible]struct{}
+
+	// Per-connection object pools. Serving traffic means two pipes and a
+	// socket endpoint per connection; recycling them (buffers included,
+	// reset on put) keeps Connect/Accept off the allocator on the serving
+	// hot path. The pools are per kernel, not package-global, so a pipe
+	// can never migrate between sessions — the interrupt path may close a
+	// just-recycled pipe, and that must only ever hit the session being
+	// torn down.
+	pipePool sync.Pool
+	sockPool sync.Pool
 }
 
 type interruptible interface{ interrupt() }
 
-func (p *pipe) interrupt()     { p.closeRead(); p.closeWrite() }
+func (p *pipe) interrupt()     { p.interruptNow() }
 func (l *listener) interrupt() { l.close() }
 
 // track registers a blockable object; if the kernel is already interrupted
@@ -64,17 +78,12 @@ func (k *Kernel) track(x interruptible) {
 // every connection's pipes would stay pinned on the interrupt list (buffers
 // included) for the whole session — unbounded live-heap growth that the
 // collector re-scans on every cycle while the server is under load.
+// Kernel-owned pipes untrack themselves through releasePipe once they are
+// dead and drained, on their way back into the pipe pool.
 func (k *Kernel) untrack(x interruptible) {
 	k.intMu.Lock()
 	delete(k.blockables, x)
 	k.intMu.Unlock()
-}
-
-// trackPipe tracks a pipe and arranges for it to untrack itself as soon as
-// both of its directions are closed (a finished connection).
-func (k *Kernel) trackPipe(p *pipe) {
-	p.onDead = func() { k.untrack(p) }
-	k.track(p)
 }
 
 // Interrupt force-closes every pipe, socket and listener so that any thread
@@ -168,33 +177,44 @@ func (k *Kernel) CloseListener(port uint16) {
 
 // Connect establishes a loopback connection to port and returns the client
 // endpoint. Client code in tests and load generators talks to the server
-// through the returned ClientConn.
+// through the returned ClientConn. The connection's pipes come from the
+// kernel's pool; the one allocation left on this path is the ClientConn
+// itself (its conn is embedded by value).
 func (k *Kernel) Connect(port uint16) (*ClientConn, Errno) {
 	l, ok := k.net.lookup(port)
 	if !ok {
 		return nil, ECONNREFUSED
 	}
-	c := &conn{toServer: newPipe(), fromServer: newPipe()}
-	k.trackPipe(c.toServer)
-	k.trackPipe(c.fromServer)
-	if errno := l.enqueue(c); errno != OK {
-		// Close both pipes so they untrack themselves: a refused connect
-		// (full backlog under overload) must not pin its pipes on the
-		// interrupt list for the session's lifetime.
-		c.toServer.interrupt()
-		c.fromServer.interrupt()
+	cc := &ClientConn{c: conn{toServer: k.getPipe(), fromServer: k.getPipe()}}
+	cc.toGen = cc.c.toServer.generation()
+	cc.fromGen = cc.c.fromServer.generation()
+	k.track(cc.c.toServer)
+	k.track(cc.c.fromServer)
+	if errno := l.enqueue(&cc.c); errno != OK {
+		// Close both pipes so they recycle: a refused connect (full
+		// backlog under overload) must not pin its pipes on the interrupt
+		// list for the session's lifetime.
+		cc.c.toServer.interrupt()
+		cc.c.fromServer.interrupt()
 		return nil, errno
 	}
-	return &ClientConn{c: c}, OK
+	return cc, OK
 }
 
 // ClientConn is the client-side view of a loopback connection, used by
-// load generators that live outside the MVEE.
-type ClientConn struct{ c *conn }
+// load generators that live outside the MVEE. Every operation carries the
+// generation the pipes were acquired at, so a call that arrives after the
+// connection's pipes have been recycled — a gateway watchdog's Close
+// racing the request path, a Read after Close — gets EBADF instead of
+// touching a successor connection.
+type ClientConn struct {
+	c              conn
+	toGen, fromGen uint64
+}
 
 // Write sends data toward the server.
 func (cc *ClientConn) Write(p []byte) (int, error) {
-	n, errno := cc.c.toServer.write(p)
+	n, errno := cc.c.toServer.write(cc.toGen, p)
 	if errno != OK {
 		return n, errno
 	}
@@ -203,24 +223,37 @@ func (cc *ClientConn) Write(p []byte) (int, error) {
 
 // Read receives data from the server; it returns n==0 and nil error at EOF.
 func (cc *ClientConn) Read(p []byte) (int, error) {
-	n, errno := cc.c.fromServer.read(p)
+	n, errno := cc.c.fromServer.read(cc.fromGen, p)
 	if errno != OK {
 		return n, errno
 	}
 	return n, nil
 }
 
-// Close shuts down the client side of the connection.
+// Close shuts down the client side of the connection. It is idempotent
+// (the generation check absorbs repeats and late watchdog closes: once
+// the pipes' lifetime has moved on, Close is a no-op).
 func (cc *ClientConn) Close() {
-	cc.c.toServer.closeWrite()
-	cc.c.fromServer.closeRead()
+	cc.c.toServer.closeWrite(cc.toGen)
+	cc.c.fromServer.closeRead(cc.fromGen)
 }
 
 // nowNanos returns a strictly increasing timestamp: real elapsed time mixed
 // with a logical increment so that consecutive reads always differ.
+//
+// Two reads never return the same value even zero time apart, which means
+// a gettimeofday executed once per variant would be a guaranteed
+// benign-divergence source; the monitor therefore executes wall-clock
+// reads in the master only and replicates the value (see
+// monitor.classify).
 func (k *Kernel) nowNanos() uint64 {
 	return uint64(time.Since(k.start).Nanoseconds()) + k.logical.Add(1)
 }
+
+// Sleeps reports how many nanosleeps the kernel actually executed (slept
+// for). Tests use it to prove slaves consume the master's replicated
+// nanosleep result instead of re-paying the sleep.
+func (k *Kernel) Sleeps() uint64 { return k.sleeps.Load() }
 
 // Do executes one system call on behalf of process p. It may block (pipe
 // reads, accept, nanosleep) — the monitor is responsible for only routing
@@ -272,6 +305,7 @@ func (k *Kernel) Do(p *Proc, c Call) Ret {
 	case SysGettimeofday, SysClockGettime:
 		return Ret{Val: k.nowNanos()}
 	case SysNanosleep:
+		k.sleeps.Add(1)
 		time.Sleep(time.Duration(c.Args[0]))
 		return Ret{}
 	case SysSchedYield:
@@ -282,9 +316,9 @@ func (k *Kernel) Do(p *Proc, c Call) Ret {
 	case SysSocket:
 		// The descriptor is allocated at connect/accept/listen time in
 		// this simplified stack; socket() reserves a placeholder (the
-		// endpoint pipes are attached by connect/accept, so none are
-		// allocated here).
-		fd, errno := p.allocFD(&socketObj{}, 0)
+		// endpoint pipes are attached by connect, so none are created
+		// here). The placeholder comes from the endpoint pool.
+		fd, errno := p.allocFD(k.getSock(), 0)
 		return Ret{Val: uint64(fd), Err: errno}
 	case SysBind, SysListen:
 		return k.doListen(p, c)
@@ -461,13 +495,14 @@ func (k *Kernel) doStat(c Call) Ret {
 }
 
 func (k *Kernel) doPipe(p *Proc) Ret {
-	pi := newPipe()
-	k.trackPipe(pi)
-	rfd, errno := p.allocFD(&readEnd{p: pi}, ORdonly)
+	pi := k.getPipe()
+	gen := pi.generation()
+	k.track(pi)
+	rfd, errno := p.allocFD(&readEnd{p: pi, gen: gen}, ORdonly)
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	wfd, errno := p.allocFD(&writeEnd{p: pi}, OWronly)
+	wfd, errno := p.allocFD(&writeEnd{p: pi, gen: gen}, OWronly)
 	if errno != OK {
 		p.closeFD(rfd)
 		return Ret{Err: errno}
@@ -529,31 +564,64 @@ func (k *Kernel) doAccept(p *Proc, c Call) Ret {
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	fd, errno := p.allocFD(&socketObj{rx: cn.toServer, tx: cn.fromServer}, 0)
-	return Ret{Val: uint64(fd), Err: errno}
+	s := k.getSock()
+	s.attach(cn.toServer, cn.fromServer)
+	fd, errno := p.allocFD(s, 0)
+	if errno != OK {
+		s.close() // no descriptor will ever close it; recycle now
+		return Ret{Err: errno}
+	}
+	return Ret{Val: uint64(fd)}
 }
 
 func (k *Kernel) doConnect(p *Proc, c Call) Ret {
+	// Validate the descriptor BEFORE creating and enqueuing the
+	// connection: enqueue-then-validate left a ghost conn in the
+	// listener's backlog on a bad fd — the server accepted it and hung in
+	// recv forever, and its pipes stayed pinned on the interrupt list
+	// instead of returning to the pool.
+	e, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
 	port := uint16(c.Args[1])
 	l, ok := k.net.lookup(port)
 	if !ok {
 		return Ret{Err: ECONNREFUSED}
 	}
-	cn := &conn{toServer: newPipe(), fromServer: newPipe()}
-	k.trackPipe(cn.toServer)
-	k.trackPipe(cn.fromServer)
+	cn := &conn{toServer: k.getPipe(), fromServer: k.getPipe()}
+	k.track(cn.toServer)
+	k.track(cn.fromServer)
 	if errno := l.enqueue(cn); errno != OK {
 		// See Connect: refused connects must release their pipes.
 		cn.toServer.interrupt()
 		cn.fromServer.interrupt()
 		return Ret{Err: errno}
 	}
-	e, errno := p.lookupFD(int(c.Args[0]))
-	if errno != OK {
-		return Ret{Err: errno}
-	}
+	// Attach the pipes to the placeholder socket() already installed at
+	// the descriptor, rather than allocating a replacement object — but
+	// only after re-validating that the descriptor still maps to the same
+	// entry: a concurrent close(2) during the enqueue may have removed it
+	// and recycled its endpoint into another connection, and attaching
+	// through the stale entry would redirect that connection's pipes.
+	fd := int(c.Args[0])
 	p.mu.Lock()
-	e.obj = &socketObj{rx: cn.fromServer, tx: cn.toServer}
+	if cur, ok := p.fds[fd]; !ok || cur != e {
+		p.mu.Unlock()
+		// The fd was closed mid-connect: tear down the just-enqueued conn
+		// so the server side sees EOF instead of a ghost, and the pipes
+		// recycle.
+		cn.toServer.interrupt()
+		cn.fromServer.interrupt()
+		return Ret{Err: EBADF}
+	}
+	if s, ok := e.obj.(*socketObj); ok {
+		s.attach(cn.fromServer, cn.toServer)
+	} else {
+		s := k.getSock()
+		s.attach(cn.fromServer, cn.toServer)
+		e.obj = s
+	}
 	p.mu.Unlock()
 	return Ret{}
 }

@@ -15,45 +15,138 @@ const pipeBufSize = 64 * 1024
 // read and reallocating per write — connection churn is the serving hot
 // path, and the old behavior made every request leave a trail of dead
 // buffers for the collector.
+//
+// Lifecycle: pipes handed out by Kernel.getPipe return to the kernel's
+// per-kernel pool — backing buffer included — once they are dead (both
+// directions closed) AND drained (no goroutine still blocked in a
+// cond.Wait). The waiting count is what makes the drain sound: a woken
+// waiter re-acquires mu and re-reads the closed flags before anything can
+// reset them, because release cannot happen until the count returns to
+// zero.
+//
+// Generations are what make the *handles* sound. Every holder of a pipe
+// (a descriptor end, a socket endpoint, a ClientConn) captures the pipe's
+// generation when it acquires it, and every operation validates that
+// generation under mu before touching pipe state. A handle that calls in
+// late — a gateway watchdog's Close racing the request path, a thread
+// reading a descriptor another thread closed — finds the generation moved
+// and gets EBADF, exactly what the dead pipe would have returned, instead
+// of reading a successor connection's bytes out of the recycled object.
+// Once the check passes, the caller's presence (holding mu, or counted in
+// waiting while parked) blocks release, so the generation cannot move
+// mid-operation.
 type pipe struct {
+	// kern, when non-nil, recycles the pipe (and untracks it from the
+	// interrupt list) once it is dead and drained. Pipes made by the bare
+	// newPipe (tests) have no kernel and are simply garbage-collected.
+	kern *Kernel
+
 	mu          sync.Mutex
-	cond        *sync.Cond
+	cond        sync.Cond // L bound to mu at construction; recycled with the pipe
+	gen         uint64    // reuse generation, guarded by mu; bumped by getPipe
 	buf         []byte
 	r           int // read offset into buf; len(buf)-r bytes are unread
+	waiting     int // goroutines inside cond.Wait
 	readClosed  bool
 	writeClosed bool
-	// onDead is invoked exactly once, outside the dead-state transition's
-	// critical section, when both directions are closed. The kernel uses
-	// it to drop the pipe from its interrupt list, so finished connections
-	// do not accumulate for the lifetime of the session.
-	onDead func()
+	released    bool // returned to the pool (or due to be); fires once
 }
 
 func newPipe() *pipe {
 	p := &pipe{}
-	p.cond = sync.NewCond(&p.mu)
+	p.cond.L = &p.mu
 	return p
 }
 
-// readEnd / writeEnd adapt the two ends of a pipe to the object interface.
-type readEnd struct{ p *pipe }
-type writeEnd struct{ p *pipe }
+// generation returns the pipe's current reuse generation, for a holder to
+// stamp its handle with at acquisition time.
+func (p *pipe) generation() uint64 {
+	p.mu.Lock()
+	g := p.gen
+	p.mu.Unlock()
+	return g
+}
 
-func (r *readEnd) read(b []byte, _ int64) (int, Errno)   { return r.p.read(b) }
-func (r *readEnd) readAvailable(max int) ([]byte, Errno) { return r.p.readAvailable(max) }
+// checkGenLocked validates a handle's generation. Callers hold p.mu.
+func (p *pipe) checkGenLocked(gen uint64) bool { return p.gen == gen }
+
+// getPipe returns a fresh or recycled pipe owned by this kernel. The
+// recycled case reuses the pipe struct, its cond (sync.Cond carries no
+// waiter state once drained), and its backing buffer — the allocations
+// that used to dominate the per-connection cost of Connect/Accept. The
+// reset happens under mu and bumps the generation, so a stale handle
+// racing in sees either the old dead state or a generation mismatch,
+// never a half-reset pipe.
+func (k *Kernel) getPipe() *pipe {
+	if v := k.pipePool.Get(); v != nil {
+		p := v.(*pipe)
+		p.mu.Lock()
+		p.gen++
+		p.readClosed, p.writeClosed, p.released = false, false, false
+		p.mu.Unlock()
+		return p
+	}
+	p := newPipe()
+	p.kern = k
+	return p
+}
+
+// releasePipe drops a dead, drained pipe from the interrupt list and
+// returns it to the pool. Called exactly once per pipe lifetime (the
+// released flag), outside p.mu.
+func (k *Kernel) releasePipe(p *pipe) {
+	k.untrack(p)
+	k.pipePool.Put(p)
+}
+
+// readEnd / writeEnd adapt the two ends of a pipe to the object
+// interface, stamped with the generation they were created at.
+type readEnd struct {
+	p   *pipe
+	gen uint64
+}
+type writeEnd struct {
+	p   *pipe
+	gen uint64
+}
+
+func (r *readEnd) read(b []byte, _ int64) (int, Errno)   { return r.p.read(r.gen, b) }
+func (r *readEnd) readAvailable(max int) ([]byte, Errno) { return r.p.readAvailable(r.gen, max) }
 func (r *readEnd) write([]byte, int64) (int, Errno)      { return 0, EBADF }
 func (r *readEnd) size() (int64, Errno)                  { return 0, ESPIPE }
-func (r *readEnd) close() Errno                          { r.p.closeRead(); return OK }
+func (r *readEnd) close() Errno                          { r.p.closeRead(r.gen); return OK }
 func (r *readEnd) seekable() bool                        { return false }
 
 func (w *writeEnd) read([]byte, int64) (int, Errno)      { return 0, EBADF }
-func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(b) }
+func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(w.gen, b) }
 func (w *writeEnd) size() (int64, Errno)                 { return 0, ESPIPE }
-func (w *writeEnd) close() Errno                         { w.p.closeWrite(); return OK }
+func (w *writeEnd) close() Errno                         { w.p.closeWrite(w.gen); return OK }
 func (w *writeEnd) seekable() bool                       { return false }
 
 // unread returns the pending byte count. Callers hold p.mu.
 func (p *pipe) unread() int { return len(p.buf) - p.r }
+
+// waitLocked parks on the pipe's cond, keeping the waiting count that
+// gates recycling. Callers hold p.mu.
+func (p *pipe) waitLocked() {
+	p.waiting++
+	p.cond.Wait()
+	p.waiting--
+}
+
+// releaseDueLocked marks the pipe released when it is dead and drained,
+// clearing any leftover bytes so nothing of this connection survives into
+// the next use. It returns whether the caller must invoke
+// kern.releasePipe after unlocking. Callers hold p.mu.
+func (p *pipe) releaseDueLocked() bool {
+	if p.kern == nil || p.released || !p.readClosed || !p.writeClosed || p.waiting > 0 {
+		return false
+	}
+	p.released = true
+	p.buf = p.buf[:0]
+	p.r = 0
+	return true
+}
 
 // waitReadableLocked blocks until data is pending or the stream ended.
 // ok=false means "stop with errno": OK is EOF, EBADF a closed read side.
@@ -66,7 +159,7 @@ func (p *pipe) waitReadableLocked() (errno Errno, ok bool) {
 		if p.readClosed {
 			return EBADF, false
 		}
-		p.cond.Wait()
+		p.waitLocked()
 	}
 	return OK, true
 }
@@ -83,14 +176,26 @@ func (p *pipe) consumeLocked(n int) {
 	p.cond.Broadcast()
 }
 
-func (p *pipe) read(b []byte) (int, Errno) {
+func (p *pipe) read(gen uint64, b []byte) (int, Errno) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if errno, ok := p.waitReadableLocked(); !ok {
+	if !p.checkGenLocked(gen) {
+		p.mu.Unlock()
+		return 0, EBADF
+	}
+	errno, ok := p.waitReadableLocked()
+	if !ok {
+		// This reader may have been the last waiter holding a dead pipe
+		// back from recycling.
+		rel := p.releaseDueLocked()
+		p.mu.Unlock()
+		if rel {
+			p.kern.releasePipe(p)
+		}
 		return 0, errno
 	}
 	n := copy(b, p.buf[p.r:])
 	p.consumeLocked(n)
+	p.mu.Unlock()
 	return n, OK
 }
 
@@ -99,10 +204,19 @@ func (p *pipe) read(b []byte) (int, Errno) {
 // caller buffer. The kernel's read/recv handlers use it so that a request
 // asking for N bytes costs an allocation proportional to the bytes
 // delivered, not to N.
-func (p *pipe) readAvailable(max int) ([]byte, Errno) {
+func (p *pipe) readAvailable(gen uint64, max int) ([]byte, Errno) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if errno, ok := p.waitReadableLocked(); !ok {
+	if !p.checkGenLocked(gen) {
+		p.mu.Unlock()
+		return nil, EBADF
+	}
+	errno, ok := p.waitReadableLocked()
+	if !ok {
+		rel := p.releaseDueLocked()
+		p.mu.Unlock()
+		if rel {
+			p.kern.releasePipe(p)
+		}
 		return nil, errno
 	}
 	n := p.unread()
@@ -112,23 +226,37 @@ func (p *pipe) readAvailable(max int) ([]byte, Errno) {
 	out := make([]byte, n)
 	copy(out, p.buf[p.r:])
 	p.consumeLocked(n)
+	p.mu.Unlock()
 	return out, OK
 }
 
-func (p *pipe) write(b []byte) (int, Errno) {
+func (p *pipe) write(gen uint64, b []byte) (int, Errno) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	if !p.checkGenLocked(gen) {
+		p.mu.Unlock()
+		return 0, EBADF
+	}
 	written := 0
 	for written < len(b) {
 		if p.readClosed {
+			rel := p.releaseDueLocked()
+			p.mu.Unlock()
+			if rel {
+				p.kern.releasePipe(p)
+			}
 			return written, EPIPE
 		}
 		if p.writeClosed {
+			rel := p.releaseDueLocked()
+			p.mu.Unlock()
+			if rel {
+				p.kern.releasePipe(p)
+			}
 			return written, EBADF
 		}
 		space := pipeBufSize - p.unread()
 		if space == 0 {
-			p.cond.Wait()
+			p.waitLocked()
 			continue
 		}
 		chunk := b[written:]
@@ -146,39 +274,50 @@ func (p *pipe) write(b []byte) (int, Errno) {
 		written += len(chunk)
 		p.cond.Broadcast() // wake readers
 	}
+	p.mu.Unlock()
 	return written, OK
 }
 
-func (p *pipe) closeRead() {
+func (p *pipe) closeRead(gen uint64) {
 	p.mu.Lock()
+	if !p.checkGenLocked(gen) {
+		p.mu.Unlock()
+		return // the handle's pipe lifetime already ended
+	}
 	p.readClosed = true
-	dead := p.deadLocked()
+	rel := p.releaseDueLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	if dead != nil {
-		dead()
+	if rel {
+		p.kern.releasePipe(p)
 	}
 }
 
-func (p *pipe) closeWrite() {
+func (p *pipe) closeWrite(gen uint64) {
 	p.mu.Lock()
+	if !p.checkGenLocked(gen) {
+		p.mu.Unlock()
+		return
+	}
 	p.writeClosed = true
-	dead := p.deadLocked()
+	rel := p.releaseDueLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	if dead != nil {
-		dead()
+	if rel {
+		p.kern.releasePipe(p)
 	}
 }
 
-// deadLocked returns the onDead hook (clearing it, so it fires once) when
-// both directions have closed. Callers hold p.mu and invoke the hook after
-// unlocking.
-func (p *pipe) deadLocked() func() {
-	if p.readClosed && p.writeClosed && p.onDead != nil {
-		f := p.onDead
-		p.onDead = nil
-		return f
+// interruptNow force-closes both directions regardless of generation —
+// the kernel teardown path, where closing a just-recycled pipe of the
+// dying session is acceptable (every connection in it is doomed anyway).
+func (p *pipe) interruptNow() {
+	p.mu.Lock()
+	p.readClosed, p.writeClosed = true, true
+	rel := p.releaseDueLocked()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if rel {
+		p.kern.releasePipe(p)
 	}
-	return nil
 }

@@ -69,6 +69,11 @@ func (p *Proc) closeFD(fd int) Errno {
 	return e.obj.close()
 }
 
+// duppable is implemented by objects that track descriptor-table
+// references (pooled socket endpoints): dup tells the object a second
+// descriptor now shares it, so only the last close finalizes it.
+type duppable interface{ dup() }
+
 func (p *Proc) dupFD(fd int) (int, Errno) {
 	p.mu.Lock()
 	e, ok := p.fds[fd]
@@ -79,6 +84,9 @@ func (p *Proc) dupFD(fd int) (int, Errno) {
 	// A dup shares the object but gets an independent entry; sharing the
 	// offset (like real dup) is not needed by any workload, so entries
 	// keep private offsets for simplicity.
+	if d, ok := e.obj.(duppable); ok {
+		d.dup()
+	}
 	clone := &fdEntry{obj: e.obj, offset: e.offset, flags: e.flags}
 	for nfd := 3; nfd < maxFDs; nfd++ {
 		if _, used := p.fds[nfd]; !used {

@@ -11,20 +11,21 @@ import (
 func TestPipeFIFOProperty(t *testing.T) {
 	f := func(chunks [][]byte, readSizes []uint8) bool {
 		p := newPipe()
+		gen := p.generation()
 		var want []byte
 		total := 0
 		for _, c := range chunks {
 			if total+len(c) > pipeBufSize/2 {
 				break // stay below capacity: this test is single-threaded
 			}
-			n, errno := p.write(c)
+			n, errno := p.write(gen, c)
 			if errno != OK || n != len(c) {
 				return false
 			}
 			want = append(want, c...)
 			total += len(c)
 		}
-		p.closeWrite()
+		p.closeWrite(gen)
 		var got []byte
 		i := 0
 		for {
@@ -33,7 +34,7 @@ func TestPipeFIFOProperty(t *testing.T) {
 				size = int(readSizes[i%len(readSizes)])%64 + 1
 			}
 			buf := make([]byte, size)
-			n, errno := p.read(buf)
+			n, errno := p.read(gen, buf)
 			if errno != OK {
 				return false
 			}

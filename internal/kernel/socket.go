@@ -1,6 +1,9 @@
 package kernel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The socket layer provides loopback stream sockets: enough for the nginx
 // use case (§5.5), where a client load generator connects to the
@@ -13,39 +16,102 @@ type conn struct {
 }
 
 // socketObj is the server- or client-side endpoint of a connection.
+//
+// Endpoints are recycled through the kernel's per-kernel pool: the LAST
+// close returns the object after closing its pipes (refs counts the
+// descriptor-table references — dup(2) shares the object, and each
+// descriptor's close drops one reference, so a dup'd socket is torn down
+// and pooled exactly once, like the kernel's struct-file f_count), and
+// Kernel.getSock hands it to the next socket()/accept(). The endpoint
+// pipes are atomic pointers because connect() attaches them to the
+// placeholder socket() already installed in the descriptor table, instead
+// of allocating a replacement object.
+//
+// Each endpoint is a generation-stamped pipe handle: a thread that kept
+// the object past its fd's close — a reader racing another thread's
+// close(2) on the same descriptor — finds the pipes' generations moved
+// and gets EBADF, never a successor connection's data. The residual
+// hazard is the endpoint OBJECT being recycled and re-attached while such
+// a stale reference still exists; that requires a guest to use an fd
+// after closing it (a program bug no in-repo workload commits, per the
+// descriptor contract pipe's doc comment spells out), and costs at worst
+// a misdirected read within the same simulated kernel, i.e. the same
+// process boundary the fd table already spans.
 type socketObj struct {
-	rx *pipe
-	tx *pipe
+	kern *Kernel // pool owner; nil for objects built outside a kernel
+	// attach stores the generations BEFORE the pipe pointers; a reader
+	// loads the pipe and then its generation, so (sequentially consistent
+	// atomics) seeing a pipe implies seeing the generation it was
+	// attached at — no allocation needed to publish the pair.
+	rx, tx       atomic.Pointer[pipe]
+	rxGen, txGen atomic.Uint64
+	refs         atomic.Int32 // descriptor-table references; see dup/close
+}
+
+// getSock returns a fresh or recycled, unconnected socket endpoint.
+func (k *Kernel) getSock() *socketObj {
+	if v := k.sockPool.Get(); v != nil {
+		s := v.(*socketObj)
+		s.refs.Store(1)
+		return s
+	}
+	s := &socketObj{kern: k}
+	s.refs.Store(1)
+	return s
+}
+
+// dup adds a descriptor-table reference (proc.dupFD calls it through the
+// duppable interface).
+func (s *socketObj) dup() { s.refs.Add(1) }
+
+// attach connects the endpoint to its two pipes. Called at most once per
+// object lifetime (accept, or connect on the socket() placeholder).
+func (s *socketObj) attach(rx, tx *pipe) {
+	s.rxGen.Store(rx.generation())
+	s.txGen.Store(tx.generation())
+	s.rx.Store(rx)
+	s.tx.Store(tx)
 }
 
 func (s *socketObj) read(b []byte, _ int64) (int, Errno) {
-	if s.rx == nil {
+	rx := s.rx.Load()
+	if rx == nil {
 		return 0, EINVAL // unconnected placeholder (see SysSocket)
 	}
-	return s.rx.read(b)
+	return rx.read(s.rxGen.Load(), b)
 }
 
 func (s *socketObj) readAvailable(max int) ([]byte, Errno) {
-	if s.rx == nil {
+	rx := s.rx.Load()
+	if rx == nil {
 		return nil, EINVAL
 	}
-	return s.rx.readAvailable(max)
+	return rx.readAvailable(s.rxGen.Load(), max)
 }
 
 func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
-	if s.tx == nil {
+	tx := s.tx.Load()
+	if tx == nil {
 		return 0, EINVAL
 	}
-	return s.tx.write(b)
+	return tx.write(s.txGen.Load(), b)
 }
 func (s *socketObj) size() (int64, Errno) { return 0, ESPIPE }
 func (s *socketObj) seekable() bool       { return false }
 func (s *socketObj) close() Errno {
-	if s.rx != nil {
-		s.rx.closeRead()
+	if s.refs.Add(-1) > 0 {
+		return OK // a dup'd descriptor still references the endpoint
 	}
-	if s.tx != nil {
-		s.tx.closeWrite()
+	if rx := s.rx.Load(); rx != nil {
+		rx.closeRead(s.rxGen.Load())
+	}
+	if tx := s.tx.Load(); tx != nil {
+		tx.closeWrite(s.txGen.Load())
+	}
+	if s.kern != nil {
+		s.rx.Store(nil)
+		s.tx.Store(nil)
+		s.kern.sockPool.Put(s)
 	}
 	return OK
 }
@@ -53,7 +119,7 @@ func (s *socketObj) close() Errno {
 // listener is a bound, listening socket with an accept queue.
 type listener struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    sync.Cond // L bound to mu at construction
 	backlog []*conn
 	max     int
 	closed  bool
@@ -62,7 +128,7 @@ type listener struct {
 
 func newListener(port uint16, backlog int) *listener {
 	l := &listener{max: backlog, port: port}
-	l.cond = sync.NewCond(&l.mu)
+	l.cond.L = &l.mu
 	return l
 }
 

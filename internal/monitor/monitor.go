@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/clock"
+	"repro/internal/futex"
 	"repro/internal/kernel"
 	"repro/internal/ring"
 )
@@ -229,6 +230,11 @@ type Monitor struct {
 
 	// clocks[v] is variant v's private copy of the syscall ordering clock.
 	clocks []*clock.Lamport
+	// clockParks[v] parks threads waiting for clocks[v] to reach their
+	// ticket (the §4.1 ordered-section waits) once spinning stops paying
+	// off; every Tick of clocks[v] wakes it — one atomic load when nobody
+	// is parked, which is the common (uncontended) case.
+	clockParks []futex.Parker
 	// tickets dispenses the master's ordering tickets (see the type
 	// comment); clocks[0] is the corresponding "now serving" word.
 	tickets clock.Tickets
@@ -300,6 +306,7 @@ func New(kern *kernel.Kernel, procs []*kernel.Proc, cfg Config) *Monitor {
 	for v := range m.clocks {
 		m.clocks[v] = &clock.Lamport{}
 	}
+	m.clockParks = make([]futex.Parker, len(m.clocks))
 	slaves := len(procs) - 1
 	groups := slaves
 	if cfg.Capture {
@@ -441,6 +448,30 @@ func (m *Monitor) Kill(d *Divergence) {
 			f()
 		}
 		m.kern.Interrupt()
+		m.wakeParked()
+	}
+}
+
+// wakeParked releases every thread parked in a replication wait (record
+// rings, digest inboxes, ordering-clock waits) so it re-checks the kill
+// flag and unwinds. The killed flag is already set when this runs, and
+// every park site re-checks it inside the Prepare window, so a thread that
+// parks after this sweep never sleeps through the kill.
+func (m *Monitor) wakeParked() {
+	for i := range m.rings {
+		if r := m.rings[i].Load(); r != nil {
+			r.Interrupt()
+		}
+	}
+	for g := range m.inboxes {
+		for i := range m.inboxes[g] {
+			if ib := m.inboxes[g][i].Load(); ib != nil {
+				ib.Interrupt()
+			}
+		}
+	}
+	for i := range m.clockParks {
+		m.clockParks[i].Wake()
 	}
 }
 
@@ -573,9 +604,21 @@ func (m *Monitor) awaitDigests(tid int, call kernel.Call, cls class, exit bool) 
 		ib := m.inbox(g, tid)
 		// Poll the publication word only (Ready), not TryGet: a TryGet
 		// miss constructs a zero digest, and this loop spins once per
-		// lockstepped call.
+		// lockstepped call. Past the spin/pause/yield phases the master
+		// parks on the inbox's wait set; the slave's submitDigest append
+		// wakes it.
 		for spins := 0; !ib.Ready(pos); spins++ {
 			m.checkKilled()
+			if ring.ParkDue(spins) {
+				pk := ib.Parker()
+				g := pk.Prepare()
+				if ib.Ready(pos) || m.killed.Load() {
+					pk.Cancel()
+					continue
+				}
+				pk.Park(g)
+				continue
+			}
 			relax(spins)
 		}
 		d, _ := ib.TryGet(pos)
@@ -641,14 +684,26 @@ func (m *Monitor) masterCall(tid int, call kernel.Call, cls class) kernel.Ret {
 		// immaterial.
 		t := m.tickets.Take()
 		// Inline wait (no closure: this runs per ordered call and must not
-		// allocate). The common, uncontended case exits on the first load.
+		// allocate). The common, uncontended case exits on the first load;
+		// a thread whose turn is far off parks on the clock's wait set and
+		// is woken by the Tick that passes it the turn.
 		for spins := 0; m.clocks[0].Now() < t; spins++ {
 			m.checkKilled()
+			if ring.ParkDue(spins) {
+				g := m.clockParks[0].Prepare()
+				if m.clocks[0].Now() >= t || m.killed.Load() {
+					m.clockParks[0].Cancel()
+					continue
+				}
+				m.clockParks[0].Park(g)
+				continue
+			}
 			relax(spins)
 		}
 		rec.Ts = t
 		rec.Ret = m.execute(0, call)
 		m.clocks[0].Tick()
+		m.clockParks[0].Wake()
 		if m.publish {
 			m.publishRecord(tid, &rec, call.Data)
 		}
@@ -708,13 +763,25 @@ func (m *Monitor) slaveCall(v, tid int, call kernel.Call, cls class) kernel.Ret 
 		// stamp; then this thread alone may proceed (§4.1). This is the
 		// slave half of the ticket scheme: rec.Ts is the master's ticket,
 		// and the slave's own Lamport clock is its serving word. Inline
-		// wait — no closure — so the per-call path stays allocation-free.
+		// wait — no closure — so the per-call path stays allocation-free;
+		// far-off turns park on the clock's wait set until a sibling
+		// thread's Tick passes the turn along.
 		for spins := 0; m.clocks[v].Now() < rec.Ts; spins++ {
 			m.checkKilled()
+			if ring.ParkDue(spins) {
+				g := m.clockParks[v].Prepare()
+				if m.clocks[v].Now() >= rec.Ts || m.killed.Load() {
+					m.clockParks[v].Cancel()
+					continue
+				}
+				m.clockParks[v].Park(g)
+				continue
+			}
 			relax(spins)
 		}
 		ret = m.slaveResult(v, tid, call, rec, cls)
 		m.clocks[v].Tick()
+		m.clockParks[v].Wake()
 	} else {
 		ret = m.slaveResult(v, tid, call, rec, cls)
 	}
@@ -760,6 +827,20 @@ func (m *Monitor) nextRecord(v, tid int) *Record {
 			sc.i, sc.n = 0, n
 			sc.next += uint64(n)
 			return &sc.batch[0]
+		}
+		// A slave that has drained the ring and found the master still
+		// busy elsewhere is the paper's lagging-slave case: park on the
+		// ring's wait set (the master's next publish wakes it) instead of
+		// yield-storming the scheduler.
+		if ring.ParkDue(spins) {
+			pk := r.Parker()
+			pg := pk.Prepare()
+			if r.Ready(sc.next) || m.killed.Load() {
+				pk.Cancel()
+				continue
+			}
+			pk.Park(pg)
+			continue
 		}
 		relax(spins)
 	}

@@ -56,14 +56,25 @@ type class struct {
 //   - brk/mmap/munmap/mprotect/clone execute in every variant (address
 //     spaces are per-variant and intentionally different) but are ordered
 //     and compared with address arguments masked out.
-//   - blocking I/O (read/recv/accept) is replicated but not ordered: the
-//     monitor must not sit in an ordering critical section across a call
-//     that may never return.
+//   - blocking calls (read/recv/accept, nanosleep) are replicated but not
+//     ordered: the monitor must not sit in an ordering critical section
+//     across a call that may never return. nanosleep in particular must
+//     be replicated, not per-variant: only the master pays the sleep, and
+//     the slaves consume the replicated (empty) result during replay —
+//     running it per variant made every slave re-pay the master's sleep
+//     and hid mismatched sleeps from the divergence detector.
+//   - wall-clock reads (gettimeofday/clock_gettime) are ordered and
+//     replicated like any other nondeterministic result: the master's
+//     reading is the session's time, or per-variant clock skew becomes a
+//     guaranteed benign-divergence source the moment a timestamp feeds a
+//     compared payload.
 //   - everything else is ordered, compared and replicated.
 func classify(nr kernel.Sysno) class {
 	switch nr {
-	case kernel.SysSchedYield, kernel.SysGettid, kernel.SysFutex, kernel.SysNanosleep:
+	case kernel.SysSchedYield, kernel.SysGettid, kernel.SysFutex:
 		return class{}
+	case kernel.SysNanosleep:
+		return class{monitored: true, replicated: true, blocking: true}
 	case kernel.SysBrk, kernel.SysMunmap:
 		return class{monitored: true, ordered: true, perVariant: true}
 	case kernel.SysMmap, kernel.SysMprotect:
@@ -106,7 +117,12 @@ func argMask(nr kernel.Sysno) uint8 {
 	case kernel.SysClone:
 		return 0
 	case kernel.SysNanosleep:
-		return 0
+		// The duration is a plain value, identical across variants by
+		// construction — compare it, or a variant sleeping a different
+		// amount than its counterparts stays invisible to the detector
+		// (the mask was dead code while nanosleep bypassed the monitor;
+		// now that it is monitored, it must bite).
+		return 1 << 0
 	default:
 		return 0x3f // all six
 	}

@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"encoding/binary"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// The wall-clock regression suite: time syscalls must never be a
+// benign-divergence source. The kernel's nowNanos is strictly increasing
+// (two reads NEVER return the same value), so if each variant executed
+// gettimeofday itself, any timestamp flowing into a compared payload would
+// diverge by construction. The monitor must instead replicate the master's
+// reading — which these tests pin down by writing the observed timestamps
+// back out through the (payload-compared) write syscall.
+
+// timeProgram reads the clock twice (gettimeofday + clock_gettime) and
+// writes both readings into a file; run by every variant's thread 0.
+func timeProgram(m *Monitor, v int) (t1, t2 uint64, ok bool) {
+	fd := m.Invoke(v, 0, openCall("/ts", kernel.OCreat|kernel.ORdwr))
+	if !fd.Ok() {
+		return 0, 0, false
+	}
+	t1 = m.Invoke(v, 0, kernel.Call{Nr: kernel.SysGettimeofday}).Val
+	t2 = m.Invoke(v, 0, kernel.Call{Nr: kernel.SysClockGettime}).Val
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], t1)
+	binary.LittleEndian.PutUint64(buf[8:], t2)
+	w := m.Invoke(v, 0, kernel.Call{Nr: kernel.SysWrite, Args: [6]uint64{fd.Val}, Data: buf[:]})
+	m.Invoke(v, 0, kernel.Call{Nr: kernel.SysClose, Args: [6]uint64{fd.Val}})
+	return t1, t2, w.Ok()
+}
+
+func TestWallClockReplicatedAcrossVariants(t *testing.T) {
+	const variants = 3
+	m, _ := newTestMonitor(t, variants)
+	var (
+		wg sync.WaitGroup
+		t1 [variants]uint64
+		t2 [variants]uint64
+	)
+	for v := 1; v < variants; v++ {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t1[v], t2[v], _ = timeProgram(m, v)
+		}()
+	}
+	var ok bool
+	t1[0], t2[0], ok = timeProgram(m, 0)
+	wg.Wait()
+	if !ok {
+		t.Fatal("master time program failed")
+	}
+	if d := m.Divergence(); d != nil {
+		t.Fatalf("timestamp-derived payload tripped the divergence detector: %v", d)
+	}
+	for v := 1; v < variants; v++ {
+		if t1[v] != t1[0] || t2[v] != t2[0] {
+			t.Fatalf("variant %d observed (%d, %d), master (%d, %d): wall clock not replicated",
+				v, t1[v], t2[v], t1[0], t2[0])
+		}
+	}
+	if t1[0] == t2[0] {
+		t.Fatal("kernel clock not strictly increasing (covert-channel PoC depends on it)")
+	}
+}
+
+func TestNanosleepSleepsOnlyInMaster(t *testing.T) {
+	const rounds = 3
+	m, k := newTestMonitor(t, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			m.Invoke(1, 0, kernel.Call{Nr: kernel.SysNanosleep,
+				Args: [6]uint64{uint64(time.Millisecond)}})
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		r := m.Invoke(0, 0, kernel.Call{Nr: kernel.SysNanosleep,
+			Args: [6]uint64{uint64(time.Millisecond)}})
+		if !r.Ok() {
+			t.Fatalf("master nanosleep: %v", r.Err)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if d := m.Divergence(); d != nil {
+		t.Fatalf("matched nanosleeps diverged: %v", d)
+	}
+	if got := k.Sleeps(); got != rounds {
+		t.Fatalf("kernel executed %d sleeps for %d call pairs, want %d (master only)",
+			got, rounds, rounds)
+	}
+	if elapsed < rounds*time.Millisecond {
+		t.Fatalf("master did not actually sleep (%v elapsed)", elapsed)
+	}
+}
+
+// A variant that sleeps when its counterpart does not must now be caught:
+// nanosleep used to bypass the monitor entirely, so mismatched sleeps were
+// invisible to the divergence detector.
+func TestNanosleepMismatchIsDivergence(t *testing.T) {
+	m, _ := newTestMonitor(t, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }() // ErrKilled on divergence
+		m.Invoke(1, 0, kernel.Call{Nr: kernel.SysGetpid})
+	}()
+	func() {
+		defer func() { recover() }()
+		m.Invoke(0, 0, kernel.Call{Nr: kernel.SysNanosleep,
+			Args: [6]uint64{uint64(time.Millisecond)}})
+	}()
+	wg.Wait()
+	if m.Divergence() == nil {
+		t.Fatal("mismatched nanosleep/getpid pair not detected as divergence")
+	}
+}
+
+// Mismatched sleep DURATIONS must also be divergence: argMask(nanosleep)
+// compares the duration argument now that the call is monitored (a masked
+// duration would let a variant sleep arbitrarily differently unnoticed).
+func TestNanosleepDurationMismatchIsDivergence(t *testing.T) {
+	m, _ := newTestMonitor(t, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }()
+		m.Invoke(1, 0, kernel.Call{Nr: kernel.SysNanosleep,
+			Args: [6]uint64{uint64(10 * time.Millisecond)}})
+	}()
+	func() {
+		defer func() { recover() }()
+		m.Invoke(0, 0, kernel.Call{Nr: kernel.SysNanosleep,
+			Args: [6]uint64{uint64(time.Millisecond)}})
+	}()
+	wg.Wait()
+	if d := m.Divergence(); d == nil {
+		t.Fatal("mismatched nanosleep durations not detected as divergence")
+	} else if !strings.Contains(d.Reason, "argument 0") {
+		t.Fatalf("unexpected divergence reason: %v", d)
+	}
+}

@@ -1,0 +1,162 @@
+package ring
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLaggingConsumerParksThenWakes(t *testing.T) {
+	l := NewLog[int](8, 1)
+	got := make(chan int, 1)
+	go func() {
+		got <- l.Get(3) // published only later: the consumer must park
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Parker().Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never parked on the wait set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 4; i++ {
+		l.Append(10 + i)
+	}
+	select {
+	case v := <-got:
+		if v != 13 {
+			t.Fatalf("Get(3) = %d, want 13", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked consumer was not woken by Append")
+	}
+	if n := l.Parker().Waiters(); n != 0 {
+		t.Fatalf("%d waiters left after wake, want 0", n)
+	}
+}
+
+func TestBackpressuredProducerParksThenWakes(t *testing.T) {
+	l := NewLog[int](2, 1)
+	l.Append(0)
+	l.Append(1)
+	done := make(chan struct{})
+	go func() {
+		l.Append(2) // ring full: the producer must park on back-pressure
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Parker().Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never parked on back-pressure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Advance(0, 0) // cursor advance must wake the parked producer
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked producer was not woken by Advance")
+	}
+}
+
+// A stopped log must unblock parked waiters once the owner calls
+// Interrupt — the contract SetStop's doc comment spells out.
+func TestInterruptUnblocksParkedWaiters(t *testing.T) {
+	l := NewLog[int](2, 1)
+	var stopped atomic.Bool
+	l.SetStop(stopped.Load)
+	l.Append(0)
+	l.Append(1)
+	unwound := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == ErrStopped {
+				close(unwound)
+			}
+		}()
+		l.Append(2) // parks: ring full, nobody consuming
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Parker().Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopped.Store(true)
+	l.Interrupt()
+	select {
+	case <-unwound:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked producer did not unwind after stop+Interrupt")
+	}
+}
+
+// Park/wake stress with a deliberately lagging consumer group: the fast
+// group keeps the producer moving, the lagging group sleeps between
+// batches (so it parks and is repeatedly woken), and the producer parks on
+// back-pressure whenever the laggard pins the ring. Everything must still
+// be delivered exactly once, in order, to both groups. Run under -race in
+// CI (the satellite's lagging-slave park/wake stress test).
+func TestParkWakeStressLaggingConsumer(t *testing.T) {
+	const total = 20000
+	l := NewLog[int](64, 2)
+	consume := func(g int, lag bool) <-chan error {
+		errc := make(chan error, 1)
+		go func() {
+			var batch [16]int
+			next := 0
+			for next < total {
+				n := l.TryConsumeBatch(g, batch[:])
+				if n == 0 {
+					spins := 0
+					for {
+						if l.Ready(l.Cursor(g)) {
+							break
+						}
+						if ParkDue(spins) {
+							gen := l.Parker().Prepare()
+							if l.Ready(l.Cursor(g)) {
+								l.Parker().Cancel()
+								break
+							}
+							l.Parker().Park(gen)
+						} else {
+							Backoff(spins)
+						}
+						spins++
+					}
+					continue
+				}
+				for i := 0; i < n; i++ {
+					if batch[i] != next {
+						errc <- fmt.Errorf("group %d: got %d, want %d", g, batch[i], next)
+						return
+					}
+					next++
+				}
+				if lag && next%512 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			errc <- nil
+		}()
+		return errc
+	}
+	fast := consume(0, false)
+	slow := consume(1, true)
+	for i := 0; i < total; i++ {
+		l.Append(i)
+	}
+	for _, c := range []<-chan error{fast, slow} {
+		select {
+		case err := <-c:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("consumer wedged: lost park/wake")
+		}
+	}
+}

@@ -27,7 +27,11 @@
 //   - Blocking operations back off adaptively: a short busy spin (the
 //     common case — the counterpart thread is mid-operation on another
 //     core), then a procyield-style pause that keeps the OS thread but
-//     stays off the interconnect, then scheduler yields.
+//     stays off the interconnect, then scheduler yields, and finally a
+//     true park on the log's futex.Parker wait set — a consumer lagging
+//     far behind (or a producer stalled on back-pressure) sleeps at zero
+//     CPU until the counterpart's next publish or cursor advance wakes
+//     it, instead of yield-storming the scheduler.
 package ring
 
 import (
@@ -35,6 +39,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/futex"
 )
 
 // ErrStopped is panicked by blocking Log operations after SetStop's
@@ -67,6 +73,15 @@ type Log[T any] struct {
 	prod    atomic.Uint64 // next sequence number to allocate
 	_       [cacheLine - 8]byte
 	cursors []paddedCursor // per consumer group: next sequence to consume
+
+	// waitQ parks waiters that have spun past the pause phase: consumers
+	// waiting on a publication, producers waiting on back-pressure. Every
+	// state change (publish, cursor advance) wakes it — one atomic load
+	// when nobody is parked. One wait set per log is deliberate: wakes
+	// broadcast and waiters re-check, so sharing costs only spurious
+	// re-checks, while per-slot wait sets would cost a producer one load
+	// per slot instead of one per operation.
+	waitQ futex.Parker
 }
 
 type slot[T any] struct {
@@ -110,6 +125,7 @@ func (l *Log[T]) Append(v T) uint64 {
 	s := &l.slots[seq&l.mask]
 	s.val = v
 	s.pub.Store(seq + 1)
+	l.waitQ.Wake()
 	return seq
 }
 
@@ -148,6 +164,7 @@ func (l *Log[T]) AppendBatch(vs []T) uint64 {
 		for i := 0; i < n; i++ {
 			l.slots[(seq+uint64(i))&l.mask].pub.Store(seq + uint64(i) + 1)
 		}
+		l.waitQ.Wake()
 		vs = vs[n:]
 	}
 	return first
@@ -172,6 +189,7 @@ func (l *Log[T]) Publish(seq uint64, v T) {
 	s := &l.slots[seq&l.mask]
 	s.val = v
 	s.pub.Store(seq + 1)
+	l.waitQ.Wake()
 }
 
 // PeekBatch copies the run of published entries starting at sequence from
@@ -195,10 +213,21 @@ func (l *Log[T]) PeekBatch(from uint64, out []T) int {
 }
 
 // awaitSpace blocks until the slot for seq is recyclable, i.e. every
-// consumer group's cursor has passed seq-cap.
+// consumer group's cursor has passed seq-cap. Past the spin/pause phases
+// the producer parks on the wait set; consumers advancing their cursor
+// wake it.
 func (l *Log[T]) awaitSpace(seq uint64) {
 	for spins := 0; seq >= l.minCursor()+uint64(len(l.slots)); spins++ {
 		l.checkStop(spins)
+		if ParkDue(spins) {
+			g := l.waitQ.Prepare()
+			if seq < l.minCursor()+uint64(len(l.slots)) || l.stopFired() {
+				l.waitQ.Cancel()
+				continue
+			}
+			l.waitQ.Park(g)
+			continue
+		}
 		backoff(spins)
 	}
 }
@@ -210,6 +239,15 @@ func (l *Log[T]) Get(seq uint64) T {
 	s := &l.slots[seq&l.mask]
 	for spins := 0; s.pub.Load() != seq+1; spins++ {
 		l.checkStop(spins)
+		if ParkDue(spins) {
+			g := l.waitQ.Prepare()
+			if s.pub.Load() == seq+1 || l.stopFired() {
+				l.waitQ.Cancel()
+				continue
+			}
+			l.waitQ.Park(g)
+			continue
+		}
 		backoff(spins)
 	}
 	return s.val
@@ -257,6 +295,7 @@ func (l *Log[T]) TryConsumeBatch(g int, out []T) int {
 	if !l.cursors[g].c.CompareAndSwap(cur, cur+uint64(n)) {
 		panic(fmt.Sprintf("ring: group %d consumed concurrently (cursor moved from %d)", g, cur))
 	}
+	l.waitQ.Wake()
 	return n
 }
 
@@ -271,6 +310,7 @@ func (l *Log[T]) Advance(g int, seq uint64) {
 		panic(fmt.Sprintf("ring: group %d advanced out of order (cursor %d, advancing %d)",
 			g, l.cursors[g].c.Load(), seq))
 	}
+	l.waitQ.Wake()
 }
 
 // AdvanceTo moves group g's cursor forward to seq if it is currently
@@ -283,6 +323,7 @@ func (l *Log[T]) AdvanceTo(g int, seq uint64) {
 			return
 		}
 		if l.cursors[g].c.CompareAndSwap(cur, seq) {
+			l.waitQ.Wake()
 			return
 		}
 	}
@@ -305,7 +346,31 @@ func (l *Log[T]) minCursor() uint64 {
 
 // SetStop installs a shutdown callback. Once it returns true, blocked
 // Append and Get calls panic with ErrStopped rather than spinning forever.
+//
+// Blocked operations that have escalated past spinning PARK (see Backoff);
+// a parked thread cannot poll the callback. Owners that install a stop
+// callback must therefore call Interrupt when the callback's condition
+// flips, so parked waiters wake up, re-poll it, and unwind.
 func (l *Log[T]) SetStop(f func() bool) { l.stop = f }
+
+// stopFired reports the stop callback's current answer (unconditionally,
+// unlike checkStop's panic at poll-due spins). Used to re-check shutdown
+// inside the park protocol's Prepare window.
+func (l *Log[T]) stopFired() bool { return l.stop != nil && l.stop() }
+
+// Parker exposes the log's wait set, so external poll loops over the
+// log's state (a monitor waiting on a record, a slave agent waiting on a
+// ticket) can park on the same queue the log's own blocking operations
+// use. The protocol is futex.Parker's: Prepare, re-check the condition
+// (including any kill flag), then Park or Cancel; every publish and every
+// cursor advance wakes the set.
+func (l *Log[T]) Parker() *futex.Parker { return &l.waitQ }
+
+// Interrupt wakes every thread parked on the log so it re-checks its wait
+// condition. Owners must call it when the SetStop callback's condition
+// flips (a killed session, a stopped exchange); it is also safe — just
+// spurious — at any other time.
+func (l *Log[T]) Interrupt() { l.waitQ.Wake() }
 
 // stopPollDue reports whether a blocked operation polls its stop callback
 // at this spin count. The schedule matters for teardown latency: the first
@@ -327,9 +392,51 @@ func (l *Log[T]) checkStop(spins int) {
 // Backoff phases, in spin-iteration counts. The boundaries are powers of
 // two so stopPollDue can mask instead of divide.
 const (
-	busySpins  = 16 // phase 1: pure busy loop (counterpart is mid-operation)
-	pauseSpins = 64 // phase 2: procyield-style pause, still on-CPU
+	busySpins  = 16  // phase 1: pure busy loop (counterpart is mid-operation)
+	pauseSpins = 64  // phase 2: procyield-style pause, still on-CPU
+	parkSpins  = 128 // phase 4: park on a futex.Parker (phase 3 = yields)
 )
+
+// parking gates the final escalation phase. It exists for A/B measurement
+// (BenchmarkLaggingSlaveWait compares parked waits against the old
+// Gosched-forever tail) and stays on in production: a waiter that has
+// already burned 128 iterations is far behind, and yielding in a loop
+// costs a scheduler transition per iteration forever, where parking costs
+// two.
+var parking atomic.Bool
+
+func init() { parking.Store(true) }
+
+// SetParking enables or disables the parking phase of blocking waits and
+// returns the previous setting. With parking off, waits that pass the
+// pause phase fall back to scheduler yields (the pre-parking behavior).
+// It exists for benchmarks and tests; production code leaves parking on.
+func SetParking(on bool) bool { return parking.Swap(on) }
+
+// ParkDue reports whether a wait at the given spin count should stop
+// polling and park on the resource's futex.Parker. Poll loops shared with
+// Backoff use it as the escalation test:
+//
+//	for spins := 0; !ready(); spins++ {
+//		if ring.ParkDue(spins) {
+//			g := p.Prepare()
+//			if ready() || stopped() {
+//				p.Cancel()
+//				continue
+//			}
+//			p.Park(g)
+//			continue
+//		}
+//		ring.Backoff(spins)
+//	}
+//
+// The threshold sits past Backoff's busy and pause phases and a few
+// scheduler yields: a consumer merely rendezvousing with a mid-operation
+// producer never parks, while one that is genuinely behind (a lagging
+// slave) stops costing CPU entirely instead of yield-storming.
+func ParkDue(spins int) bool {
+	return spins >= parkSpins && parking.Load()
+}
 
 // pauseSink gives the pause loop a data dependency the compiler cannot
 // delete. It is only ever loaded, so the cache line stays shared and the
@@ -364,6 +471,12 @@ func init() { multicore.Store(runtime.GOMAXPROCS(0) > 1) }
 // on. The MVEE's consumers are latency sensitive (a slave thread waiting
 // on its ticket sits on the program's critical path), which is why the
 // escalation is gradual rather than jumping straight to the scheduler.
+//
+// The yield phase is a short bridge, not the terminal state: once ParkDue
+// reports true the wait should park on the resource's futex.Parker and
+// cost nothing until the producer wakes it. Backoff itself never parks —
+// it has no parker to park on — so pure-Backoff loops keep yielding,
+// which only the park-aware call sites above avoid.
 //
 // Backoff is exported for the ring's polling consumers (monitor, agents):
 // every TryGet/TryConsumeBatch retry loop in the replication path shares

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-trajectory benchmark set and record it in
-# BENCH_2.json (benchmark name → ns/op, B/op, allocs/op + custom metrics).
-# The file keeps a "baseline" section from its first run (the pre-PR
-# reference) and rewrites only "current", so regressions are visible by
-# diffing the two sections.
+# BENCH_<n>.json (benchmark name → ns/op, B/op, allocs/op + custom
+# metrics). The file keeps a "baseline" section from its first run (the
+# pre-PR reference) and rewrites only "current", so regressions are
+# visible by diffing the two sections. On shared/noisy hosts, run it
+# several times and compare medians of interleaved baseline/current pairs
+# rather than trusting one sequential capture (see README § Performance).
 #
 #   scripts/bench.sh                 # default set, BENCH_TIME=3x
 #   BENCH_TIME=1x scripts/bench.sh   # smoke run (CI)
@@ -14,9 +16,9 @@ cd "$(dirname "$0")/.."
 # The default set tracks the replication hot path and the serving path —
 # fast enough to run on every PR. The full paper regeneration
 # (Figure5/Table1) is available via BENCH_PATTERN but takes minutes.
-PATTERN="${BENCH_PATTERN:-BenchmarkReplicationHotPath|BenchmarkAgentMicro|BenchmarkWallClockAssignment|BenchmarkNginxThroughput|BenchmarkPolicyComparison}"
+PATTERN="${BENCH_PATTERN:-BenchmarkReplicationHotPath|BenchmarkAgentMicro|BenchmarkWallClockAssignment|BenchmarkNginxThroughput|BenchmarkPolicyComparison|BenchmarkConnectPath|BenchmarkLaggingSlaveWait}"
 TIME="${BENCH_TIME:-3x}"
-OUT="${BENCH_OUT:-BENCH_2.json}"
+OUT="${BENCH_OUT:-BENCH_3.json}"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . |

@@ -68,11 +68,16 @@ func main() {
 		if len(fields) < 4 {
 			continue
 		}
-		// Strip the trailing -<GOMAXPROCS> from the name.
+		// Strip the trailing -<GOMAXPROCS> from the name. go test appends
+		// it only when GOMAXPROCS > 1, and the converter runs on the same
+		// host as the benchmarks, so require the suffix to match our own
+		// GOMAXPROCS — a blind "strip any -<number>" ate legitimate name
+		// suffixes like payload-64 on single-CPU hosts, collapsing
+		// distinct cells into one key.
 		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+		if procs := runtime.GOMAXPROCS(0); procs > 1 {
+			if suffix := fmt.Sprintf("-%d", procs); strings.HasSuffix(name, suffix) {
+				name = name[:len(name)-len(suffix)]
 			}
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
