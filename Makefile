@@ -19,7 +19,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench records the perf trajectory into BENCH_3.json (see scripts/bench.sh
+# bench records the perf trajectory into BENCH_4.json (see scripts/bench.sh
 # and the README's Performance section for how to read it — compare
 # interleaved medians, not single sequential runs).
 bench:
@@ -27,8 +27,11 @@ bench:
 
 # bench-smoke is the CI gate: one iteration of every tracked benchmark, no
 # JSON rewrite — it proves the benchmarks still build, run, and hold the
-# 0 allocs/op invariant on the replication hot path (the awk stage fails
-# the target if any BenchmarkReplicationHotPath cell reports >0 allocs/op).
+# alloc invariants: 0 allocs/op on every BenchmarkReplicationHotPath cell,
+# and <= 1 alloc/op on BenchmarkConnectPath (the exact-sized recv result is
+# the one allowed allocation on the serving connect path).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkReplicationHotPath|BenchmarkAgentMicro|BenchmarkWallClockAssignment' -benchmem -benchtime=1x . | \
+	$(GO) test -run '^$$' -bench 'BenchmarkReplicationHotPath|BenchmarkAgentMicro|BenchmarkWallClockAssignment|BenchmarkPollServer' -benchmem -benchtime=1x . | \
 	awk '{ print } /BenchmarkReplicationHotPath/ && / allocs\/op/ { if ($$(NF-1) != 0) bad = 1 } END { exit bad }'
+	$(GO) test -run '^$$' -bench 'BenchmarkConnectPath' -benchmem -benchtime=2000x . | \
+	awk '{ print } /BenchmarkConnectPath/ && / allocs\/op/ { if ($$(NF-1) > 1) bad = 1 } END { exit bad }'

@@ -1,7 +1,7 @@
 // Benchmarks regenerating the paper's evaluation (§5). One benchmark per
-// table/figure; see DESIGN.md's experiment index and EXPERIMENTS.md for the
-// recorded paper-vs-measured comparison. cmd/mvee-bench prints the same
-// data as formatted tables.
+// table/figure; see DESIGN.md's experiment index for what each one
+// regenerates and which substitutions apply. cmd/mvee-bench prints the
+// same data as formatted tables.
 //
 // Custom metrics:
 //
@@ -185,10 +185,10 @@ func BenchmarkNginxThroughput(b *testing.B) {
 var fleetPools = []int{1, 4, 16}
 
 // startBenchFleet builds a warm fleet of `pool` webserver sessions.
-func startBenchFleet(b *testing.B, pool int, vulnerable bool) *fleet.Fleet {
+func startBenchFleet(b *testing.B, pool int, vulnerable, evented bool) *fleet.Fleet {
 	b.Helper()
 	cfg := webserver.Config{Port: 8080, PoolThreads: 4, InstrumentCustomSync: true,
-		Vulnerable: vulnerable, PageSize: 1024}
+		Vulnerable: vulnerable, PageSize: 1024, Evented: evented}
 	f, err := fleet.New(webserver.FleetConfig(cfg, core.Options{
 		Variants: 2, Agent: agent.WallOfClocks, ASLR: true, DCL: true, Seed: 5, MaxThreads: 64,
 	}, pool))
@@ -243,7 +243,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 		pool := pool
 		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
 			b.ReportAllocs()
-			f := startBenchFleet(b, pool, false)
+			f := startBenchFleet(b, pool, false, false)
 			defer f.Close()
 			b.ResetTimer()
 			start := time.Now()
@@ -270,7 +270,7 @@ func BenchmarkFleetDivergenceChurn(b *testing.B) {
 		pool := pool
 		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
 			b.ReportAllocs()
-			f := startBenchFleet(b, pool, true)
+			f := startBenchFleet(b, pool, true, false)
 			defer f.Close()
 			gadget := variant.NewSpace(0, variant.Options{ASLR: true, DCL: true, Seed: 5}).AllocCode(64)
 			payload := []byte(fmt.Sprintf("POST /upload %x", gadget))
@@ -303,6 +303,35 @@ func BenchmarkFleetDivergenceChurn(b *testing.B) {
 			s := f.Stats()
 			b.ReportMetric(float64(s.Recycled), "recycled")
 			b.ReportMetric(float64(s.Divergences), "divergences")
+		})
+	}
+}
+
+// BenchmarkPollServer measures the evented serving mode through the fleet
+// gateway: each session multiplexes all of its connections on ONE thread
+// via replicated SysPoll (the nginx event-loop model), where
+// BenchmarkFleetThroughput's sessions burn a vthread per connection. The
+// comparison between the two benchmarks is the evented-vs-threaded serving
+// trade-off under the MVEE; req/s and the latency quantiles are directly
+// comparable cells.
+func BenchmarkPollServer(b *testing.B) {
+	for _, pool := range []int{1, 4} {
+		pool := pool
+		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+			b.ReportAllocs()
+			f := startBenchFleet(b, pool, false, true)
+			defer f.Close()
+			b.ResetTimer()
+			start := time.Now()
+			good := driveFleet(f, 16, b.N)
+			el := time.Since(start).Seconds()
+			b.StopTimer()
+			if el > 0 {
+				b.ReportMetric(float64(good)/el, "req/s")
+			}
+			s := f.Stats()
+			b.ReportMetric(float64(s.Latency.Quantile(0.5)), "p50-ns")
+			b.ReportMetric(float64(s.Latency.Quantile(0.99)), "p99-ns")
 		})
 	}
 }

@@ -12,6 +12,7 @@
 //	mvee-serve -pool 4 -attacks 2                    # inject 2 exploits mid-run
 //	mvee-serve -pool 2 -no-instrument -forensics     # §5.5 benign-divergence churn
 //	mvee-serve -pool 8 -dispatch least -policy sensitive
+//	mvee-serve -pool 4 -evented -attacks 1           # event-driven (poll) serving mode
 package main
 
 import (
@@ -40,7 +41,8 @@ func main() {
 	requests := flag.Int("requests", 50, "requests per client")
 	queueCap := flag.Int("queue", 256, "gateway queue bound (backpressure)")
 	workers := flag.Int("workers", 0, "gateway workers (0 = 2*pool)")
-	poolThreads := flag.Int("threads", 8, "server worker threads per session")
+	poolThreads := flag.Int("threads", 8, "server worker threads per session (thread-pool mode)")
+	evented := flag.Bool("evented", false, "event-driven serving: one thread per session multiplexing connections via poll")
 	pageSize := flag.Int("page", 4096, "static page size served")
 	seed := flag.Int64("seed", 2028, "base diversity seed")
 	attacks := flag.Int("attacks", 0, "exploit payloads injected mid-run (forces -vulnerable)")
@@ -65,6 +67,7 @@ func main() {
 		Port: 8080, PoolThreads: *poolThreads, PageSize: *pageSize,
 		InstrumentCustomSync: !*noInstrument,
 		Vulnerable:           *attacks > 0,
+		Evented:              *evented,
 	}
 	sess := core.Options{
 		Variants: *variants, Agent: kind, Policy: policy,

@@ -94,37 +94,31 @@ func (fs *fileSystem) unlink(path string) Errno {
 	return OK
 }
 
-// object is anything a file descriptor can refer to.
-type object interface {
-	// read blocks until data is available (pipes/sockets) or returns
-	// immediately (files). n==0 with OK means end of stream.
-	read(p []byte, off int64) (n int, errno Errno)
-	write(p []byte, off int64) (n int, errno Errno)
-	size() (int64, Errno)
-	close() Errno
-	seekable() bool
+// fileObj adapts an inode to the object interface. It embeds the same
+// uniform header pipes and sockets carry; file operations never block, so
+// its poll readiness is constant. Access-mode enforcement does not live
+// here: the open flags belong to the open file description (openFile),
+// the state dup'd descriptors share, and the kernel's read/write handlers
+// check them there.
+type fileObj struct {
+	hdr objHeader
+	ino *inode
 }
 
-// fileObj adapts an inode to the object interface.
-type fileObj struct {
-	ino   *inode
-	flags int
-}
+func (f *fileObj) header() *objHeader { return &f.hdr }
 
 func (f *fileObj) read(p []byte, off int64) (int, Errno) {
-	if f.flags&0x3 == OWronly {
-		return 0, EBADF
-	}
 	return f.ino.readAt(p, off), OK
 }
 
 func (f *fileObj) write(p []byte, off int64) (int, Errno) {
-	if f.flags&0x3 == ORdonly {
-		return 0, EBADF
-	}
 	return f.ino.writeAt(p, off), OK
 }
 
 func (f *fileObj) size() (int64, Errno) { return f.ino.size(), OK }
 func (f *fileObj) close() Errno         { return OK }
 func (f *fileObj) seekable() bool       { return true }
+
+// poll: regular files are always readable and writable (reads and writes
+// never block), matching Linux poll(2) on regular files.
+func (f *fileObj) poll() uint32 { return PollIn | PollOut }

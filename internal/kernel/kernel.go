@@ -41,6 +41,16 @@ type Kernel struct {
 	interrupted bool
 	blockables  map[interruptible]struct{}
 
+	// pollPark is the kernel-wide poll wait set: SysPoll callers with no
+	// ready descriptor park here, and every object state change that could
+	// flip readiness wakes it through the object header (objHeader.pollWake
+	// — one atomic load when nobody polls). One wait set per kernel is
+	// deliberate, mirroring ring.Log's single wait set: wakes broadcast and
+	// pollers re-scan, so sharing costs only spurious re-scans, while
+	// per-object wait sets would force a poller to park on N queues at
+	// once.
+	pollPark futex.Parker
+
 	// Per-connection object pools. Serving traffic means two pipes and a
 	// socket endpoint per connection; recycling them (buffers included,
 	// reset on put) keeps Connect/Accept off the allocator on the serving
@@ -86,6 +96,16 @@ func (k *Kernel) untrack(x interruptible) {
 	k.intMu.Unlock()
 }
 
+// stopped reports whether the kernel has been interrupted (session
+// teardown). Blocking poll loops check it so they unwind instead of
+// re-parking on a dying kernel.
+func (k *Kernel) stopped() bool {
+	k.intMu.Lock()
+	s := k.interrupted
+	k.intMu.Unlock()
+	return s
+}
+
 // Interrupt force-closes every pipe, socket and listener so that any thread
 // blocked in the kernel returns with an error or EOF. It is idempotent.
 func (k *Kernel) Interrupt() {
@@ -97,6 +117,9 @@ func (k *Kernel) Interrupt() {
 	for x := range blockables {
 		x.interrupt()
 	}
+	// Closing the blockables flipped their readiness; parked pollers must
+	// re-scan (and see the hang-ups, or the stopped flag) to unwind.
+	k.pollPark.Wake()
 }
 
 // New creates an empty kernel.
@@ -157,9 +180,10 @@ func (k *Kernel) ReadFile(path string) ([]byte, bool) {
 // Listen opens a listener on port from outside the MVEE (used by clients in
 // tests); servers under the MVEE use SysSocket/SysBind/SysListen instead.
 func (k *Kernel) Listen(port uint16, backlog int) (*listener, Errno) {
-	l := newListener(port, backlog)
+	l := newListener(k, port, backlog)
 	k.track(l)
 	if errno := k.net.bind(port, l); errno != OK {
+		k.abortListener(l) // same invariant as doListen: failed binds must not pin the interrupt list
 		return nil, errno
 	}
 	return l, OK
@@ -176,27 +200,27 @@ func (k *Kernel) CloseListener(port uint16) {
 }
 
 // Connect establishes a loopback connection to port and returns the client
-// endpoint. Client code in tests and load generators talks to the server
-// through the returned ClientConn. The connection's pipes come from the
-// kernel's pool; the one allocation left on this path is the ClientConn
-// itself (its conn is embedded by value).
-func (k *Kernel) Connect(port uint16) (*ClientConn, Errno) {
+// endpoint BY VALUE. Client code in tests and load generators talks to the
+// server through the returned ClientConn. The connection's pipes come from
+// the kernel's pool and the conn travels into the listener backlog by
+// copy, so a connect allocates nothing — the serving connect path's only
+// remaining allocation is the exact-sized recv result on the server side.
+func (k *Kernel) Connect(port uint16) (ClientConn, Errno) {
 	l, ok := k.net.lookup(port)
 	if !ok {
-		return nil, ECONNREFUSED
+		return ClientConn{}, ECONNREFUSED
 	}
-	cc := &ClientConn{c: conn{toServer: k.getPipe(), fromServer: k.getPipe()}}
-	cc.toGen = cc.c.toServer.generation()
-	cc.fromGen = cc.c.fromServer.generation()
-	k.track(cc.c.toServer)
-	k.track(cc.c.fromServer)
-	if errno := l.enqueue(&cc.c); errno != OK {
+	c := conn{toServer: k.getPipe(), fromServer: k.getPipe()}
+	cc := ClientConn{c: c, toGen: c.toServer.generation(), fromGen: c.fromServer.generation()}
+	k.track(c.toServer)
+	k.track(c.fromServer)
+	if errno := l.enqueue(c); errno != OK {
 		// Close both pipes so they recycle: a refused connect (full
 		// backlog under overload) must not pin its pipes on the interrupt
 		// list for the session's lifetime.
-		cc.c.toServer.interrupt()
-		cc.c.fromServer.interrupt()
-		return nil, errno
+		c.toServer.interrupt()
+		c.fromServer.interrupt()
+		return ClientConn{}, errno
 	}
 	return cc, OK
 }
@@ -206,14 +230,16 @@ func (k *Kernel) Connect(port uint16) (*ClientConn, Errno) {
 // generation the pipes were acquired at, so a call that arrives after the
 // connection's pipes have been recycled — a gateway watchdog's Close
 // racing the request path, a Read after Close — gets EBADF instead of
-// touching a successor connection.
+// touching a successor connection. ClientConn is a value type: copies
+// share the same pipes and the same generation stamps, so copying is
+// harmless, and returning one from Connect costs no heap allocation.
 type ClientConn struct {
 	c              conn
 	toGen, fromGen uint64
 }
 
 // Write sends data toward the server.
-func (cc *ClientConn) Write(p []byte) (int, error) {
+func (cc ClientConn) Write(p []byte) (int, error) {
 	n, errno := cc.c.toServer.write(cc.toGen, p)
 	if errno != OK {
 		return n, errno
@@ -222,7 +248,7 @@ func (cc *ClientConn) Write(p []byte) (int, error) {
 }
 
 // Read receives data from the server; it returns n==0 and nil error at EOF.
-func (cc *ClientConn) Read(p []byte) (int, error) {
+func (cc ClientConn) Read(p []byte) (int, error) {
 	n, errno := cc.c.fromServer.read(cc.fromGen, p)
 	if errno != OK {
 		return n, errno
@@ -233,7 +259,7 @@ func (cc *ClientConn) Read(p []byte) (int, error) {
 // Close shuts down the client side of the connection. It is idempotent
 // (the generation check absorbs repeats and late watchdog closes: once
 // the pipes' lifetime has moved on, Close is a no-op).
-func (cc *ClientConn) Close() {
+func (cc ClientConn) Close() {
 	cc.c.toServer.closeWrite(cc.toGen)
 	cc.c.fromServer.closeRead(cc.fromGen)
 }
@@ -256,14 +282,14 @@ func (k *Kernel) nowNanos() uint64 {
 func (k *Kernel) Sleeps() uint64 { return k.sleeps.Load() }
 
 // Do executes one system call on behalf of process p. It may block (pipe
-// reads, accept, nanosleep) — the monitor is responsible for only routing
-// calls here in accordance with its synchronization model.
+// reads, accept, poll, nanosleep) — the monitor is responsible for only
+// routing calls here in accordance with its synchronization model.
 func (k *Kernel) Do(p *Proc, c Call) Ret {
 	switch c.Nr {
 	case SysOpen:
 		return k.doOpen(p, c)
 	case SysClose:
-		return retErr(p.closeFD(int(c.Args[0])))
+		return k.doClose(p, c)
 	case SysRead:
 		return k.doRead(p, c)
 	case SysWrite:
@@ -318,7 +344,7 @@ func (k *Kernel) Do(p *Proc, c Call) Ret {
 		// this simplified stack; socket() reserves a placeholder (the
 		// endpoint pipes are attached by connect, so none are created
 		// here). The placeholder comes from the endpoint pool.
-		fd, errno := p.allocFD(k.getSock(), 0)
+		fd, errno := p.allocFD(k.getSock(), 0, 0)
 		return Ret{Val: uint64(fd), Err: errno}
 	case SysBind, SysListen:
 		return k.doListen(p, c)
@@ -331,13 +357,29 @@ func (k *Kernel) Do(p *Proc, c Call) Ret {
 	case SysRecv:
 		return k.doRead(p, c)
 	case SysShutdown:
-		return retErr(p.closeFD(int(c.Args[0])))
+		return k.doClose(p, c)
+	case SysPoll:
+		return k.doPoll(p, c)
 	default:
 		return Ret{Err: ENOSYS}
 	}
 }
 
 func retErr(errno Errno) Ret { return Ret{Err: errno} }
+
+// doClose implements SysClose/SysShutdown. A successful close flips the
+// fd's poll readiness to PollNval, and not every close path reaches a
+// pipe wake (an unconnected socket() placeholder, a file, a non-last
+// close of a dup'd descriptor touch no pipe or listener) — so the close
+// itself wakes the poll wait set, keeping pollScan's promise that a dead
+// fd is reported rather than parked on forever.
+func (k *Kernel) doClose(p *Proc, c Call) Ret {
+	errno := p.closeFD(int(c.Args[0]))
+	if errno == OK {
+		k.pollPark.Wake()
+	}
+	return retErr(errno)
+}
 
 func (k *Kernel) doOpen(p *Proc, c Call) Ret {
 	path := string(c.Data)
@@ -359,19 +401,21 @@ func (k *Kernel) doOpen(p *Proc, c Call) Ret {
 	if flags&OTrunc != 0 {
 		ino.truncate(0)
 	}
-	fd, errno := p.allocFD(&fileObj{ino: ino, flags: flags}, flags)
+	f := &fileObj{ino: ino}
+	f.hdr.kern = k
+	var off int64
+	if flags&OAppend != 0 {
+		off = ino.size()
+	}
+	fd, errno := p.allocFD(f, flags, off)
 	if errno != OK {
 		return Ret{Err: errno}
-	}
-	e, _ := p.lookupFD(fd)
-	if flags&OAppend != 0 {
-		e.offset = ino.size()
 	}
 	return Ret{Val: uint64(fd)}
 }
 
 func (k *Kernel) doRead(p *Proc, c Call) Ret {
-	e, errno := p.lookupFD(int(c.Args[0]))
+	ref, errno := p.lookupFD(int(c.Args[0]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
@@ -379,31 +423,60 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 	// Streams (pipes, sockets) return a result sized to the bytes actually
 	// pending: a recv asking for 4 KiB costs a 14-byte allocation when 14
 	// bytes arrived, not a 4 KiB one. This is the kernel half of keeping
-	// the per-request allocation volume proportional to the traffic.
-	if ar, ok := e.obj.(availableReader); ok {
+	// the per-request allocation volume proportional to the traffic. The
+	// stale check catches an object retired (and possibly re-attached to
+	// a successor connection) by a close(2) racing this read.
+	if ar, ok := ref.obj.(availableReader); ok {
+		if ref.stale() {
+			return Ret{Err: EBADF}
+		}
 		data, errno := ar.readAvailable(count)
 		if errno != OK {
 			return Ret{Err: errno}
 		}
 		return Ret{Val: uint64(len(data)), Data: data}
 	}
-	// Seekable objects know how much is left; don't allocate for bytes
-	// that cannot arrive.
-	if e.obj.seekable() {
-		if sz, errno := e.obj.size(); errno == OK {
-			if rem := sz - e.offset; rem < int64(count) {
-				count = int(max(rem, 0))
-			}
+	if !ref.obj.seekable() {
+		if ref.stale() {
+			return Ret{Err: EBADF}
+		}
+		buf := make([]byte, count)
+		n, errno := ref.obj.read(buf, 0)
+		if errno != OK {
+			return Ret{Err: errno}
+		}
+		return Ret{Val: uint64(n), Data: buf[:n]}
+	}
+	// Seekable object: the offset (like the access mode checked here)
+	// lives in the shared open file description, moved under its lock —
+	// two descriptors from dup(2) observe each other's reads, and the
+	// generation check turns a read racing the descriptor's close into
+	// EBADF instead of a read through a recycled entry. Files never
+	// block, so holding ent.mu across the read is fine. Don't allocate
+	// for bytes that cannot arrive.
+	if ref.accessMode() == OWronly {
+		return Ret{Err: EBADF}
+	}
+	e := ref.ent
+	e.mu.Lock()
+	if e.gen != ref.gen {
+		e.mu.Unlock()
+		return Ret{Err: EBADF}
+	}
+	off := e.offset
+	if sz, errno := ref.obj.size(); errno == OK {
+		if rem := sz - off; rem < int64(count) {
+			count = int(max(rem, 0))
 		}
 	}
 	buf := make([]byte, count)
-	n, errno := e.obj.read(buf, e.offset)
+	n, errno := ref.obj.read(buf, off)
 	if errno != OK {
+		e.mu.Unlock()
 		return Ret{Err: errno}
 	}
-	if e.obj.seekable() {
-		e.offset += int64(n)
-	}
+	e.offset = off + int64(n)
+	e.mu.Unlock()
 	return Ret{Val: uint64(n), Data: buf[:n]}
 }
 
@@ -414,30 +487,52 @@ type availableReader interface {
 }
 
 func (k *Kernel) doWrite(p *Proc, c Call) Ret {
-	e, errno := p.lookupFD(int(c.Args[0]))
+	ref, errno := p.lookupFD(int(c.Args[0]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	n, errno := e.obj.write(c.Data, e.offset)
+	if !ref.obj.seekable() {
+		if ref.stale() {
+			return Ret{Err: EBADF}
+		}
+		n, errno := ref.obj.write(c.Data, 0)
+		if errno != OK {
+			return Ret{Err: errno}
+		}
+		return Ret{Val: uint64(n)}
+	}
+	if ref.accessMode() == ORdonly {
+		return Ret{Err: EBADF}
+	}
+	e := ref.ent
+	e.mu.Lock()
+	if e.gen != ref.gen {
+		e.mu.Unlock()
+		return Ret{Err: EBADF}
+	}
+	n, errno := ref.obj.write(c.Data, e.offset)
 	if errno != OK {
+		e.mu.Unlock()
 		return Ret{Err: errno}
 	}
-	if e.obj.seekable() {
-		e.offset += int64(n)
-	}
+	e.offset += int64(n)
+	e.mu.Unlock()
 	return Ret{Val: uint64(n)}
 }
 
 func (k *Kernel) doPread(p *Proc, c Call) Ret {
-	e, errno := p.lookupFD(int(c.Args[0]))
+	ref, errno := p.lookupFD(int(c.Args[0]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	if !e.obj.seekable() {
+	if !ref.obj.seekable() {
 		return Ret{Err: ESPIPE}
 	}
+	if ref.accessMode() == OWronly {
+		return Ret{Err: EBADF}
+	}
 	buf := make([]byte, int(c.Args[1]))
-	n, errno := e.obj.read(buf, int64(c.Args[2]))
+	n, errno := ref.obj.read(buf, int64(c.Args[2]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
@@ -445,14 +540,17 @@ func (k *Kernel) doPread(p *Proc, c Call) Ret {
 }
 
 func (k *Kernel) doPwrite(p *Proc, c Call) Ret {
-	e, errno := p.lookupFD(int(c.Args[0]))
+	ref, errno := p.lookupFD(int(c.Args[0]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	if !e.obj.seekable() {
+	if !ref.obj.seekable() {
 		return Ret{Err: ESPIPE}
 	}
-	n, errno := e.obj.write(c.Data, int64(c.Args[1]))
+	if ref.accessMode() == ORdonly {
+		return Ret{Err: EBADF}
+	}
+	n, errno := ref.obj.write(c.Data, int64(c.Args[1]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
@@ -460,12 +558,18 @@ func (k *Kernel) doPwrite(p *Proc, c Call) Ret {
 }
 
 func (k *Kernel) doLseek(p *Proc, c Call) Ret {
-	e, errno := p.lookupFD(int(c.Args[0]))
+	ref, errno := p.lookupFD(int(c.Args[0]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	if !e.obj.seekable() {
+	if !ref.obj.seekable() {
 		return Ret{Err: ESPIPE}
+	}
+	e := ref.ent
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gen != ref.gen {
+		return Ret{Err: EBADF}
 	}
 	off := int64(c.Args[1])
 	switch c.Args[2] {
@@ -474,7 +578,7 @@ func (k *Kernel) doLseek(p *Proc, c Call) Ret {
 	case SeekCur:
 		e.offset += off
 	case SeekEnd:
-		sz, _ := e.obj.size()
+		sz, _ := ref.obj.size()
 		e.offset = sz + off
 	default:
 		return Ret{Err: EINVAL}
@@ -498,25 +602,36 @@ func (k *Kernel) doPipe(p *Proc) Ret {
 	pi := k.getPipe()
 	gen := pi.generation()
 	k.track(pi)
-	rfd, errno := p.allocFD(&readEnd{p: pi, gen: gen}, ORdonly)
+	rfd, errno := p.allocFD(&readEnd{p: pi, gen: gen}, ORdonly, 0)
 	if errno != OK {
+		// No descriptor will ever close the pipe: close both ends so it
+		// recycles instead of pinning the interrupt list (a process stuck
+		// at the fd limit must not leak one pipe per failed pipe2).
+		pi.interruptNow()
 		return Ret{Err: errno}
 	}
-	wfd, errno := p.allocFD(&writeEnd{p: pi, gen: gen}, OWronly)
+	wfd, errno := p.allocFD(&writeEnd{p: pi, gen: gen}, OWronly, 0)
 	if errno != OK {
-		p.closeFD(rfd)
+		p.closeFD(rfd)     // closes the read side
+		pi.closeWrite(gen) // no write descriptor will ever exist
 		return Ret{Err: errno}
 	}
 	return Ret{Val: uint64(rfd), Val2: uint64(wfd)}
 }
 
 func (k *Kernel) doFtruncate(p *Proc, c Call) Ret {
-	e, errno := p.lookupFD(int(c.Args[0]))
+	ref, errno := p.lookupFD(int(c.Args[0]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	f, ok := e.obj.(*fileObj)
+	f, ok := ref.obj.(*fileObj)
 	if !ok {
+		return Ret{Err: EINVAL}
+	}
+	if ref.accessMode() == ORdonly {
+		// Like read/write, the access mode lives on the shared open file
+		// description; ftruncate is a write effect (Linux: EINVAL for a
+		// descriptor not open for writing).
 		return Ret{Err: EINVAL}
 	}
 	f.ino.truncate(int64(c.Args[1]))
@@ -536,27 +651,65 @@ func (k *Kernel) doListen(p *Proc, c Call) Ret {
 	if backlog <= 0 {
 		backlog = 128
 	}
-	e, errno := p.lookupFD(fd)
+	ref, errno := p.lookupFD(fd)
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	l := newListener(port, backlog)
+	l := newListener(k, port, backlog)
 	k.track(l)
 	if errno := k.net.bind(port, l); errno != OK {
+		k.abortListener(l) // nothing can have enqueued; just untrack
 		return Ret{Err: errno}
 	}
+	// Install the listener only if the descriptor still maps to the same
+	// description: a close racing in would otherwise resurrect a retired
+	// entry as a listening socket.
 	p.mu.Lock()
-	e.obj = l
+	if !p.revalidateLocked(fd, ref) {
+		p.mu.Unlock()
+		// Unbind first so no further connects can enqueue, then tear the
+		// orphan down: nobody will ever accept from it, so connections
+		// that raced into the backlog must be interrupted (their clients
+		// would block forever) and the listener must leave the interrupt
+		// list rather than pinning there until session teardown.
+		k.net.unbind(port)
+		k.abortListener(l)
+		return Ret{Err: EBADF}
+	}
+	// Recycle the socket() placeholder the listener displaces (it is
+	// unconnected, so close touches no pipes — it just retires the header
+	// and returns the object to the pool, like doAccept's error path).
+	if s, ok := ref.ent.obj.(*socketObj); ok {
+		s.close()
+	}
+	ref.ent.obj = l
 	p.mu.Unlock()
 	return Ret{}
 }
 
+// abortListener tears down a listener that will never be accepted from:
+// close it, interrupt any connections that raced into its backlog (their
+// clients would block forever; accept on a closed listener drains without
+// blocking), and drop it from the interrupt-tracking list.
+func (k *Kernel) abortListener(l *listener) {
+	l.close()
+	for {
+		cn, errno := l.accept()
+		if errno != OK {
+			break
+		}
+		cn.toServer.interrupt()
+		cn.fromServer.interrupt()
+	}
+	k.untrack(l)
+}
+
 func (k *Kernel) doAccept(p *Proc, c Call) Ret {
-	e, errno := p.lookupFD(int(c.Args[0]))
+	ref, errno := p.lookupFD(int(c.Args[0]))
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	l, ok := e.obj.(*listener)
+	l, ok := ref.obj.(*listener)
 	if !ok {
 		return Ret{Err: ENOTSOCK}
 	}
@@ -566,7 +719,7 @@ func (k *Kernel) doAccept(p *Proc, c Call) Ret {
 	}
 	s := k.getSock()
 	s.attach(cn.toServer, cn.fromServer)
-	fd, errno := p.allocFD(s, 0)
+	fd, errno := p.allocFD(s, 0, 0)
 	if errno != OK {
 		s.close() // no descriptor will ever close it; recycle now
 		return Ret{Err: errno}
@@ -580,7 +733,8 @@ func (k *Kernel) doConnect(p *Proc, c Call) Ret {
 	// listener's backlog on a bad fd — the server accepted it and hung in
 	// recv forever, and its pipes stayed pinned on the interrupt list
 	// instead of returning to the pool.
-	e, errno := p.lookupFD(int(c.Args[0]))
+	fd := int(c.Args[0])
+	ref, errno := p.lookupFD(fd)
 	if errno != OK {
 		return Ret{Err: errno}
 	}
@@ -589,7 +743,7 @@ func (k *Kernel) doConnect(p *Proc, c Call) Ret {
 	if !ok {
 		return Ret{Err: ECONNREFUSED}
 	}
-	cn := &conn{toServer: k.getPipe(), fromServer: k.getPipe()}
+	cn := conn{toServer: k.getPipe(), fromServer: k.getPipe()}
 	k.track(cn.toServer)
 	k.track(cn.fromServer)
 	if errno := l.enqueue(cn); errno != OK {
@@ -601,12 +755,11 @@ func (k *Kernel) doConnect(p *Proc, c Call) Ret {
 	// Attach the pipes to the placeholder socket() already installed at
 	// the descriptor, rather than allocating a replacement object — but
 	// only after re-validating that the descriptor still maps to the same
-	// entry: a concurrent close(2) during the enqueue may have removed it
-	// and recycled its endpoint into another connection, and attaching
-	// through the stale entry would redirect that connection's pipes.
-	fd := int(c.Args[0])
+	// description at the same generation: a concurrent close(2) during the
+	// enqueue may have retired and recycled the entry, and attaching
+	// through the stale entry would redirect another connection's pipes.
 	p.mu.Lock()
-	if cur, ok := p.fds[fd]; !ok || cur != e {
+	if !p.revalidateLocked(fd, ref) {
 		p.mu.Unlock()
 		// The fd was closed mid-connect: tear down the just-enqueued conn
 		// so the server side sees EOF instead of a ghost, and the pipes
@@ -615,13 +768,17 @@ func (k *Kernel) doConnect(p *Proc, c Call) Ret {
 		cn.fromServer.interrupt()
 		return Ret{Err: EBADF}
 	}
-	if s, ok := e.obj.(*socketObj); ok {
+	if s, ok := ref.ent.obj.(*socketObj); ok {
 		s.attach(cn.fromServer, cn.toServer)
 	} else {
 		s := k.getSock()
 		s.attach(cn.fromServer, cn.toServer)
-		e.obj = s
+		ref.ent.obj = s
 	}
 	p.mu.Unlock()
+	// The attach flipped the fd's readiness (an unconnected placeholder
+	// polls as nothing; now it is writable): wake parked pollers, per the
+	// object-header contract.
+	k.pollPark.Wake()
 	return Ret{}
 }

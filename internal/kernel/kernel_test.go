@@ -250,12 +250,12 @@ func TestSocketLoopback(t *testing.T) {
 		t.Fatalf("listen: %v", r.Err)
 	}
 	// Client connects from outside the MVEE.
-	connected := make(chan *ClientConn, 1)
+	connected := make(chan ClientConn, 1)
 	go func() {
 		cc, errno := k.Connect(8080)
 		if errno != OK {
 			t.Errorf("connect: %v", errno)
-			connected <- nil
+			connected <- ClientConn{}
 			return
 		}
 		cc.Write([]byte("GET /"))
@@ -272,7 +272,7 @@ func TestSocketLoopback(t *testing.T) {
 	}
 	k.Do(p, Call{Nr: SysSend, Args: [6]uint64{cfd}, Data: []byte("200 OK")})
 	cc := <-connected
-	if cc == nil {
+	if cc.c.fromServer == nil {
 		t.Fatal("client failed")
 	}
 	buf := make([]byte, 64)

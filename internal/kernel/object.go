@@ -1,0 +1,62 @@
+package kernel
+
+import "sync/atomic"
+
+// objHeader is the uniform header every descriptor-visible object embeds
+// (files, pipes, sockets, listeners). It carries the two pieces of state
+// the descriptor layer needs to treat all objects alike:
+//
+//   - kern: the owning kernel, through which pooled objects recycle and
+//     through which readiness changes reach parked pollers (pollWake).
+//     Nil for objects built outside a kernel (bare newPipe in tests).
+//   - gen: the object's reuse generation. Pooled objects bump it when
+//     their lifetime moves on (pipes at re-acquisition, sockets and fd
+//     entries at retirement); holders stamp themselves with the
+//     generation at acquisition and revalidate it per operation, so a
+//     stale handle gets EBADF instead of a successor's state.
+//
+// The header is what SysPoll multiplexes over: every object answers
+// poll() with a readiness set, and every state change that could flip
+// readiness routes a wakeup through the header's kernel to the pollers
+// parked on the kernel's poll wait set.
+type objHeader struct {
+	kern *Kernel
+	gen  atomic.Uint64
+}
+
+// header returns the embedded header; objects expose it through the
+// object interface by delegation.
+func (h *objHeader) header() *objHeader { return h }
+
+// generation returns the current reuse generation.
+func (h *objHeader) generation() uint64 { return h.gen.Load() }
+
+// retire advances the reuse generation, invalidating every handle stamped
+// with an earlier one.
+func (h *objHeader) retire() { h.gen.Add(1) }
+
+// pollWake notifies pollers parked on the owning kernel's poll wait set
+// that this object's readiness may have changed. One atomic load when
+// nobody is polling — cheap enough to call on every pipe/listener state
+// change.
+func (h *objHeader) pollWake() {
+	if h.kern != nil {
+		h.kern.pollPark.Wake()
+	}
+}
+
+// object is anything a file descriptor can refer to.
+type object interface {
+	// header exposes the uniform object header (generation + kernel).
+	header() *objHeader
+	// read blocks until data is available (pipes/sockets) or returns
+	// immediately (files). n==0 with OK means end of stream.
+	read(p []byte, off int64) (n int, errno Errno)
+	write(p []byte, off int64) (n int, errno Errno)
+	size() (int64, Errno)
+	close() Errno
+	seekable() bool
+	// poll reports the object's current readiness set (Poll* bits),
+	// without blocking. SysPoll masks it against the caller's interest.
+	poll() uint32
+}

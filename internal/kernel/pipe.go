@@ -36,14 +36,16 @@ const pipeBufSize = 64 * 1024
 // waiting while parked) blocks release, so the generation cannot move
 // mid-operation.
 type pipe struct {
-	// kern, when non-nil, recycles the pipe (and untracks it from the
-	// interrupt list) once it is dead and drained. Pipes made by the bare
-	// newPipe (tests) have no kernel and are simply garbage-collected.
-	kern *Kernel
+	// hdr is the uniform object header: hdr.kern, when non-nil, recycles
+	// the pipe (and untracks it from the interrupt list) once it is dead
+	// and drained, and routes poll wakeups; pipes made by the bare newPipe
+	// (tests) have no kernel and are simply garbage-collected. hdr.gen is
+	// the reuse generation, bumped under mu by getPipe; being atomic it is
+	// also readable without mu (generation, poll readiness).
+	hdr objHeader
 
 	mu          sync.Mutex
 	cond        sync.Cond // L bound to mu at construction; recycled with the pipe
-	gen         uint64    // reuse generation, guarded by mu; bumped by getPipe
 	buf         []byte
 	r           int // read offset into buf; len(buf)-r bytes are unread
 	waiting     int // goroutines inside cond.Wait
@@ -60,15 +62,10 @@ func newPipe() *pipe {
 
 // generation returns the pipe's current reuse generation, for a holder to
 // stamp its handle with at acquisition time.
-func (p *pipe) generation() uint64 {
-	p.mu.Lock()
-	g := p.gen
-	p.mu.Unlock()
-	return g
-}
+func (p *pipe) generation() uint64 { return p.hdr.generation() }
 
 // checkGenLocked validates a handle's generation. Callers hold p.mu.
-func (p *pipe) checkGenLocked(gen uint64) bool { return p.gen == gen }
+func (p *pipe) checkGenLocked(gen uint64) bool { return p.hdr.gen.Load() == gen }
 
 // getPipe returns a fresh or recycled pipe owned by this kernel. The
 // recycled case reuses the pipe struct, its cond (sync.Cond carries no
@@ -81,13 +78,13 @@ func (k *Kernel) getPipe() *pipe {
 	if v := k.pipePool.Get(); v != nil {
 		p := v.(*pipe)
 		p.mu.Lock()
-		p.gen++
+		p.hdr.gen.Add(1)
 		p.readClosed, p.writeClosed, p.released = false, false, false
 		p.mu.Unlock()
 		return p
 	}
 	p := newPipe()
-	p.kern = k
+	p.hdr.kern = k
 	return p
 }
 
@@ -110,18 +107,63 @@ type writeEnd struct {
 	gen uint64
 }
 
+func (r *readEnd) header() *objHeader                    { return &r.p.hdr }
 func (r *readEnd) read(b []byte, _ int64) (int, Errno)   { return r.p.read(r.gen, b) }
 func (r *readEnd) readAvailable(max int) ([]byte, Errno) { return r.p.readAvailable(r.gen, max) }
 func (r *readEnd) write([]byte, int64) (int, Errno)      { return 0, EBADF }
 func (r *readEnd) size() (int64, Errno)                  { return 0, ESPIPE }
 func (r *readEnd) close() Errno                          { r.p.closeRead(r.gen); return OK }
 func (r *readEnd) seekable() bool                        { return false }
+func (r *readEnd) poll() uint32                          { return r.p.pollReadable(r.gen) }
 
+func (w *writeEnd) header() *objHeader                   { return &w.p.hdr }
 func (w *writeEnd) read([]byte, int64) (int, Errno)      { return 0, EBADF }
 func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(w.gen, b) }
 func (w *writeEnd) size() (int64, Errno)                 { return 0, ESPIPE }
 func (w *writeEnd) close() Errno                         { w.p.closeWrite(w.gen); return OK }
 func (w *writeEnd) seekable() bool                       { return false }
+func (w *writeEnd) poll() uint32                         { return w.p.pollWritable(w.gen) }
+
+// pollReadable snapshots the read-side readiness of the pipe for a handle
+// stamped with gen: PollIn when a read would not block (pending bytes, or
+// EOF because the write side closed), PollHup at EOF, PollNval when the
+// handle's pipe lifetime has ended (the pipe was recycled).
+func (p *pipe) pollReadable(gen uint64) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.checkGenLocked(gen) {
+		return PollNval
+	}
+	var ev uint32
+	if p.unread() > 0 || p.writeClosed {
+		ev |= PollIn
+	}
+	if p.writeClosed {
+		ev |= PollHup
+	}
+	if p.readClosed {
+		ev |= PollErr
+	}
+	return ev
+}
+
+// pollWritable snapshots the write-side readiness: PollOut when buffer
+// space is available, PollErr when a write would fail (broken pipe or a
+// closed write side), PollNval on a recycled pipe.
+func (p *pipe) pollWritable(gen uint64) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.checkGenLocked(gen) {
+		return PollNval
+	}
+	var ev uint32
+	if p.readClosed || p.writeClosed {
+		ev |= PollErr
+	} else if p.unread() < pipeBufSize {
+		ev |= PollOut
+	}
+	return ev
+}
 
 // unread returns the pending byte count. Callers hold p.mu.
 func (p *pipe) unread() int { return len(p.buf) - p.r }
@@ -139,7 +181,7 @@ func (p *pipe) waitLocked() {
 // the next use. It returns whether the caller must invoke
 // kern.releasePipe after unlocking. Callers hold p.mu.
 func (p *pipe) releaseDueLocked() bool {
-	if p.kern == nil || p.released || !p.readClosed || !p.writeClosed || p.waiting > 0 {
+	if p.hdr.kern == nil || p.released || !p.readClosed || !p.writeClosed || p.waiting > 0 {
 		return false
 	}
 	p.released = true
@@ -174,6 +216,8 @@ func (p *pipe) consumeLocked(n int) {
 		p.r = 0
 	}
 	p.cond.Broadcast()
+	// Callers issue the poll wake (space freed: writers polling PollOut
+	// may be ready) after releasing p.mu.
 }
 
 func (p *pipe) read(gen uint64, b []byte) (int, Errno) {
@@ -189,13 +233,14 @@ func (p *pipe) read(gen uint64, b []byte) (int, Errno) {
 		rel := p.releaseDueLocked()
 		p.mu.Unlock()
 		if rel {
-			p.kern.releasePipe(p)
+			p.hdr.kern.releasePipe(p)
 		}
 		return 0, errno
 	}
 	n := copy(b, p.buf[p.r:])
 	p.consumeLocked(n)
 	p.mu.Unlock()
+	p.hdr.pollWake()
 	return n, OK
 }
 
@@ -215,7 +260,7 @@ func (p *pipe) readAvailable(gen uint64, max int) ([]byte, Errno) {
 		rel := p.releaseDueLocked()
 		p.mu.Unlock()
 		if rel {
-			p.kern.releasePipe(p)
+			p.hdr.kern.releasePipe(p)
 		}
 		return nil, errno
 	}
@@ -227,6 +272,7 @@ func (p *pipe) readAvailable(gen uint64, max int) ([]byte, Errno) {
 	copy(out, p.buf[p.r:])
 	p.consumeLocked(n)
 	p.mu.Unlock()
+	p.hdr.pollWake()
 	return out, OK
 }
 
@@ -241,21 +287,36 @@ func (p *pipe) write(gen uint64, b []byte) (int, Errno) {
 		if p.readClosed {
 			rel := p.releaseDueLocked()
 			p.mu.Unlock()
+			if written > 0 {
+				p.hdr.pollWake()
+			}
 			if rel {
-				p.kern.releasePipe(p)
+				p.hdr.kern.releasePipe(p)
 			}
 			return written, EPIPE
 		}
 		if p.writeClosed {
 			rel := p.releaseDueLocked()
 			p.mu.Unlock()
+			if written > 0 {
+				p.hdr.pollWake()
+			}
 			if rel {
-				p.kern.releasePipe(p)
+				p.hdr.kern.releasePipe(p)
 			}
 			return written, EBADF
 		}
 		space := pipeBufSize - p.unread()
 		if space == 0 {
+			// Announce what this call already buffered BEFORE sleeping:
+			// a poller parked on the kernel wait set is the only thing
+			// that can drain the pipe in the evented mode, and the
+			// end-of-write wake below never happens while we wait here —
+			// skipping this is a writer/poller deadlock on any write
+			// larger than the pipe capacity.
+			if written > 0 {
+				p.hdr.pollWake()
+			}
 			p.waitLocked()
 			continue
 		}
@@ -275,6 +336,10 @@ func (p *pipe) write(gen uint64, b []byte) (int, Errno) {
 		p.cond.Broadcast() // wake readers
 	}
 	p.mu.Unlock()
+	// One poll wake per write, outside the lock (readers polling PollIn
+	// are ready): per-chunk wakes under p.mu would stampede every poller
+	// in the kernel straight into the lock the writer still holds.
+	p.hdr.pollWake()
 	return written, OK
 }
 
@@ -288,8 +353,9 @@ func (p *pipe) closeRead(gen uint64) {
 	rel := p.releaseDueLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	p.hdr.pollWake() // writers polling the peer see PollErr now
 	if rel {
-		p.kern.releasePipe(p)
+		p.hdr.kern.releasePipe(p)
 	}
 }
 
@@ -303,8 +369,9 @@ func (p *pipe) closeWrite(gen uint64) {
 	rel := p.releaseDueLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	p.hdr.pollWake() // readers polling PollIn see EOF (PollIn|PollHup) now
 	if rel {
-		p.kern.releasePipe(p)
+		p.hdr.kern.releasePipe(p)
 	}
 }
 
@@ -317,7 +384,8 @@ func (p *pipe) interruptNow() {
 	rel := p.releaseDueLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	p.hdr.pollWake()
 	if rel {
-		p.kern.releasePipe(p)
+		p.hdr.kern.releasePipe(p)
 	}
 }

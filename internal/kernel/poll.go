@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// SysPoll: fd-set readiness over the uniform object header (see object.go).
+//
+// The call's Data payload is the pollfd array in a fixed wire layout, so
+// the fd set is an ordinary compared payload for the monitor — two
+// variants polling different descriptor sets diverge exactly like two
+// variants writing different bytes. Args[0] is the entry count, Args[1]
+// the timeout in nanoseconds (PollNoTimeout blocks indefinitely, 0 never
+// blocks). The result's Data is a copy of the input array with revents
+// filled in; Val is the number of entries with a non-zero revents.
+//
+// Blocking pollers park on the kernel's poll wait set (a futex.Parker):
+// every pipe/listener state change that could flip readiness calls
+// pollWake through the object header, so a parked poller costs zero CPU
+// and the wake is one atomic load when nobody polls. Parking is
+// allocation-free; only a finite timeout arms a timer.
+
+// Poll event bits, matching Linux's poll(2) values.
+const (
+	PollIn   = 0x0001 // readable without blocking (data, EOF, or pending accept)
+	PollOut  = 0x0004 // writable without blocking
+	PollErr  = 0x0008 // error condition (broken pipe)
+	PollHup  = 0x0010 // hang-up (peer closed / listener closed)
+	PollNval = 0x0020 // invalid descriptor, or a handle whose object was recycled
+)
+
+// PollNoTimeout as Args[1] blocks the poll until an event arrives.
+const PollNoTimeout = ^uint64(0)
+
+// PollFDSize is the wire size of one pollfd entry in the Data payload:
+// fd uint32 | events uint16 | revents uint16, little-endian.
+const PollFDSize = 8
+
+// EncodePollFD writes entry i of a pollfd array (revents zeroed). The
+// caller supplies the buffer — sized n*PollFDSize — so a poll loop reuses
+// one array across calls instead of allocating per poll.
+func EncodePollFD(b []byte, i int, fd int, events uint16) {
+	e := b[i*PollFDSize:]
+	binary.LittleEndian.PutUint32(e, uint32(fd))
+	binary.LittleEndian.PutUint16(e[4:], events)
+	binary.LittleEndian.PutUint16(e[6:], 0)
+}
+
+// DecodePollFD reads entry i of a pollfd array.
+func DecodePollFD(b []byte, i int) (fd int, events, revents uint16) {
+	e := b[i*PollFDSize:]
+	return int(binary.LittleEndian.Uint32(e)),
+		binary.LittleEndian.Uint16(e[4:]),
+		binary.LittleEndian.Uint16(e[6:])
+}
+
+// DecodeRevents reads entry i's revents from a poll result payload.
+func DecodeRevents(b []byte, i int) uint16 {
+	return binary.LittleEndian.Uint16(b[i*PollFDSize+6:])
+}
+
+func putRevents(b []byte, i int, ev uint16) {
+	binary.LittleEndian.PutUint16(b[i*PollFDSize+6:], ev)
+}
+
+// pollScan fills out's revents from the current readiness of each entry's
+// descriptor and returns how many entries are ready. A dead descriptor
+// reports PollNval (and counts as ready: the caller must be told, not
+// parked forever on an fd that cannot produce events).
+//
+// The whole scan runs under one Proc.mu hold — the scan re-runs on every
+// wake, and a per-fd lookupFD would pay two lock round-trips per entry
+// per wake on the evented serving path. Object poll() methods take their
+// own pipe/listener locks inside; the p.mu → object-lock order matches
+// every other kernel path (nothing acquires p.mu while holding an object
+// lock).
+func (k *Kernel) pollScan(p *Proc, out []byte, n int) int {
+	ready := 0
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		fd, events, _ := DecodePollFD(out, i)
+		e := p.fdt.get(fd)
+		var rev uint16
+		if e == nil {
+			rev = PollNval
+		} else {
+			// Errors and hang-ups are always reported, like poll(2);
+			// everything else is masked by the caller's interest set.
+			rev = uint16(e.obj.poll()) & (events | PollErr | PollHup | PollNval)
+		}
+		putRevents(out, i, rev)
+		if rev != 0 {
+			ready++
+		}
+	}
+	p.mu.Unlock()
+	return ready
+}
+
+// doPoll implements SysPoll. It may block; the monitor classifies poll as
+// a blocking replicated call (master executes, result replicated), so only
+// the master's thread ever parks here.
+func (k *Kernel) doPoll(p *Proc, c Call) Ret {
+	n := int(c.Args[0])
+	if n < 0 || n > maxFDs || n*PollFDSize != len(c.Data) {
+		return Ret{Err: EINVAL}
+	}
+	// The result is a fresh copy: the input payload is compared across
+	// variants (and may sit in a replication ring slot), so revents must
+	// never be written into the caller's buffer in place.
+	out := make([]byte, len(c.Data))
+	copy(out, c.Data)
+	timeout := c.Args[1]
+	if timeout > uint64(1<<63-1) {
+		// Clamp: a nanosecond count past time.Duration's range (292 years)
+		// would overflow negative and turn the poll into a busy return.
+		timeout = PollNoTimeout
+	}
+	var deadline time.Time
+	if timeout != PollNoTimeout && timeout != 0 {
+		deadline = time.Now().Add(time.Duration(timeout))
+		// One wake at the deadline for the whole call (the parked poller
+		// re-checks and returns 0 events), armed up front: the wait set is
+		// kernel-wide, so a busy kernel wakes the loop spuriously many
+		// times, and re-arming per park would allocate a timer per wake.
+		// The timer allocates once; event loops that must stay
+		// allocation-free poll with PollNoTimeout and rely on wakeups.
+		tm := time.AfterFunc(time.Duration(timeout), k.pollPark.Wake)
+		defer tm.Stop()
+	}
+	for {
+		if ready := k.pollScan(p, out, n); ready > 0 {
+			return Ret{Val: uint64(ready), Data: out}
+		}
+		if timeout == 0 || (timeout != PollNoTimeout && !time.Now().Before(deadline)) {
+			return Ret{Data: out}
+		}
+		if k.stopped() {
+			// Session teardown: report the scan as-is rather than parking
+			// on a dying kernel (an empty fd set would never wake).
+			return Ret{Data: out, Err: EBADF}
+		}
+		// FUTEX_WAIT protocol on the kernel's poll wait set: announce,
+		// re-check readiness AND the deadline (a state change — or the
+		// deadline timer's one-shot Wake, which is a no-op while nobody
+		// has Prepared — landing between the checks above and the
+		// announcement would otherwise be a lost wakeup), then park.
+		g := k.pollPark.Prepare()
+		if k.pollScan(p, out, n) > 0 || k.stopped() ||
+			(timeout != PollNoTimeout && !time.Now().Before(deadline)) {
+			k.pollPark.Cancel()
+			continue
+		}
+		k.pollPark.Park(g)
+	}
+}

@@ -144,7 +144,7 @@ func TestStaleClientConnHandleGetsEBADF(t *testing.T) {
 	k := New()
 	stop := startEchoServer(t, k, 82)
 	defer stop()
-	do := func(payload string) *ClientConn {
+	do := func(payload string) ClientConn {
 		cc, errno := k.Connect(82)
 		if errno != OK {
 			t.Fatalf("connect: %v", errno)

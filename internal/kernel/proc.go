@@ -1,17 +1,130 @@
 package kernel
 
 import (
+	"math/bits"
 	"sync"
 )
 
 // maxFDs bounds a process's descriptor table, like RLIMIT_NOFILE.
 const maxFDs = 1024
 
-// fdEntry binds a descriptor to an object plus per-descriptor state.
-type fdEntry struct {
+// openFile is an open file description — the kernel's struct file: the
+// state shared by every descriptor that refers to one open(2)/socket(2)/
+// pipe2(2) result. dup(2)'d descriptors point at the SAME description, so
+// they share the file offset and status flags exactly like Linux
+// descriptors do (an lseek or read through one moves the offset the other
+// observes).
+//
+// Descriptions are pooled per process (Proc.free): close pushes the
+// retired entry onto the freelist and the next alloc pops it, so the
+// descriptor-install on the serving accept path costs zero allocations in
+// steady state. Retirement bumps gen; an fdRef snapshot taken before the
+// close fails its generation check under mu instead of reading a
+// successor descriptor's offset.
+type openFile struct {
+	// mu guards offset against concurrent seekable operations (two
+	// threads reading one dup'd descriptor race the shared offset) and
+	// gates the generation check for offset-carrying ops.
+	mu     sync.Mutex
 	obj    object
 	offset int64
 	flags  int
+	// refs counts descriptor-table references (dup adds one); the last
+	// close releases obj. Guarded by Proc.mu.
+	refs int
+	// gen is the entry's reuse generation: bumped at retirement, written
+	// under Proc.mu AND openFile.mu, readable under either.
+	gen uint64
+}
+
+// fdRef is a point-in-time snapshot of one descriptor: the description,
+// its object, and the generations observed at lookup. Operations validate
+// the entry generation before committing state (offset moves) and the
+// object-header generation before touching pooled stream objects, so a
+// reference that outlives its descriptor — another thread's close(2)
+// racing a read — degrades to EBADF instead of acting on a recycled
+// entry or a socket endpoint re-attached to a successor connection. (The
+// check-then-act window is a few instructions; fully closing it would
+// require per-op locks on the stream hot path, and it only opens when a
+// guest uses an fd after closing it — a program bug.) fdRef is a value
+// type: taking a snapshot allocates nothing.
+type fdRef struct {
+	ent    *openFile
+	obj    object
+	flags  int    // the description's open flags (immutable after alloc)
+	gen    uint64 // ent's generation at lookup
+	objGen uint64 // obj's header generation at lookup
+}
+
+// accessMode returns the O_RDONLY/O_WRONLY/O_RDWR bits of the shared
+// description's flags — the access-mode check for seekable objects lives
+// in the kernel handlers, on the description, because that is the state
+// dup(2)'d descriptors share (streams enforce direction in the object).
+func (r fdRef) accessMode() int { return r.flags & 0x3 }
+
+// stale reports whether the object behind the snapshot has been retired
+// (and possibly recycled) since lookup. One atomic load.
+func (r fdRef) stale() bool { return r.obj.header().generation() != r.objGen }
+
+// fdTable is the slab-backed descriptor table: an allocation bitmap for
+// the lowest-free scan (the kernel behaviour whose cross-variant
+// visibility motivates syscall ordering in the first place, §3.1) plus a
+// dense slot array. The bitmap makes alloc O(maxFDs/64) words instead of
+// the old map's O(maxFDs) probe loop, and the slots are plain pointers —
+// no hashing, no bucket churn.
+type fdTable struct {
+	// used bit fd = descriptor live. Bits 0-2 are permanently set
+	// (stdin/stdout/stderr reserved), so the lowest-free scan lands at 3
+	// without a special case.
+	used  [maxFDs / 64]uint64
+	slots []*openFile // grown on demand; slots[fd] valid while bit fd is set
+}
+
+func (t *fdTable) init() { t.used[0] = 0b111 }
+
+// alloc claims the lowest free descriptor and returns it, or false when
+// the table is full (EMFILE). Callers hold Proc.mu.
+func (t *fdTable) alloc() (int, bool) {
+	for w := range t.used {
+		free := ^t.used[w]
+		if free == 0 {
+			continue
+		}
+		b := bits.TrailingZeros64(free)
+		fd := w<<6 | b
+		t.used[w] |= 1 << uint(b)
+		for len(t.slots) <= fd {
+			t.slots = append(t.slots, nil)
+		}
+		return fd, true
+	}
+	return -1, false
+}
+
+// get returns the live entry at fd, or nil.
+func (t *fdTable) get(fd int) *openFile {
+	if fd < 3 || fd >= maxFDs || fd >= len(t.slots) ||
+		t.used[fd>>6]&(1<<uint(fd&63)) == 0 {
+		return nil
+	}
+	return t.slots[fd]
+}
+
+func (t *fdTable) set(fd int, e *openFile) { t.slots[fd] = e }
+
+func (t *fdTable) clear(fd int) {
+	t.used[fd>>6] &^= 1 << uint(fd&63)
+	t.slots[fd] = nil
+}
+
+// count returns the number of live user descriptors (excluding the three
+// reserved stdio bits).
+func (t *fdTable) count() int {
+	n := 0
+	for _, w := range t.used {
+		n += bits.OnesCount64(w)
+	}
+	return n - 3
 }
 
 // Proc is the kernel-side state of one process (one MVEE variant).
@@ -20,7 +133,10 @@ type Proc struct {
 	AS  *AddressSpace
 
 	mu  sync.Mutex
-	fds map[int]*fdEntry
+	fdt fdTable
+	// free pools retired open-file descriptions for reuse by the next
+	// alloc; see openFile.
+	free []*openFile
 
 	nextTid int
 }
@@ -29,81 +145,124 @@ type Proc struct {
 // 0-2 are reserved, as stdin/stdout/stderr would be) and the given address
 // space.
 func NewProc(pid int, as *AddressSpace) *Proc {
-	return &Proc{Pid: pid, AS: as, fds: make(map[int]*fdEntry), nextTid: 1}
+	p := &Proc{Pid: pid, AS: as, nextTid: 1}
+	p.fdt.init()
+	return p
 }
 
-// allocFD installs obj at the lowest free descriptor >= 3 — the kernel
-// behaviour whose cross-variant visibility motivates syscall ordering in
-// the first place (§3.1).
-func (p *Proc) allocFD(obj object, flags int) (int, Errno) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for fd := 3; fd < maxFDs; fd++ {
-		if _, used := p.fds[fd]; !used {
-			p.fds[fd] = &fdEntry{obj: obj, flags: flags}
-			return fd, OK
-		}
+// getEntry pops a pooled description (its gen was bumped at retirement) or
+// makes a fresh one. Callers hold p.mu.
+func (p *Proc) getEntry() *openFile {
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return e
 	}
-	return -1, EMFILE
+	return &openFile{}
 }
 
-func (p *Proc) lookupFD(fd int) (*fdEntry, Errno) {
+// allocFD installs obj at the lowest free descriptor >= 3 with the given
+// status flags and initial offset.
+func (p *Proc) allocFD(obj object, flags int, offset int64) (int, Errno) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.fds[fd]
+	fd, ok := p.fdt.alloc()
 	if !ok {
-		return nil, EBADF
+		p.mu.Unlock()
+		return -1, EMFILE
 	}
-	return e, OK
+	e := p.getEntry()
+	e.obj, e.flags, e.offset, e.refs = obj, flags, offset, 1
+	p.fdt.set(fd, e)
+	p.mu.Unlock()
+	return fd, OK
+}
+
+// lookupFD snapshots descriptor fd. The snapshot is valid by construction
+// at the moment it is taken (the entry is live in the table under p.mu);
+// offset-committing operations revalidate ref.gen under ent.mu before
+// acting, so a close racing in between degrades the op to EBADF.
+func (p *Proc) lookupFD(fd int) (fdRef, Errno) {
+	p.mu.Lock()
+	e := p.fdt.get(fd)
+	if e == nil {
+		p.mu.Unlock()
+		return fdRef{}, EBADF
+	}
+	ref := fdRef{ent: e, obj: e.obj, flags: e.flags, gen: e.gen, objGen: e.obj.header().generation()}
+	p.mu.Unlock()
+	return ref, OK
+}
+
+// revalidateLocked reports whether descriptor fd still maps to the
+// snapshot ref — same description at the same generation. Used by
+// handlers that install state into the entry after a window in which a
+// concurrent close(2) could have retired it. Callers hold p.mu.
+func (p *Proc) revalidateLocked(fd int, ref fdRef) bool {
+	cur := p.fdt.get(fd)
+	return cur == ref.ent && cur.gen == ref.gen
 }
 
 func (p *Proc) closeFD(fd int) Errno {
 	p.mu.Lock()
-	e, ok := p.fds[fd]
-	if !ok {
+	e := p.fdt.get(fd)
+	if e == nil {
 		p.mu.Unlock()
 		return EBADF
 	}
-	delete(p.fds, fd)
+	p.fdt.clear(fd)
+	e.refs--
+	last := e.refs == 0
+	var obj object
+	if last {
+		obj = e.obj
+		// Retire the description: bump gen (under both locks, so readers
+		// holding either see it), drop the object reference, and pool the
+		// entry for the next alloc.
+		e.mu.Lock()
+		e.gen++
+		e.obj = nil
+		e.mu.Unlock()
+		p.free = append(p.free, e)
+	}
 	p.mu.Unlock()
-	return e.obj.close()
+	if last {
+		return obj.close()
+	}
+	return OK
 }
 
-// duppable is implemented by objects that track descriptor-table
-// references (pooled socket endpoints): dup tells the object a second
-// descriptor now shares it, so only the last close finalizes it.
-type duppable interface{ dup() }
-
+// dupFD installs a second descriptor referring to the SAME open file
+// description — Linux dup(2) semantics: offset and flags are shared, and
+// the object is released only when the last descriptor closes.
+//
+// The free slot is secured BEFORE any reference count moves: the previous
+// implementation bumped the object's refcount first and leaked the
+// reference when the slot scan came back EMFILE, leaving a pooled socket
+// endpoint pinned forever (its last close never reached zero).
 func (p *Proc) dupFD(fd int) (int, Errno) {
 	p.mu.Lock()
-	e, ok := p.fds[fd]
-	if !ok {
+	e := p.fdt.get(fd)
+	if e == nil {
 		p.mu.Unlock()
 		return -1, EBADF
 	}
-	// A dup shares the object but gets an independent entry; sharing the
-	// offset (like real dup) is not needed by any workload, so entries
-	// keep private offsets for simplicity.
-	if d, ok := e.obj.(duppable); ok {
-		d.dup()
+	nfd, ok := p.fdt.alloc()
+	if !ok {
+		p.mu.Unlock()
+		return -1, EMFILE // nothing was touched; no reference leaked
 	}
-	clone := &fdEntry{obj: e.obj, offset: e.offset, flags: e.flags}
-	for nfd := 3; nfd < maxFDs; nfd++ {
-		if _, used := p.fds[nfd]; !used {
-			p.fds[nfd] = clone
-			p.mu.Unlock()
-			return nfd, OK
-		}
-	}
+	e.refs++
+	p.fdt.set(nfd, e)
 	p.mu.Unlock()
-	return -1, EMFILE
+	return nfd, OK
 }
 
 // OpenFDs reports the number of live descriptors (for tests).
 func (p *Proc) OpenFDs() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.fds)
+	return p.fdt.count()
 }
 
 // NextTid allocates a thread id within the process. The monitor calls this

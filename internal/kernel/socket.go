@@ -9,7 +9,10 @@ import (
 // use case (§5.5), where a client load generator connects to the
 // multithreaded server running under the MVEE.
 
-// conn is one established connection: two pipes, one per direction.
+// conn is one established connection: two pipes, one per direction. It is
+// a value type — connections travel through the listener backlog and into
+// ClientConn by copy, which keeps the connect path free of a per-connection
+// heap object (the pipes themselves are the long-lived, pooled state).
 type conn struct {
 	toServer   *pipe
 	fromServer *pipe
@@ -17,52 +20,50 @@ type conn struct {
 
 // socketObj is the server- or client-side endpoint of a connection.
 //
-// Endpoints are recycled through the kernel's per-kernel pool: the LAST
-// close returns the object after closing its pipes (refs counts the
-// descriptor-table references — dup(2) shares the object, and each
-// descriptor's close drops one reference, so a dup'd socket is torn down
-// and pooled exactly once, like the kernel's struct-file f_count), and
-// Kernel.getSock hands it to the next socket()/accept(). The endpoint
-// pipes are atomic pointers because connect() attaches them to the
-// placeholder socket() already installed in the descriptor table, instead
-// of allocating a replacement object.
+// Endpoints are recycled through the kernel's per-kernel pool: close
+// returns the object after closing its pipes, and Kernel.getSock hands it
+// to the next socket()/accept(). Descriptor sharing is NOT the endpoint's
+// problem anymore: dup(2)'d descriptors share one open file description
+// (see openFile), and only the last descriptor's close reaches the object
+// — the struct-file f_count bookkeeping lives one layer up, where Linux
+// keeps it.
 //
 // Each endpoint is a generation-stamped pipe handle: a thread that kept
 // the object past its fd's close — a reader racing another thread's
 // close(2) on the same descriptor — finds the pipes' generations moved
-// and gets EBADF, never a successor connection's data. The residual
-// hazard is the endpoint OBJECT being recycled and re-attached while such
-// a stale reference still exists; that requires a guest to use an fd
-// after closing it (a program bug no in-repo workload commits, per the
-// descriptor contract pipe's doc comment spells out), and costs at worst
-// a misdirected read within the same simulated kernel, i.e. the same
-// process boundary the fd table already spans.
+// and gets EBADF, never a successor connection's data. The endpoint
+// OBJECT being recycled and re-attached while such a stale reference
+// still exists is caught one layer up: close retires the header
+// generation, and the kernel's stream handlers check the fdRef's
+// snapshot against it (fdRef.stale) before every operation. What remains
+// is the few-instruction check-then-act window, which only opens when a
+// guest uses an fd after closing it (a program bug no in-repo workload
+// commits) and costs at worst a misdirected read within the same
+// simulated kernel, i.e. the same process boundary the fd table already
+// spans.
 type socketObj struct {
-	kern *Kernel // pool owner; nil for objects built outside a kernel
+	// hdr.kern is the pool owner (nil for objects built outside a
+	// kernel); hdr.gen is bumped at retirement, like every pooled object.
+	hdr objHeader
 	// attach stores the generations BEFORE the pipe pointers; a reader
 	// loads the pipe and then its generation, so (sequentially consistent
 	// atomics) seeing a pipe implies seeing the generation it was
 	// attached at — no allocation needed to publish the pair.
 	rx, tx       atomic.Pointer[pipe]
 	rxGen, txGen atomic.Uint64
-	refs         atomic.Int32 // descriptor-table references; see dup/close
 }
 
 // getSock returns a fresh or recycled, unconnected socket endpoint.
 func (k *Kernel) getSock() *socketObj {
 	if v := k.sockPool.Get(); v != nil {
-		s := v.(*socketObj)
-		s.refs.Store(1)
-		return s
+		return v.(*socketObj)
 	}
-	s := &socketObj{kern: k}
-	s.refs.Store(1)
+	s := &socketObj{}
+	s.hdr.kern = k
 	return s
 }
 
-// dup adds a descriptor-table reference (proc.dupFD calls it through the
-// duppable interface).
-func (s *socketObj) dup() { s.refs.Add(1) }
+func (s *socketObj) header() *objHeader { return &s.hdr }
 
 // attach connects the endpoint to its two pipes. Called at most once per
 // object lifetime (accept, or connect on the socket() placeholder).
@@ -98,81 +99,137 @@ func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
 }
 func (s *socketObj) size() (int64, Errno) { return 0, ESPIPE }
 func (s *socketObj) seekable() bool       { return false }
-func (s *socketObj) close() Errno {
-	if s.refs.Add(-1) > 0 {
-		return OK // a dup'd descriptor still references the endpoint
+
+// poll combines the receive pipe's read readiness with the transmit
+// pipe's write readiness; an unconnected placeholder reports nothing.
+func (s *socketObj) poll() uint32 {
+	rx, tx := s.rx.Load(), s.tx.Load()
+	if rx == nil || tx == nil {
+		return 0
 	}
+	return rx.pollReadable(s.rxGen.Load()) | tx.pollWritable(s.txGen.Load())
+}
+
+func (s *socketObj) close() Errno {
 	if rx := s.rx.Load(); rx != nil {
 		rx.closeRead(s.rxGen.Load())
 	}
 	if tx := s.tx.Load(); tx != nil {
 		tx.closeWrite(s.txGen.Load())
 	}
-	if s.kern != nil {
+	if s.hdr.kern != nil {
+		s.hdr.retire() // stale holders fail the header generation check
 		s.rx.Store(nil)
 		s.tx.Store(nil)
-		s.kern.sockPool.Put(s)
+		s.hdr.kern.sockPool.Put(s)
 	}
 	return OK
 }
 
 // listener is a bound, listening socket with an accept queue.
+//
+// The backlog is a head-indexed queue over a retained array (compacted
+// like the pipe buffer): accept consumes from the front and the array
+// rewinds when it drains, so steady-state connection churn enqueues into
+// existing capacity instead of re-allocating the slice every cycle — the
+// old `backlog = backlog[1:]` walked the array forward and forced one
+// append allocation per accepted connection.
 type listener struct {
+	hdr     objHeader
 	mu      sync.Mutex
 	cond    sync.Cond // L bound to mu at construction
-	backlog []*conn
+	backlog []conn
+	head    int
 	max     int
 	closed  bool
 	port    uint16
 }
 
-func newListener(port uint16, backlog int) *listener {
+func newListener(k *Kernel, port uint16, backlog int) *listener {
 	l := &listener{max: backlog, port: port}
+	l.hdr.kern = k
 	l.cond.L = &l.mu
 	return l
 }
 
+func (l *listener) header() *objHeader               { return &l.hdr }
 func (l *listener) read([]byte, int64) (int, Errno)  { return 0, EINVAL }
 func (l *listener) write([]byte, int64) (int, Errno) { return 0, EINVAL }
 func (l *listener) size() (int64, Errno)             { return 0, ESPIPE }
 func (l *listener) seekable() bool                   { return false }
+
+// poll: PollIn when an accept would not block (pending connection),
+// PollHup once the listener closed.
+func (l *listener) poll() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var ev uint32
+	if len(l.backlog)-l.head > 0 {
+		ev |= PollIn
+	}
+	if l.closed {
+		ev |= PollHup
+	}
+	return ev
+}
 
 func (l *listener) close() Errno {
 	l.mu.Lock()
 	l.closed = true
 	l.cond.Broadcast()
 	l.mu.Unlock()
+	l.hdr.pollWake()
 	return OK
 }
 
 // enqueue adds a connection attempt; it fails if the backlog is full or the
 // listener is closed.
-func (l *listener) enqueue(c *conn) Errno {
+func (l *listener) enqueue(c conn) Errno {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ECONNREFUSED
 	}
-	if len(l.backlog) >= l.max {
+	if len(l.backlog)-l.head >= l.max {
+		l.mu.Unlock()
 		return EAGAIN
+	}
+	// Compact before growing: if the consumed prefix alone makes room,
+	// reuse it rather than extending the backing array. Clear the vacated
+	// tail — like accept's consumed-slot zeroing below, the retained array
+	// must not pin finished connections' pipes against reclamation.
+	if l.head > 0 && len(l.backlog) == cap(l.backlog) {
+		n := copy(l.backlog, l.backlog[l.head:])
+		for i := n; i < len(l.backlog); i++ {
+			l.backlog[i] = conn{}
+		}
+		l.backlog = l.backlog[:n]
+		l.head = 0
 	}
 	l.backlog = append(l.backlog, c)
 	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.hdr.pollWake()
 	return OK
 }
 
 // accept blocks until a connection is available or the listener closes.
-func (l *listener) accept() (*conn, Errno) {
+func (l *listener) accept() (conn, Errno) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.backlog) == 0 {
+	for len(l.backlog)-l.head == 0 {
 		if l.closed {
-			return nil, EINVAL
+			return conn{}, EINVAL
 		}
 		l.cond.Wait()
 	}
-	c := l.backlog[0]
-	l.backlog = l.backlog[1:]
+	c := l.backlog[l.head]
+	l.backlog[l.head] = conn{} // don't pin the pipes in the retained array
+	l.head++
+	if l.head == len(l.backlog) {
+		l.backlog = l.backlog[:0]
+		l.head = 0
+	}
 	return c, OK
 }
 

@@ -55,6 +55,11 @@ const (
 	// (§4.5): it does not exist in the kernel; the monitor intercepts it
 	// and tells the variant whether it is the master or a slave.
 	SysMVEEAware
+	// SysPoll sits AFTER SysMVEEAware deliberately: Sysno values are part
+	// of the recorded-trace wire format (monitor.Record gob-encodes them),
+	// so new syscalls append to the enum rather than renumbering the
+	// existing ones out from under previously captured traces.
+	SysPoll
 	sysnoMax
 )
 
@@ -68,7 +73,7 @@ var sysnoNames = map[Sysno]string{
 	SysSchedYield: "sched_yield", SysGetpid: "getpid", SysGettid: "gettid",
 	SysSocket: "socket", SysBind: "bind", SysListen: "listen", SysAccept: "accept",
 	SysConnect: "connect", SysSend: "send", SysRecv: "recv", SysShutdown: "shutdown",
-	SysFutex: "futex", SysMVEEAware: "mvee_aware",
+	SysFutex: "futex", SysPoll: "poll", SysMVEEAware: "mvee_aware",
 }
 
 // String implements fmt.Stringer.

@@ -56,7 +56,7 @@ type class struct {
 //   - brk/mmap/munmap/mprotect/clone execute in every variant (address
 //     spaces are per-variant and intentionally different) but are ordered
 //     and compared with address arguments masked out.
-//   - blocking calls (read/recv/accept, nanosleep) are replicated but not
+//   - blocking calls (read/recv/accept/poll, nanosleep) are replicated but not
 //     ordered: the monitor must not sit in an ordering critical section
 //     across a call that may never return. nanosleep in particular must
 //     be replicated, not per-variant: only the master pays the sleep, and
@@ -84,6 +84,15 @@ func classify(nr kernel.Sysno) class {
 	case kernel.SysExit:
 		return class{monitored: true, perVariant: true}
 	case kernel.SysRead, kernel.SysRecv, kernel.SysAccept:
+		return class{monitored: true, replicated: true, blocking: true}
+	case kernel.SysPoll:
+		// poll may park in the kernel until a descriptor turns ready, so
+		// like read/accept it cannot sit inside the ordering critical
+		// section; the master executes it and the revents array is
+		// replicated. The fd-set payload and the (nfds, timeout) arguments
+		// all participate in divergence detection: a variant polling a
+		// different descriptor set — the evented server's entire control
+		// flow — is as divergent as one writing different bytes.
 		return class{monitored: true, replicated: true, blocking: true}
 	case kernel.SysWrite, kernel.SysSend, kernel.SysPwrite:
 		return class{monitored: true, ordered: true, replicated: true, sensitive: true}

@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// pollCall builds a SysPoll call over one descriptor.
+func pollCall(fd uint64, events uint16, timeout uint64) kernel.Call {
+	buf := make([]byte, kernel.PollFDSize)
+	kernel.EncodePollFD(buf, 0, int(fd), events)
+	return kernel.Call{Nr: kernel.SysPoll, Args: [6]uint64{1, timeout}, Data: buf}
+}
+
+// Poll is replicated: the master executes it against the kernel and the
+// slave consumes the master's revents without executing — the slave's fd
+// table never even holds the polled descriptor, so if the call ran per
+// variant the slave would see PollNval instead of the master's PollIn.
+func TestPollReplicated(t *testing.T) {
+	m, k := newTestMonitor(t, 2)
+
+	var slaveRet kernel.Ret
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // slave thread 0 mirrors the master's calls
+		defer wg.Done()
+		pr := m.Invoke(1, 0, kernel.Call{Nr: kernel.SysPipe2})
+		m.Invoke(1, 0, kernel.Call{Nr: kernel.SysWrite, Args: [6]uint64{pr.Val2}, Data: []byte("evt")})
+		slaveRet = m.Invoke(1, 0, pollCall(pr.Val, kernel.PollIn, kernel.PollNoTimeout))
+	}()
+	pr := m.Invoke(0, 0, kernel.Call{Nr: kernel.SysPipe2})
+	m.Invoke(0, 0, kernel.Call{Nr: kernel.SysWrite, Args: [6]uint64{pr.Val2}, Data: []byte("evt")})
+	masterRet := m.Invoke(0, 0, pollCall(pr.Val, kernel.PollIn, kernel.PollNoTimeout))
+	wg.Wait()
+
+	if d := m.Divergence(); d != nil {
+		t.Fatalf("divergence: %v", d)
+	}
+	if masterRet.Val != 1 || kernel.DecodeRevents(masterRet.Data, 0)&kernel.PollIn == 0 {
+		t.Fatalf("master poll: ready=%d revents=%#x", masterRet.Val, kernel.DecodeRevents(masterRet.Data, 0))
+	}
+	if slaveRet.Val != masterRet.Val ||
+		kernel.DecodeRevents(slaveRet.Data, 0) != kernel.DecodeRevents(masterRet.Data, 0) {
+		t.Fatalf("slave revents %#x/%d, master %#x/%d: result not replicated",
+			kernel.DecodeRevents(slaveRet.Data, 0), slaveRet.Val,
+			kernel.DecodeRevents(masterRet.Data, 0), masterRet.Val)
+	}
+	_ = k
+}
+
+// A variant polling a DIFFERENT descriptor set is divergence: the fd-set
+// payload is compared like any write payload.
+func TestPollFdSetMismatchDiverges(t *testing.T) {
+	m, _ := newTestMonitor(t, 2)
+	var div any
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { div = recover() }()
+		m.Invoke(1, 0, pollCall(4, kernel.PollIn, 0)) // different fd than the master's
+	}()
+	func() {
+		defer func() { _ = recover() }() // master unwinds on the lockstep divergence too
+		m.Invoke(0, 0, pollCall(3, kernel.PollIn, 0))
+	}()
+	wg.Wait()
+	if div != ErrKilled {
+		t.Fatalf("slave recovered %v, want ErrKilled", div)
+	}
+	d := m.Divergence()
+	if d == nil || d.Reason != "payload mismatch" {
+		t.Fatalf("divergence = %v, want fd-set payload mismatch", d)
+	}
+}
+
+// A variant polling with a different timeout is divergence too: the
+// timeout is argument 1 and fully participates in the comparison.
+func TestPollTimeoutMismatchDiverges(t *testing.T) {
+	m, _ := newTestMonitor(t, 2)
+	var div any
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { div = recover() }()
+		m.Invoke(1, 0, pollCall(3, kernel.PollIn, 12345))
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		m.Invoke(0, 0, pollCall(3, kernel.PollIn, 99999))
+	}()
+	wg.Wait()
+	if div != ErrKilled {
+		t.Fatalf("slave recovered %v, want ErrKilled", div)
+	}
+	d := m.Divergence()
+	if d == nil || !strings.Contains(d.Reason, "argument 1") {
+		t.Fatalf("divergence = %v, want timeout-argument mismatch", d)
+	}
+}
+
+func TestClassifyPoll(t *testing.T) {
+	want := class{monitored: true, replicated: true, blocking: true}
+	if got := classify(kernel.SysPoll); got != want {
+		t.Fatalf("classify(poll) = %+v, want %+v", got, want)
+	}
+	if argMask(kernel.SysPoll) != 0x3f {
+		t.Fatal("poll arguments (nfds, timeout) must be fully compared")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/futex"
 )
@@ -225,7 +226,7 @@ func (l *Log[T]) awaitSpace(seq uint64) {
 				l.waitQ.Cancel()
 				continue
 			}
-			l.waitQ.Park(g)
+			l.park(g)
 			continue
 		}
 		backoff(spins)
@@ -245,7 +246,7 @@ func (l *Log[T]) Get(seq uint64) T {
 				l.waitQ.Cancel()
 				continue
 			}
-			l.waitQ.Park(g)
+			l.park(g)
 			continue
 		}
 		backoff(spins)
@@ -357,6 +358,81 @@ func (l *Log[T]) SetStop(f func() bool) { l.stop = f }
 // unlike checkStop's panic at poll-due spins). Used to re-check shutdown
 // inside the park protocol's Prepare window.
 func (l *Log[T]) stopFired() bool { return l.stop != nil && l.stop() }
+
+// The parking-contract debug watch (ROADMAP): an owner that installs
+// SetStop but does not Interrupt when the stop condition flips strands
+// parked waiters — they cannot poll the callback while asleep. With the
+// watch armed (tests; off by default), every park inside a stop-equipped
+// Log carries a watchdog: if the watchdog expires with the stop condition
+// fired and waiters still parked, the violation handler runs. The default
+// handler panics; tests install a capturing handler to catch bad owners
+// without taking the process down.
+var (
+	stopWatchNanos    atomic.Int64
+	stopViolationHook atomic.Pointer[func(string)]
+)
+
+// SetDebugStopWatch arms (d > 0) or disarms (d <= 0) the parking-contract
+// watch and returns the previous setting. The duration is how long a
+// parked waiter may coexist with a fired stop condition before the owner
+// is reported; pick it well above the owner's legitimate stop→Interrupt
+// latency (a few milliseconds in-process).
+func SetDebugStopWatch(d time.Duration) time.Duration {
+	return time.Duration(stopWatchNanos.Swap(int64(d)))
+}
+
+// SetStopViolationHandler replaces the contract-violation report (nil
+// restores the default, which panics). The handler may be called from a
+// timer goroutine.
+func SetStopViolationHandler(f func(string)) {
+	if f == nil {
+		stopViolationHook.Store(nil)
+		return
+	}
+	stopViolationHook.Store(&f)
+}
+
+func reportStopViolation(msg string) {
+	if f := stopViolationHook.Load(); f != nil {
+		(*f)(msg)
+		return
+	}
+	panic(msg)
+}
+
+// park sleeps on the log's wait set; with the debug stop watch armed and a
+// stop callback installed, a watchdog checks for the stranded-waiter
+// contract violation and then wakes the set so the waiter re-polls the
+// callback and unwinds via ErrStopped. (The unconditional wake also keeps
+// the watch alive: a rescued-but-still-waiting waiter re-parks through
+// here and arms a fresh watchdog.)
+//
+// The violation check is two-phase to avoid blaming a compliant owner: a
+// single sample at expiry races the legitimate stop→Interrupt handoff
+// (stop can flip an instant before the timer fires, with the Interrupt'd
+// waiters still inside Park before their waiter-count decrement). The
+// watchdog therefore re-checks after a full extra watch period — a
+// compliant owner's Interrupt has long since drained the waiters by then,
+// while a violator's waiters are still parked because nothing else can
+// wake them.
+func (l *Log[T]) park(g uint64) {
+	d := stopWatchNanos.Load()
+	if d <= 0 || l.stop == nil {
+		l.waitQ.Park(g)
+		return
+	}
+	tm := time.AfterFunc(time.Duration(d), func() {
+		if l.stopFired() && l.waitQ.Waiters() > 0 {
+			time.Sleep(time.Duration(d)) // grace: let a compliant Interrupt drain
+			if l.stopFired() && l.waitQ.Waiters() > 0 {
+				reportStopViolation("ring: stop condition fired while waiters were parked and no Interrupt arrived — the SetStop owner violated the parking contract (see Log.SetStop)")
+			}
+		}
+		l.waitQ.Wake()
+	})
+	l.waitQ.Park(g)
+	tm.Stop()
+}
 
 // Parker exposes the log's wait set, so external poll loops over the
 // log's state (a monitor waiting on a record, a slave agent waiting on a

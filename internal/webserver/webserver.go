@@ -36,6 +36,14 @@ type Config struct {
 	Vulnerable bool
 	// PageSize is the static page size (the paper serves 4 KiB).
 	PageSize int
+	// Evented selects the event-driven serving mode: one thread
+	// multiplexing every connection through SysPoll (nginx's native event
+	// loop) instead of the thread-per-connection pool. All request
+	// endpoints behave identically; only the concurrency model changes.
+	// Under the MVEE the poll results are replicated from the master, so
+	// every variant's event loop takes the same branches — and a variant
+	// polling a different fd set is divergence.
+	Evented bool
 }
 
 func (c *Config) fill() {
@@ -70,7 +78,15 @@ func (l *uninstrumentedSpinLock) Unlock() { l.state <- struct{}{} }
 // Program builds the server program for the MVEE.
 func Program(cfg Config) core.Program {
 	cfg.fill()
-	return core.Program{Name: "nginx-sim", Main: func(t *core.Thread) {
+	name := "nginx-sim"
+	if cfg.Evented {
+		name = "nginx-sim-evented"
+	}
+	return core.Program{Name: name, Main: func(t *core.Thread) {
+		if cfg.Evented {
+			runEventedServer(t, cfg)
+			return
+		}
 		runServer(t, cfg)
 	}}
 }
@@ -196,7 +212,14 @@ func handle(t *core.Thread, cfg Config, req request, response []byte, handlerPtr
 		t.Yield()
 		n = bump(t)
 	}
+	respond(t, cfg, req.fd, line, response, handlerPtr, n)
+	t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
+}
 
+// respond dispatches one parsed request line and sends the response. It is
+// shared by the thread-pool and the evented serving modes.
+func respond(t *core.Thread, cfg Config, fd uint64, line string, response []byte,
+	handlerPtr uint64, count uint32) {
 	switch {
 	case cfg.Vulnerable && strings.HasPrefix(line, "POST /upload"):
 		// CVE-2013-2028 model: a chunked-transfer stack overflow lets
@@ -218,14 +241,115 @@ func handle(t *core.Thread, cfg Config, req request, response []byte, handlerPtr
 		} else {
 			body = "500 internal error"
 		}
-		t.Syscall(kernel.SysSend, [6]uint64{req.fd}, []byte(body))
+		t.Syscall(kernel.SysSend, [6]uint64{fd}, []byte(body))
 	case strings.HasPrefix(line, "GET /count"):
 		// The request count depends on cross-thread ordering: with the
 		// custom lock uninstrumented, counts drift across variants and
-		// this response diverges.
-		t.Syscall(kernel.SysSend, [6]uint64{req.fd}, []byte(fmt.Sprintf("count=%d", n)))
+		// this response diverges. (The evented mode has a single thread,
+		// so its count is deterministic by construction.)
+		t.Syscall(kernel.SysSend, [6]uint64{fd}, []byte(fmt.Sprintf("count=%d", count)))
 	default:
-		t.Syscall(kernel.SysSend, [6]uint64{req.fd}, response)
+		t.Syscall(kernel.SysSend, [6]uint64{fd}, response)
 	}
-	t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
+}
+
+// runEventedServer is the event-driven serving mode: one thread
+// multiplexes the listener and every open connection through SysPoll,
+// the way nginx's native event loop does — where the thread-pool mode
+// above burns one vthread per in-flight connection, this one serves N
+// connections with exactly one.
+//
+// Under the MVEE this exercises the poll replication path end to end:
+// the master's poll parks on the kernel's poll wait set (allocation-free)
+// until traffic arrives, its revents array is replicated to the slaves,
+// and every variant's loop takes identical branches because the accept
+// results (and therefore the polled fd sets) are replicated too.
+func runEventedServer(t *core.Thread, cfg Config) {
+	page := strings.Repeat("x", cfg.PageSize)
+	response := []byte("HTTP/1.1 200 OK\r\n\r\n" + page)
+	handlerPtr := t.CodeAddr(64)
+
+	sfd := t.Syscall(kernel.SysSocket, [6]uint64{}, nil).Val
+	t.Syscall(kernel.SysBind, [6]uint64{sfd, uint64(cfg.Port)}, nil)
+	if lr := t.Syscall(kernel.SysListen, [6]uint64{sfd, uint64(cfg.Port), 128}, nil); !lr.Ok() {
+		return
+	}
+
+	// Single-threaded state: no locks needed, and the /count responses are
+	// deterministic across variants by construction.
+	var reqCount uint32
+	conns := make([]uint64, 0, 64)
+	var pollBuf []byte
+	probeBuf := make([]byte, kernel.PollFDSize)
+
+serve:
+	for {
+		// Entry 0 is the listener; entries 1..n are the open connections.
+		// The buffer is reused across iterations (grown amortized), so the
+		// steady-state loop allocates only what the kernel returns.
+		n := 1 + len(conns)
+		need := n * kernel.PollFDSize
+		if cap(pollBuf) < need {
+			pollBuf = make([]byte, need, need*2)
+		}
+		pollBuf = pollBuf[:need]
+		kernel.EncodePollFD(pollBuf, 0, int(sfd), kernel.PollIn)
+		for i, fd := range conns {
+			kernel.EncodePollFD(pollBuf, 1+i, int(fd), kernel.PollIn)
+		}
+		r := t.Syscall(kernel.SysPoll, [6]uint64{uint64(n), kernel.PollNoTimeout}, pollBuf)
+		if !r.Ok() {
+			break
+		}
+		// Serve ready connections first (back to front, so the
+		// remove-by-swap keeps untouched indices stable), then accept.
+		for i := len(conns) - 1; i >= 0; i-- {
+			if kernel.DecodeRevents(r.Data, 1+i) == 0 {
+				continue
+			}
+			fd := conns[i]
+			conns[i] = conns[len(conns)-1]
+			conns = conns[:len(conns)-1]
+			serveEvented(t, cfg, fd, response, handlerPtr, &reqCount)
+		}
+		lev := kernel.DecodeRevents(r.Data, 0)
+		if lev&(kernel.PollHup|kernel.PollErr|kernel.PollNval) != 0 {
+			break // listener closed: drain is done, shut down
+		}
+		// Drain the whole connect burst while the backlog is known ready:
+		// accept blocks on an empty backlog, so each further accept is
+		// gated on a zero-timeout single-entry probe of the listener — far
+		// cheaper than paying a full fd-set poll round per connection.
+		for lev&kernel.PollIn != 0 {
+			acc := t.Syscall(kernel.SysAccept, [6]uint64{sfd}, nil)
+			if !acc.Ok() {
+				break serve
+			}
+			conns = append(conns, acc.Val)
+			kernel.EncodePollFD(probeBuf, 0, int(sfd), kernel.PollIn)
+			pr := t.Syscall(kernel.SysPoll, [6]uint64{1, 0}, probeBuf)
+			if !pr.Ok() {
+				break serve
+			}
+			lev = kernel.DecodeRevents(pr.Data, 0)
+		}
+	}
+	for _, fd := range conns {
+		t.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+	}
+}
+
+// serveEvented handles one ready connection: poll guaranteed the recv
+// will not block (data or EOF), so the event thread never stalls on a
+// slow client.
+func serveEvented(t *core.Thread, cfg Config, fd uint64, response []byte,
+	handlerPtr uint64, reqCount *uint32) {
+	r := t.Syscall(kernel.SysRecv, [6]uint64{fd, 4096}, nil)
+	if !r.Ok() || r.Val == 0 {
+		t.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+		return
+	}
+	*reqCount++
+	respond(t, cfg, fd, string(r.Data), response, handlerPtr, *reqCount)
+	t.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
 }
