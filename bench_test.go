@@ -184,11 +184,13 @@ func BenchmarkNginxThroughput(b *testing.B) {
 // fleetPools are the pool sizes the fleet benchmarks sweep.
 var fleetPools = []int{1, 4, 16}
 
-// startBenchFleet builds a warm fleet of `pool` webserver sessions.
-func startBenchFleet(b *testing.B, pool int, vulnerable, evented bool) *fleet.Fleet {
+// startBenchFleet builds a warm fleet of `pool` webserver sessions in the
+// given serving mode ("" = thread pool, "evented", "prefork").
+func startBenchFleet(b *testing.B, pool int, vulnerable bool, mode string) *fleet.Fleet {
 	b.Helper()
 	cfg := webserver.Config{Port: 8080, PoolThreads: 4, InstrumentCustomSync: true,
-		Vulnerable: vulnerable, PageSize: 1024, Evented: evented}
+		Vulnerable: vulnerable, PageSize: 1024,
+		Evented: mode == "evented", Prefork: mode == "prefork", Workers: 4}
 	f, err := fleet.New(webserver.FleetConfig(cfg, core.Options{
 		Variants: 2, Agent: agent.WallOfClocks, ASLR: true, DCL: true, Seed: 5, MaxThreads: 64,
 	}, pool))
@@ -243,7 +245,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 		pool := pool
 		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
 			b.ReportAllocs()
-			f := startBenchFleet(b, pool, false, false)
+			f := startBenchFleet(b, pool, false, "")
 			defer f.Close()
 			b.ResetTimer()
 			start := time.Now()
@@ -270,7 +272,7 @@ func BenchmarkFleetDivergenceChurn(b *testing.B) {
 		pool := pool
 		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
 			b.ReportAllocs()
-			f := startBenchFleet(b, pool, true, false)
+			f := startBenchFleet(b, pool, true, "")
 			defer f.Close()
 			gadget := variant.NewSpace(0, variant.Options{ASLR: true, DCL: true, Seed: 5}).AllocCode(64)
 			payload := []byte(fmt.Sprintf("POST /upload %x", gadget))
@@ -319,7 +321,38 @@ func BenchmarkPollServer(b *testing.B) {
 		pool := pool
 		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
 			b.ReportAllocs()
-			f := startBenchFleet(b, pool, false, true)
+			f := startBenchFleet(b, pool, false, "evented")
+			defer f.Close()
+			b.ResetTimer()
+			start := time.Now()
+			good := driveFleet(f, 16, b.N)
+			el := time.Since(start).Seconds()
+			b.StopTimer()
+			if el > 0 {
+				b.ReportMetric(float64(good)/el, "req/s")
+			}
+			s := f.Stats()
+			b.ReportMetric(float64(s.Latency.Quantile(0.5)), "p50-ns")
+			b.ReportMetric(float64(s.Latency.Quantile(0.99)), "p99-ns")
+		})
+	}
+}
+
+// BenchmarkPreforkServer measures the multi-process serving mode through
+// the fleet gateway: each session's parent forks 4 worker processes that
+// accept on the shared listener (the nginx/Apache prefork model), so the
+// comparison against BenchmarkFleetThroughput (thread pool) and
+// BenchmarkPollServer (evented) completes the concurrency-model triangle —
+// same request mix, same gateway, req/s and latency quantiles directly
+// comparable. Worker syscalls ride the same replication rings as vthreads;
+// the added cost is the fork-time bookkeeping, which is off the serving
+// path.
+func BenchmarkPreforkServer(b *testing.B) {
+	for _, pool := range []int{1, 4} {
+		pool := pool
+		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+			b.ReportAllocs()
+			f := startBenchFleet(b, pool, false, "prefork")
 			defer f.Close()
 			b.ResetTimer()
 			start := time.Now()

@@ -13,6 +13,7 @@
 //	mvee-serve -pool 2 -no-instrument -forensics     # §5.5 benign-divergence churn
 //	mvee-serve -pool 8 -dispatch least -policy sensitive
 //	mvee-serve -pool 4 -evented -attacks 1           # event-driven (poll) serving mode
+//	mvee-serve -pool 2 -prefork -worker-procs 4      # multi-process (fork) serving mode
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 	workers := flag.Int("workers", 0, "gateway workers (0 = 2*pool)")
 	poolThreads := flag.Int("threads", 8, "server worker threads per session (thread-pool mode)")
 	evented := flag.Bool("evented", false, "event-driven serving: one thread per session multiplexing connections via poll")
+	prefork := flag.Bool("prefork", false, "multi-process serving: the parent forks worker processes sharing the listener, reaping and re-forking them on death")
+	workerProcs := flag.Int("worker-procs", 4, "prefork worker processes per session")
 	pageSize := flag.Int("page", 4096, "static page size served")
 	seed := flag.Int64("seed", 2028, "base diversity seed")
 	attacks := flag.Int("attacks", 0, "exploit payloads injected mid-run (forces -vulnerable)")
@@ -52,6 +55,10 @@ func main() {
 
 	if *pool < 1 {
 		*pool = 1
+	}
+	if *evented && *prefork {
+		fmt.Fprintln(os.Stderr, "mvee-serve: -evented and -prefork are mutually exclusive serving modes")
+		os.Exit(2)
 	}
 	kind, err := parseAgent(*agentName)
 	if err != nil {
@@ -68,6 +75,8 @@ func main() {
 		InstrumentCustomSync: !*noInstrument,
 		Vulnerable:           *attacks > 0,
 		Evented:              *evented,
+		Prefork:              *prefork,
+		Workers:              *workerProcs,
 	}
 	sess := core.Options{
 		Variants: *variants, Agent: kind, Policy: policy,

@@ -297,7 +297,7 @@ func (s *Session) Start() {
 		}
 		for _, vs := range s.vars {
 			vs.wg.Add(1)
-			t := &Thread{ID: 0, sess: s, vs: vs}
+			t := &Thread{ID: 0, sess: s, vs: vs, proc: vs.proc, sigs: newSigTable()}
 			go t.run(s.prog.Main)
 		}
 		go s.collect()
@@ -367,14 +367,72 @@ func Run(opts Options, prog Program) *Result {
 // ops, and thread management. A Thread value is owned by exactly one
 // goroutine.
 type Thread struct {
-	// ID is the logical thread id, identical across variants.
+	// ID is the logical thread id, identical across variants (and unique
+	// across the whole process tree: fork children draw from the same
+	// tid space).
 	ID   int
 	sess *Session
 	vs   *variantState
+	// proc is the thread's current process: the variant's root, or a
+	// fork descendant. All kernel state (descriptors, signals, pid) is
+	// per-proc.
+	proc *kernel.Proc
+	// sigs maps caught signals to their Go handlers, shared by every
+	// thread of one process within one variant (fork children get a
+	// copy, like Linux inherits dispositions).
+	sigs *sigTable
+	// leader marks the initial thread of a forked process: its return
+	// (or a terminating signal) ends the process, so the trampoline
+	// issues the implicit SysExit.
+	leader bool
 }
 
+// sigTable is the core-side half of a process's signal table: the actual
+// Go handler functions behind the kernel's SigHandler dispositions.
+type sigTable struct {
+	mu sync.Mutex
+	h  map[int]func(*Thread, int)
+}
+
+func newSigTable() *sigTable { return &sigTable{h: make(map[int]func(*Thread, int))} }
+
+func (st *sigTable) clone() *sigTable {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := newSigTable()
+	for s, h := range st.h {
+		c.h[s] = h
+	}
+	return c
+}
+
+// set installs (or, with nil, removes) a handler and returns the previous
+// one, for rollback when the registering syscall fails.
+func (st *sigTable) set(signo int, h func(*Thread, int)) func(*Thread, int) {
+	st.mu.Lock()
+	old := st.h[signo]
+	if h == nil {
+		delete(st.h, signo)
+	} else {
+		st.h[signo] = h
+	}
+	st.mu.Unlock()
+	return old
+}
+
+func (st *sigTable) handler(signo int) func(*Thread, int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.h[signo]
+}
+
+// procExit is the control-flow panic that terminates a process: raised by
+// Thread.Exit and by the delivery of a terminating signal, recovered by
+// the trampoline, which performs the kernel exit.
+type procExit struct{ status int }
+
 // run is the vthread trampoline: it executes fn and recovers the session's
-// control-flow panics (kill, stop) so that teardown is quiet.
+// control-flow panics (kill, stop, process exit) so that teardown is quiet.
 func (t *Thread) run(fn func(*Thread)) {
 	defer t.vs.wg.Done()
 	defer func() {
@@ -383,6 +441,15 @@ func (t *Thread) run(fn func(*Thread)) {
 			case monitor.ErrKilled, agent.ErrStopped, ring.ErrStopped, ErrVariantKilled:
 				return // session teardown; exit quietly
 			default:
+				if pe, ok := r.(procExit); ok {
+					// Process termination (Thread.Exit, or a terminating
+					// signal delivered at a syscall boundary): perform the
+					// kernel exit and the thread-exit rendezvous. Both are
+					// monitored events at a deterministic position, so
+					// master and slaves unwind at the same point.
+					t.finishProc(pe.status)
+					return
+				}
 				// A genuine program panic: record it, tear the session
 				// down, and unwind quietly — a library must not crash
 				// the embedding process for a program bug.
@@ -396,12 +463,64 @@ func (t *Thread) run(fn func(*Thread)) {
 		}
 	}()
 	fn(t)
+	if t.leader {
+		// The initial thread of a forked process returning IS the process
+		// exiting: zombie + SIGCHLD + waitpid wake, all inside the
+		// replicated stream.
+		t.syscall(kernel.SysExit, 0)
+	}
 	t.sess.mon.ThreadExit(t.vs.id, t.ID)
 }
 
-// Syscall traps into the monitor with a full kernel.Call.
+// finishProc performs the kernel process exit and the thread-exit
+// rendezvous from inside the trampoline's recover; session-teardown panics
+// raised by either are swallowed (the session is dying anyway, and a panic
+// escaping a deferred function would crash the embedder).
+func (t *Thread) finishProc(status int) {
+	defer func() {
+		r := recover()
+		switch r {
+		case nil, monitor.ErrKilled, agent.ErrStopped, ring.ErrStopped, ErrVariantKilled:
+			return
+		}
+		if _, ok := r.(procExit); ok {
+			// A second terminating signal delivered at the exit boundary:
+			// the process is already dying, so the repeat is moot — and
+			// re-panicking here would escape the trampoline's recover and
+			// crash the embedder.
+			return
+		}
+		panic(r)
+	}()
+	t.syscall(kernel.SysExit, uint64(status))
+	t.sess.mon.ThreadExit(t.vs.id, t.ID)
+}
+
+// Syscall traps into the monitor with a full kernel.Call. If a signal is
+// delivered at this boundary (Ret.Sig), the registered handler runs on
+// this thread before Syscall returns — or, for a terminating signal with
+// no handler, the process exits. Delivery order is identical across
+// variants because Ret.Sig is part of the replicated record.
 func (t *Thread) Syscall(nr kernel.Sysno, args [6]uint64, data []byte) kernel.Ret {
-	return t.sess.mon.Invoke(t.vs.id, t.ID, kernel.Call{Nr: nr, Args: args, Data: data})
+	ret := t.sess.mon.InvokeOn(t.vs.id, t.ID, t.proc, kernel.Call{Nr: nr, Args: args, Data: data})
+	if ret.Sig != 0 {
+		t.deliver(int(ret.Sig))
+	}
+	return ret
+}
+
+// deliver runs the handler for a signal popped at a syscall boundary, or
+// applies the default action (terminate) when none is registered. Handlers
+// run on the interrupted thread and may make syscalls — those nest into
+// the replicated stream at the same position in every variant.
+func (t *Thread) deliver(signo int) {
+	if h := t.sigs.handler(signo); h != nil {
+		h(t, signo)
+		return
+	}
+	if kernel.DefaultTerminates(signo) {
+		panic(procExit{status: 128 + signo})
+	}
 }
 
 // syscall is shorthand for data-less calls.
@@ -432,7 +551,7 @@ func (t *Thread) Spawn(fn func(*Thread)) *ThreadHandle {
 	if tid >= t.sess.opts.MaxThreads {
 		panic(fmt.Sprintf("core: thread id %d exceeds MaxThreads %d", tid, t.sess.opts.MaxThreads))
 	}
-	child := &Thread{ID: tid, sess: t.sess, vs: t.vs}
+	child := &Thread{ID: tid, sess: t.sess, vs: t.vs, proc: t.proc, sigs: t.sigs}
 	h := &ThreadHandle{Tid: tid, done: make(chan struct{})}
 	t.vs.wg.Add(1)
 	go func() {
@@ -454,4 +573,145 @@ func (h *ThreadHandle) Join() { <-h.done }
 // Yield cedes the processor (sched_yield; unmonitored).
 func (t *Thread) Yield() {
 	t.syscall(kernel.SysSchedYield)
+}
+
+// ProcHandle is the parent-side handle of a forked process.
+type ProcHandle struct {
+	// Pid is the child's guest-visible pid (identical across variants),
+	// the value to pass to Kill and Waitpid.
+	Pid int
+	// Tid is the child's initial thread id.
+	Tid  int
+	done chan struct{}
+}
+
+// Join blocks until the child's initial thread has unwound in this
+// variant. It is a scheduling convenience for tests; the guest-visible way
+// to synchronize with a child's death is Waitpid.
+func (h *ProcHandle) Join() { <-h.done }
+
+// Fork creates a child PROCESS running fn as its initial thread: a fresh
+// kernel process sharing this thread's open file descriptions (so a
+// listening socket accepted on by the parent is accepted on by the child —
+// the prefork server shape), inheriting the signal dispositions and
+// blocked mask, with its own pid. The pid and the child's thread id are
+// allocated inside the ordered fork syscall, so they are identical across
+// variants. fn returning ends the process (implicit exit status 0);
+// Thread.Exit ends it early.
+//
+// Fork returns nil when the tree's thread-id space is exhausted (tids are
+// never recycled, and the monitor's per-tid rings are sized MaxThreads):
+// the kernel-side child is exited immediately — identically in every
+// variant, since the failing tid is itself deterministic — so the parent's
+// next waitpid reaps it with status 0 and a long-lived re-forking server
+// degrades to a smaller pool instead of dying.
+func (t *Thread) Fork(fn func(*Thread)) *ProcHandle {
+	ret := t.syscall(kernel.SysFork)
+	if !ret.Ok() {
+		return nil
+	}
+	pid, tid := int(ret.Val), int(ret.Val2)
+	childProc := t.proc.Child(pid)
+	if childProc == nil {
+		panic(fmt.Sprintf("core: forked child %d not found in this variant's process tree", pid))
+	}
+	if tid >= t.sess.opts.MaxThreads {
+		// Exit the never-to-run child directly against this variant's
+		// kernel (deterministic: every variant takes this branch at the
+		// same fork). No vthread exists to route it through the monitor.
+		t.sess.kern.Do(childProc, kernel.Call{Nr: kernel.SysExit})
+		return nil
+	}
+	child := &Thread{ID: tid, sess: t.sess, vs: t.vs,
+		proc: childProc, sigs: t.sigs.clone(), leader: true}
+	h := &ProcHandle{Pid: pid, Tid: tid, done: make(chan struct{})}
+	t.vs.wg.Add(1)
+	go func() {
+		defer close(h.done)
+		child.run(fn)
+	}()
+	return h
+}
+
+// Exit terminates the calling thread's PROCESS with the given status, like
+// exit(2): descriptors close, the process turns zombie for its parent's
+// waitpid, and SIGCHLD is posted. It does not return.
+func (t *Thread) Exit(status int) {
+	panic(procExit{status: status})
+}
+
+// Getpid returns the guest-visible process id (via the replicated getpid
+// syscall, so every variant observes the master's — deterministic — pid).
+func (t *Thread) Getpid() int {
+	return int(t.syscall(kernel.SysGetpid).Val)
+}
+
+// Sigaction installs h as the handler for signo (h runs on whichever
+// thread of the process is at a syscall boundary when the signal is
+// delivered), or restores the default disposition when h is nil. It
+// returns false for an invalid signo (SIGKILL included).
+//
+// For installs, the Go handler enters the table BEFORE the ordered kernel
+// syscall flips the disposition: any delivery that can observe disposition
+// SigHandler therefore also finds the handler, in every variant — the
+// reverse order opened a window where a concurrent kill terminated one
+// variant's process while the other ran the handler. (Removing or
+// replacing a handler while another thread may be concurrently receiving
+// that same signal remains a guest-program race, exactly as with real
+// sigaction.)
+func (t *Thread) Sigaction(signo int, h func(*Thread, int)) bool {
+	disp := uint64(kernel.SigDfl)
+	var old func(*Thread, int)
+	if h != nil {
+		disp = kernel.SigHandler
+		old = t.sigs.set(signo, h)
+	}
+	if !t.syscall(kernel.SysSigaction, uint64(signo), disp).Ok() {
+		if h != nil {
+			t.sigs.set(signo, old) // the kernel rejected it; undo
+		}
+		return false
+	}
+	if h == nil {
+		t.sigs.set(signo, nil)
+	}
+	return true
+}
+
+// IgnoreSignal sets signo's disposition to SIG_IGN: pending and future
+// instances are discarded without delivery.
+func (t *Thread) IgnoreSignal(signo int) bool {
+	if !t.syscall(kernel.SysSigaction, uint64(signo), kernel.SigIgn).Ok() {
+		return false
+	}
+	t.sigs.set(signo, nil)
+	return true
+}
+
+// Kill posts signo to process pid (of this thread's variant tree). The
+// (pid, signo) pair is compared across variants: a variant signalling a
+// different target or signal diverges before anything is delivered.
+func (t *Thread) Kill(pid, signo int) kernel.Errno {
+	return t.syscall(kernel.SysKill, uint64(pid), uint64(signo)).Err
+}
+
+// Wait blocks until any child process exits and reaps it, returning its
+// pid and exit status. Errno is ECHILD when no children remain, EINTR when
+// a deliverable signal interrupted the wait (the handler has already run;
+// callers typically retry).
+func (t *Thread) Wait() (pid, status int, errno kernel.Errno) {
+	return t.Waitpid(-1)
+}
+
+// Waitpid is Wait for one specific child pid (or any child when pid < 0).
+func (t *Thread) Waitpid(pid int) (int, int, kernel.Errno) {
+	sel := kernel.WaitAny
+	if pid >= 0 {
+		sel = uint64(pid)
+	}
+	ret := t.syscall(kernel.SysWaitpid, sel)
+	if !ret.Ok() {
+		return 0, 0, ret.Err
+	}
+	return int(ret.Val), int(ret.Val2), kernel.OK
 }

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/kernel"
+)
+
+// The process-lifecycle suite: fork/wait/kill with deterministic,
+// syscall-boundary signal delivery (DESIGN.md §2.5). Everything here runs
+// with >= 2 variants under the strict policy — the point is that process
+// events are replicated events, so none of it may diverge unless the test
+// makes the variants genuinely disagree.
+
+func TestForkWaitReapsChild(t *testing.T) {
+	var childPid, waitedPid, status int
+	prog := Program{Name: "fork-wait", Main: func(th *Thread) {
+		h := th.Fork(func(c *Thread) {
+			fd := c.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/child")).Val
+			c.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte("from-child"))
+			c.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+			c.Exit(7)
+		})
+		var wp, st int
+		var errno kernel.Errno
+		for {
+			wp, st, errno = th.Wait()
+			if errno != kernel.EINTR {
+				break
+			}
+		}
+		if errno != kernel.OK {
+			t.Errorf("wait: %v", errno)
+		}
+		// All children reaped: a further wait reports ECHILD.
+		if _, _, errno := th.Wait(); errno != kernel.ECHILD {
+			t.Errorf("wait after reap: %v, want ECHILD", errno)
+		}
+		if th.IsMaster() {
+			childPid, waitedPid, status = h.Pid, wp, st
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, ASLR: true, Seed: 5}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("fork/wait diverged: %v", res.Divergence)
+	}
+	if childPid != 2 {
+		t.Fatalf("child pid = %d, want the deterministic 2", childPid)
+	}
+	if waitedPid != childPid || status != 7 {
+		t.Fatalf("waitpid = (%d, %d), want (%d, 7)", waitedPid, status, childPid)
+	}
+}
+
+func TestForkPidsAreDeterministic(t *testing.T) {
+	// Three sequential forks must hand out pids 2, 3, 4 in every variant
+	// (fork is ordered, the namespace counter marches in lockstep).
+	var pids []int
+	prog := Program{Name: "fork-pids", Main: func(th *Thread) {
+		var hs []*ProcHandle
+		for i := 0; i < 3; i++ {
+			hs = append(hs, th.Fork(func(c *Thread) {}))
+		}
+		for range hs {
+			for {
+				if _, _, errno := th.Wait(); errno != kernel.EINTR {
+					break
+				}
+			}
+		}
+		if th.IsMaster() {
+			for _, h := range hs {
+				pids = append(pids, h.Pid)
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	if fmt.Sprint(pids) != "[2 3 4]" {
+		t.Fatalf("pids = %v, want [2 3 4]", pids)
+	}
+}
+
+func TestKillDuringBlockingReadEINTRsIdentically(t *testing.T) {
+	// The acceptance-criteria regression: a signal delivered while a child
+	// is parked in a blocking pipe read must EINTR the read, run the
+	// handler, and let the retried read complete — identically in every
+	// variant, with zero divergence. The handler's write syscall is itself
+	// a compared event, so if delivery points differed across variants the
+	// monitor would catch it.
+	prog := Program{Name: "kill-eintr", Main: func(th *Thread) {
+		pr := th.Syscall(kernel.SysPipe2, [6]uint64{}, nil)
+		rfd, wfd := pr.Val, pr.Val2
+		child := th.Fork(func(c *Thread) {
+			c.Sigaction(kernel.SIGUSR1, func(h *Thread, signo int) {
+				fd := h.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/handled")).Val
+				h.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte(fmt.Sprintf("sig=%d", signo)))
+				h.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+			})
+			gotEINTR := false
+			for {
+				r := c.Syscall(kernel.SysRead, [6]uint64{rfd, 16}, nil)
+				if r.Err == kernel.EINTR {
+					gotEINTR = true
+					continue
+				}
+				if !r.Ok() {
+					c.Exit(3)
+				}
+				break
+			}
+			if !gotEINTR {
+				c.Exit(2) // compared exit status: variants must agree
+			}
+			c.Exit(0)
+		})
+		// The child cannot pass its read before this kill lands (the pipe
+		// stays empty until the write below), so the EINTR is guaranteed —
+		// deterministically, not probabilistically.
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(2e6)}, nil)
+		if errno := th.Kill(child.Pid, kernel.SIGUSR1); errno != kernel.OK {
+			t.Errorf("kill: %v", errno)
+		}
+		th.Syscall(kernel.SysWrite, [6]uint64{wfd}, []byte("go"))
+		var status int
+		for {
+			var errno kernel.Errno
+			_, status, errno = th.Wait()
+			if errno != kernel.EINTR {
+				break
+			}
+		}
+		if status != 0 {
+			t.Errorf("child status = %d, want 0 (EINTR observed, read retried)", status)
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, ASLR: true, DCL: true, Seed: 11}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("kill-during-read diverged: %v", res.Divergence)
+	}
+}
+
+func TestKillDuringBlockingReadHandlerRan(t *testing.T) {
+	// Companion to the EINTR test: prove the handler actually executed by
+	// inspecting the session kernel's file system afterwards.
+	kern := kernel.New()
+	prog := Program{Name: "kill-eintr-handled", Main: func(th *Thread) {
+		pr := th.Syscall(kernel.SysPipe2, [6]uint64{}, nil)
+		rfd, wfd := pr.Val, pr.Val2
+		child := th.Fork(func(c *Thread) {
+			c.Sigaction(kernel.SIGUSR1, func(h *Thread, signo int) {
+				fd := h.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/handled")).Val
+				h.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte("yes"))
+				h.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+			})
+			for {
+				r := c.Syscall(kernel.SysRead, [6]uint64{rfd, 16}, nil)
+				if r.Err == kernel.EINTR {
+					continue
+				}
+				break
+			}
+		})
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(2e6)}, nil)
+		th.Kill(child.Pid, kernel.SIGUSR1)
+		th.Syscall(kernel.SysWrite, [6]uint64{wfd}, []byte("go"))
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, Kernel: kern}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	if data, ok := kern.ReadFile("/handled"); !ok || string(data) != "yes" {
+		t.Fatalf("handler did not run: %q %v", data, ok)
+	}
+}
+
+func TestMismatchedKillSignoDiverges(t *testing.T) {
+	// A variant signalling a different signo is an attack, not noise: the
+	// compared (pid, signo) args trip divergence before delivery.
+	prog := Program{Name: "evil-signo", Main: func(th *Thread) {
+		child := th.Fork(func(c *Thread) {
+			c.Sigaction(kernel.SIGUSR1, func(*Thread, int) {})
+			c.Sigaction(kernel.SIGUSR2, func(*Thread, int) {})
+			for i := 0; i < 4; i++ {
+				c.Syscall(kernel.SysNanosleep, [6]uint64{uint64(1e6)}, nil)
+			}
+		})
+		signo := kernel.SIGUSR1
+		if !th.IsMaster() {
+			signo = kernel.SIGUSR2
+		}
+		th.Kill(child.Pid, signo)
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks}, prog)
+	if res.Divergence == nil {
+		t.Fatal("mismatched kill signo not detected")
+	}
+	if !strings.Contains(res.Divergence.Reason, "argument 1 mismatch") {
+		t.Fatalf("unexpected reason: %v", res.Divergence)
+	}
+}
+
+func TestMismatchedKillPidDiverges(t *testing.T) {
+	prog := Program{Name: "evil-pid", Main: func(th *Thread) {
+		a := th.Fork(func(c *Thread) { c.Sigaction(kernel.SIGUSR1, func(*Thread, int) {}) })
+		b := th.Fork(func(c *Thread) { c.Sigaction(kernel.SIGUSR1, func(*Thread, int) {}) })
+		target := a.Pid
+		if !th.IsMaster() {
+			target = b.Pid
+		}
+		th.Kill(target, kernel.SIGUSR1)
+		for {
+			if _, _, errno := th.Wait(); errno == kernel.ECHILD {
+				break
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks}, prog)
+	if res.Divergence == nil {
+		t.Fatal("mismatched kill pid not detected")
+	}
+	if !strings.Contains(res.Divergence.Reason, "argument 0 mismatch") {
+		t.Fatalf("unexpected reason: %v", res.Divergence)
+	}
+}
+
+func TestTerminatingSignalEndsProcess(t *testing.T) {
+	// SIGTERM with the default disposition terminates the child at its
+	// next syscall boundary; the parent reaps status 128+15.
+	var status int
+	prog := Program{Name: "sigterm-default", Main: func(th *Thread) {
+		child := th.Fork(func(c *Thread) {
+			for {
+				c.Syscall(kernel.SysNanosleep, [6]uint64{uint64(1e6)}, nil)
+			}
+		})
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(2e6)}, nil)
+		th.Kill(child.Pid, kernel.SIGTERM)
+		var st int
+		for {
+			var errno kernel.Errno
+			_, st, errno = th.Wait()
+			if errno != kernel.EINTR {
+				break
+			}
+		}
+		if th.IsMaster() {
+			status = st
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	if status != 128+kernel.SIGTERM {
+		t.Fatalf("status = %d, want %d", status, 128+kernel.SIGTERM)
+	}
+}
+
+func TestTwoPendingTerminatingSignals(t *testing.T) {
+	// Two different terminating signals pending at once: the first is
+	// delivered and ends the process; the second must NOT be delivered at
+	// the exit boundary (Linux discards a dying process's pending set) —
+	// this used to escape the trampoline as a raw panic and crash the
+	// embedder.
+	var status int
+	prog := Program{Name: "double-term", Main: func(th *Thread) {
+		child := th.Fork(func(c *Thread) {
+			for {
+				c.Syscall(kernel.SysNanosleep, [6]uint64{uint64(1e6)}, nil)
+			}
+		})
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(2e6)}, nil)
+		th.Kill(child.Pid, kernel.SIGINT)
+		th.Kill(child.Pid, kernel.SIGTERM)
+		var st int
+		for {
+			var errno kernel.Errno
+			_, st, errno = th.Wait()
+			if errno != kernel.EINTR {
+				break
+			}
+		}
+		if th.IsMaster() {
+			status = st
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks}, prog)
+	if res.Panic != nil {
+		t.Fatalf("session recorded a program panic: %v", res.Panic)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	// SIGINT (2) is the lowest pending signal, so it wins the delivery.
+	if status != 128+kernel.SIGINT {
+		t.Fatalf("status = %d, want %d", status, 128+kernel.SIGINT)
+	}
+}
+
+func TestSigprocmaskDefersDelivery(t *testing.T) {
+	// A blocked signal stays pending across syscall boundaries; unblocking
+	// it delivers at the very next boundary (the sigprocmask return).
+	kern := kernel.New()
+	// Guest-side file polling goes through replicated stat syscalls: the
+	// master's branch outcomes replicate, so every variant's loop runs the
+	// same number of iterations — polling kern.ReadFile directly from
+	// guest code would give each variant its own timing and diverge.
+	await := func(th *Thread, path string) {
+		for {
+			if th.Syscall(kernel.SysStat, [6]uint64{}, []byte(path)).Ok() {
+				return
+			}
+			th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(5e5)}, nil)
+		}
+	}
+	touch := func(th *Thread, path string) {
+		fd := th.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte(path)).Val
+		th.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+	}
+	prog := Program{Name: "mask-defer", Main: func(th *Thread) {
+		child := th.Fork(func(c *Thread) {
+			order := ""
+			c.Sigaction(kernel.SIGUSR1, func(h *Thread, _ int) { order += "signal" })
+			c.Syscall(kernel.SysSigprocmask, [6]uint64{kernel.SigBlock, 1 << kernel.SIGUSR1}, nil)
+			// Tell the parent we are masked; it kills us, then announces.
+			touch(c, "/masked")
+			// Boundaries pass with the signal blocked and pending: wait
+			// until the parent's kill has definitely landed.
+			await(c, "/killed")
+			order += "work"
+			c.Syscall(kernel.SysSigprocmask, [6]uint64{kernel.SigUnblock, 1 << kernel.SIGUSR1}, nil)
+			// Delivery happened at the unblock boundary, before this line.
+			fd := c.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/order")).Val
+			c.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte(order))
+			c.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+		})
+		await(th, "/masked")
+		th.Kill(child.Pid, kernel.SIGUSR1)
+		touch(th, "/killed")
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, Kernel: kern}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	if data, _ := kern.ReadFile("/order"); string(data) != "worksignal" {
+		t.Fatalf("order = %q, want \"worksignal\" (delivery deferred past the masked region)", data)
+	}
+}
+
+func TestForkSharesDescriptionsAcrossProcesses(t *testing.T) {
+	// The child inherits the parent's descriptors as SHARED descriptions:
+	// a read offset moved by the child is observed by the parent, like
+	// Linux fork + read.
+	kern := kernel.New()
+	kern.WriteFile("/shared", []byte("aabb"))
+	prog := Program{Name: "fork-fd-share", Main: func(th *Thread) {
+		fd := th.Syscall(kernel.SysOpen, [6]uint64{kernel.ORdonly}, []byte("/shared")).Val
+		th.Fork(func(c *Thread) {
+			c.Syscall(kernel.SysRead, [6]uint64{fd, 2}, nil) // moves the shared offset
+		})
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+		r := th.Syscall(kernel.SysRead, [6]uint64{fd, 2}, nil)
+		out := th.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/tail")).Val
+		th.Syscall(kernel.SysWrite, [6]uint64{out}, r.Data)
+		th.Syscall(kernel.SysClose, [6]uint64{out}, nil)
+		th.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, Kernel: kern}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	if data, _ := kern.ReadFile("/tail"); string(data) != "bb" {
+		t.Fatalf("parent read %q after child's read, want \"bb\" (shared offset)", data)
+	}
+}
+
+func TestRecordReplaySignalSchedule(t *testing.T) {
+	// A recorded session's signal schedule (EINTR points, deliveries)
+	// replays deterministically offline — trace wire format v3 carries
+	// Ret.Sig.
+	prog := Program{Name: "rec-signals", Main: func(th *Thread) {
+		pr := th.Syscall(kernel.SysPipe2, [6]uint64{}, nil)
+		rfd, wfd := pr.Val, pr.Val2
+		child := th.Fork(func(c *Thread) {
+			c.Sigaction(kernel.SIGUSR1, func(h *Thread, _ int) {
+				h.Syscall(kernel.SysGetpid, [6]uint64{}, nil)
+			})
+			for {
+				r := c.Syscall(kernel.SysRead, [6]uint64{rfd, 8}, nil)
+				if r.Err == kernel.EINTR {
+					continue
+				}
+				break
+			}
+		})
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(2e6)}, nil)
+		th.Kill(child.Pid, kernel.SIGUSR1)
+		th.Syscall(kernel.SysWrite, [6]uint64{wfd}, []byte("go"))
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+	}}
+	rec := runWithTimeout(t, Options{Variants: 2, Record: true}, prog)
+	if rec.Divergence != nil {
+		t.Fatalf("record run diverged: %v", rec.Divergence)
+	}
+	if rec.Trace == nil {
+		t.Fatal("no trace captured")
+	}
+	rep := runWithTimeout(t, Options{Replay: rec.Trace}, prog)
+	if rep.Divergence != nil {
+		t.Fatalf("replay diverged: %v", rep.Divergence)
+	}
+}

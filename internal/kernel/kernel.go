@@ -24,6 +24,12 @@ type Kernel struct {
 	procs   map[int]*Proc
 	nextPid int
 
+	// treeMu guards every process tree's parent/children/zombie state and
+	// the pid namespaces; treeCond (bound to it) wakes blocked waitpids on
+	// child exits, kills, and teardown. See process.go.
+	treeMu   sync.Mutex
+	treeCond sync.Cond
+
 	start time.Time
 	// logical advances once per clock read so that two gettimeofday calls
 	// never return the identical instant — the property the covert
@@ -62,7 +68,14 @@ type Kernel struct {
 	sockPool sync.Pool
 }
 
-type interruptible interface{ interrupt() }
+// interruptible objects can be force-closed at session teardown
+// (interrupt) and prodded to re-check their blocking predicates without
+// state loss (kick — the signal-delivery path: a woken waiter re-checks
+// the deliverable-signal predicate and unwinds with EINTR).
+type interruptible interface {
+	interrupt()
+	kick()
+}
 
 func (p *pipe) interrupt()     { p.interruptNow() }
 func (l *listener) interrupt() { l.close() }
@@ -120,11 +133,21 @@ func (k *Kernel) Interrupt() {
 	// Closing the blockables flipped their readiness; parked pollers must
 	// re-scan (and see the hang-ups, or the stopped flag) to unwind.
 	k.pollPark.Wake()
+	// Waitpid waiters and nanosleepers park on conds/parkers of their own:
+	// wake them so they observe the stopped flag and return EINTR.
+	k.treeMu.Lock()
+	k.treeCond.Broadcast()
+	k.treeMu.Unlock()
+	k.procMu.Lock()
+	for _, p := range k.procs {
+		p.sigPark.Wake()
+	}
+	k.procMu.Unlock()
 }
 
 // New creates an empty kernel.
 func New() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		fs:      newFileSystem(),
 		net:     newNetStack(),
 		futexes: make(map[int]*futex.Table),
@@ -132,6 +155,8 @@ func New() *Kernel {
 		nextPid: 1000,
 		start:   time.Now(),
 	}
+	k.treeCond.L = &k.treeMu
+	return k
 }
 
 // NewProc registers a new process whose heap and mmap regions start at the
@@ -141,6 +166,7 @@ func (k *Kernel) NewProc(brkBase, mmapBase uint64) *Proc {
 	pid := k.nextPid
 	k.nextPid++
 	p := NewProc(pid, NewAddressSpace(brkBase, mmapBase))
+	p.kern = k
 	k.procs[pid] = p
 	k.procMu.Unlock()
 	return p
@@ -240,7 +266,7 @@ type ClientConn struct {
 
 // Write sends data toward the server.
 func (cc ClientConn) Write(p []byte) (int, error) {
-	n, errno := cc.c.toServer.write(cc.toGen, p)
+	n, errno := cc.c.toServer.write(cc.toGen, p, nil)
 	if errno != OK {
 		return n, errno
 	}
@@ -249,7 +275,7 @@ func (cc ClientConn) Write(p []byte) (int, error) {
 
 // Read receives data from the server; it returns n==0 and nil error at EOF.
 func (cc ClientConn) Read(p []byte) (int, error) {
-	n, errno := cc.c.fromServer.read(cc.fromGen, p)
+	n, errno := cc.c.fromServer.read(cc.fromGen, p, nil)
 	if errno != OK {
 		return n, errno
 	}
@@ -280,6 +306,16 @@ func (k *Kernel) nowNanos() uint64 {
 // for). Tests use it to prove slaves consume the master's replicated
 // nanosleep result instead of re-paying the sleep.
 func (k *Kernel) Sleeps() uint64 { return k.sleeps.Load() }
+
+// ProcCount reports the number of live (running or zombie, not yet
+// reaped) processes across every variant. Tests use it to prove forked
+// workers are reaped rather than leaked: after a clean multi-process run
+// only the per-variant root processes remain.
+func (k *Kernel) ProcCount() int {
+	k.procMu.Lock()
+	defer k.procMu.Unlock()
+	return len(k.procs)
+}
 
 // Do executes one system call on behalf of process p. It may block (pipe
 // reads, accept, poll, nanosleep) — the monitor is responsible for only
@@ -331,14 +367,27 @@ func (k *Kernel) Do(p *Proc, c Call) Ret {
 	case SysGettimeofday, SysClockGettime:
 		return Ret{Val: k.nowNanos()}
 	case SysNanosleep:
-		k.sleeps.Add(1)
-		time.Sleep(time.Duration(c.Args[0]))
-		return Ret{}
+		return k.doNanosleep(p, c)
 	case SysSchedYield:
 		runtime.Gosched()
 		return Ret{}
 	case SysGetpid:
-		return Ret{Val: uint64(p.Pid)}
+		// The guest-visible pid is the deterministic namespace pid, not
+		// the kernel-internal one: guests feed it back into kill/waitpid,
+		// whose arguments are compared across variants.
+		return Ret{Val: uint64(p.vpid)}
+	case SysFork:
+		return k.doFork(p)
+	case SysExit:
+		return k.doExit(p, c)
+	case SysWaitpid:
+		return k.doWaitpid(p, c)
+	case SysKill:
+		return k.doKill(p, c)
+	case SysSigaction:
+		return k.doSigaction(p, c)
+	case SysSigprocmask:
+		return k.doSigprocmask(p, c)
 	case SysSocket:
 		// The descriptor is allocated at connect/accept/listen time in
 		// this simplified stack; socket() reserves a placeholder (the
@@ -366,6 +415,38 @@ func (k *Kernel) Do(p *Proc, c Call) Ret {
 }
 
 func retErr(errno Errno) Ret { return Ret{Err: errno} }
+
+// doNanosleep sleeps for Args[0] nanoseconds, interruptibly: a deliverable
+// signal arriving mid-sleep wakes the sleeper (kill's signalKick wakes the
+// proc's parker) and the call returns EINTR so the boundary can deliver
+// it. Only the master ever executes this (nanosleep is replicated), so the
+// sleeps counter still counts exactly the paid sleeps.
+func (k *Kernel) doNanosleep(p *Proc, c Call) Ret {
+	k.sleeps.Add(1)
+	deadline := time.Now().Add(time.Duration(c.Args[0]))
+	for {
+		if p.signalPending() {
+			return Ret{Err: EINTR}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Ret{}
+		}
+		if k.stopped() {
+			return Ret{Err: EINTR}
+		}
+		// FUTEX_WAIT protocol on the proc's parker: announce, re-check,
+		// park with a one-shot timer for the remaining duration.
+		g := p.sigPark.Prepare()
+		if p.signalPending() || k.stopped() || !time.Now().Before(deadline) {
+			p.sigPark.Cancel()
+			continue
+		}
+		tm := time.AfterFunc(remaining, p.sigPark.Wake)
+		p.sigPark.Park(g)
+		tm.Stop()
+	}
+}
 
 // doClose implements SysClose/SysShutdown. A successful close flips the
 // fd's poll readiness to PollNval, and not every close path reaches a
@@ -430,7 +511,7 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 		if ref.stale() {
 			return Ret{Err: EBADF}
 		}
-		data, errno := ar.readAvailable(count)
+		data, errno := ar.readAvailable(count, p.sigIntr)
 		if errno != OK {
 			return Ret{Err: errno}
 		}
@@ -459,7 +540,7 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 	}
 	e := ref.ent
 	e.mu.Lock()
-	if e.gen != ref.gen {
+	if e.gen.Load() != ref.gen {
 		e.mu.Unlock()
 		return Ret{Err: EBADF}
 	}
@@ -481,9 +562,17 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 }
 
 // availableReader is implemented by stream objects that can hand back an
-// exactly-sized read result (see pipe.readAvailable).
+// exactly-sized read result (see pipe.readAvailable). The intr predicate
+// (may be nil) interrupts a blocked read with EINTR — the signal-delivery
+// hook.
 type availableReader interface {
-	readAvailable(max int) ([]byte, Errno)
+	readAvailable(max int, intr func() bool) ([]byte, Errno)
+}
+
+// streamWriter is implemented by stream objects whose writes can block on
+// a full buffer; writeIntr is the interruptible variant of write.
+type streamWriter interface {
+	writeIntr(p []byte, intr func() bool) (int, Errno)
 }
 
 func (k *Kernel) doWrite(p *Proc, c Call) Ret {
@@ -495,9 +584,17 @@ func (k *Kernel) doWrite(p *Proc, c Call) Ret {
 		if ref.stale() {
 			return Ret{Err: EBADF}
 		}
-		n, errno := ref.obj.write(c.Data, 0)
-		if errno != OK {
-			return Ret{Err: errno}
+		var n int
+		var werrno Errno
+		if sw, ok := ref.obj.(streamWriter); ok {
+			// Stream writes can block on a full buffer; route them through
+			// the interruptible path so a signal EINTRs them.
+			n, werrno = sw.writeIntr(c.Data, p.sigIntr)
+		} else {
+			n, werrno = ref.obj.write(c.Data, 0)
+		}
+		if werrno != OK {
+			return Ret{Val: uint64(n), Err: werrno}
 		}
 		return Ret{Val: uint64(n)}
 	}
@@ -506,7 +603,7 @@ func (k *Kernel) doWrite(p *Proc, c Call) Ret {
 	}
 	e := ref.ent
 	e.mu.Lock()
-	if e.gen != ref.gen {
+	if e.gen.Load() != ref.gen {
 		e.mu.Unlock()
 		return Ret{Err: EBADF}
 	}
@@ -568,7 +665,7 @@ func (k *Kernel) doLseek(p *Proc, c Call) Ret {
 	e := ref.ent
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.gen != ref.gen {
+	if e.gen.Load() != ref.gen {
 		return Ret{Err: EBADF}
 	}
 	off := int64(c.Args[1])
@@ -694,7 +791,7 @@ func (k *Kernel) doListen(p *Proc, c Call) Ret {
 func (k *Kernel) abortListener(l *listener) {
 	l.close()
 	for {
-		cn, errno := l.accept()
+		cn, errno := l.accept(nil)
 		if errno != OK {
 			break
 		}
@@ -713,7 +810,7 @@ func (k *Kernel) doAccept(p *Proc, c Call) Ret {
 	if !ok {
 		return Ret{Err: ENOTSOCK}
 	}
-	cn, errno := l.accept()
+	cn, errno := l.accept(p.sigIntr)
 	if errno != OK {
 		return Ret{Err: errno}
 	}

@@ -107,22 +107,27 @@ type writeEnd struct {
 	gen uint64
 }
 
-func (r *readEnd) header() *objHeader                    { return &r.p.hdr }
-func (r *readEnd) read(b []byte, _ int64) (int, Errno)   { return r.p.read(r.gen, b) }
-func (r *readEnd) readAvailable(max int) ([]byte, Errno) { return r.p.readAvailable(r.gen, max) }
-func (r *readEnd) write([]byte, int64) (int, Errno)      { return 0, EBADF }
-func (r *readEnd) size() (int64, Errno)                  { return 0, ESPIPE }
-func (r *readEnd) close() Errno                          { r.p.closeRead(r.gen); return OK }
-func (r *readEnd) seekable() bool                        { return false }
-func (r *readEnd) poll() uint32                          { return r.p.pollReadable(r.gen) }
+func (r *readEnd) header() *objHeader                  { return &r.p.hdr }
+func (r *readEnd) read(b []byte, _ int64) (int, Errno) { return r.p.read(r.gen, b, nil) }
+func (r *readEnd) readAvailable(max int, intr func() bool) ([]byte, Errno) {
+	return r.p.readAvailable(r.gen, max, intr)
+}
+func (r *readEnd) write([]byte, int64) (int, Errno) { return 0, EBADF }
+func (r *readEnd) size() (int64, Errno)             { return 0, ESPIPE }
+func (r *readEnd) close() Errno                     { r.p.closeRead(r.gen); return OK }
+func (r *readEnd) seekable() bool                   { return false }
+func (r *readEnd) poll() uint32                     { return r.p.pollReadable(r.gen) }
 
 func (w *writeEnd) header() *objHeader                   { return &w.p.hdr }
 func (w *writeEnd) read([]byte, int64) (int, Errno)      { return 0, EBADF }
-func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(w.gen, b) }
-func (w *writeEnd) size() (int64, Errno)                 { return 0, ESPIPE }
-func (w *writeEnd) close() Errno                         { w.p.closeWrite(w.gen); return OK }
-func (w *writeEnd) seekable() bool                       { return false }
-func (w *writeEnd) poll() uint32                         { return w.p.pollWritable(w.gen) }
+func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(w.gen, b, nil) }
+func (w *writeEnd) writeIntr(b []byte, intr func() bool) (int, Errno) {
+	return w.p.write(w.gen, b, intr)
+}
+func (w *writeEnd) size() (int64, Errno) { return 0, ESPIPE }
+func (w *writeEnd) close() Errno         { w.p.closeWrite(w.gen); return OK }
+func (w *writeEnd) seekable() bool       { return false }
+func (w *writeEnd) poll() uint32         { return w.p.pollWritable(w.gen) }
 
 // pollReadable snapshots the read-side readiness of the pipe for a handle
 // stamped with gen: PollIn when a read would not block (pending bytes, or
@@ -176,6 +181,16 @@ func (p *pipe) waitLocked() {
 	p.waiting--
 }
 
+// kick wakes every waiter parked on the pipe without changing pipe state:
+// the signal-delivery path. A woken waiter whose proc has a deliverable
+// signal pending unwinds with EINTR; everyone else re-checks their
+// predicate and parks again.
+func (p *pipe) kick() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
 // releaseDueLocked marks the pipe released when it is dead and drained,
 // clearing any leftover bytes so nothing of this connection survives into
 // the next use. It returns whether the caller must invoke
@@ -190,16 +205,22 @@ func (p *pipe) releaseDueLocked() bool {
 	return true
 }
 
-// waitReadableLocked blocks until data is pending or the stream ended.
-// ok=false means "stop with errno": OK is EOF, EBADF a closed read side.
-// Callers hold p.mu.
-func (p *pipe) waitReadableLocked() (errno Errno, ok bool) {
+// waitReadableLocked blocks until data is pending, the stream ended, or —
+// when the caller supplied an interrupt predicate — a deliverable signal
+// arrived (EINTR). ok=false means "stop with errno": OK is EOF, EBADF a
+// closed read side. The predicate is checked before the first wait too, so
+// a read entered with a signal already pending EINTRs deterministically
+// instead of racing the data. Callers hold p.mu.
+func (p *pipe) waitReadableLocked(intr func() bool) (errno Errno, ok bool) {
 	for p.unread() == 0 {
 		if p.writeClosed {
 			return OK, false // EOF
 		}
 		if p.readClosed {
 			return EBADF, false
+		}
+		if intr != nil && intr() {
+			return EINTR, false
 		}
 		p.waitLocked()
 	}
@@ -220,13 +241,13 @@ func (p *pipe) consumeLocked(n int) {
 	// may be ready) after releasing p.mu.
 }
 
-func (p *pipe) read(gen uint64, b []byte) (int, Errno) {
+func (p *pipe) read(gen uint64, b []byte, intr func() bool) (int, Errno) {
 	p.mu.Lock()
 	if !p.checkGenLocked(gen) {
 		p.mu.Unlock()
 		return 0, EBADF
 	}
-	errno, ok := p.waitReadableLocked()
+	errno, ok := p.waitReadableLocked(intr)
 	if !ok {
 		// This reader may have been the last waiter holding a dead pipe
 		// back from recycling.
@@ -249,13 +270,13 @@ func (p *pipe) read(gen uint64, b []byte) (int, Errno) {
 // caller buffer. The kernel's read/recv handlers use it so that a request
 // asking for N bytes costs an allocation proportional to the bytes
 // delivered, not to N.
-func (p *pipe) readAvailable(gen uint64, max int) ([]byte, Errno) {
+func (p *pipe) readAvailable(gen uint64, max int, intr func() bool) ([]byte, Errno) {
 	p.mu.Lock()
 	if !p.checkGenLocked(gen) {
 		p.mu.Unlock()
 		return nil, EBADF
 	}
-	errno, ok := p.waitReadableLocked()
+	errno, ok := p.waitReadableLocked(intr)
 	if !ok {
 		rel := p.releaseDueLocked()
 		p.mu.Unlock()
@@ -276,7 +297,7 @@ func (p *pipe) readAvailable(gen uint64, max int) ([]byte, Errno) {
 	return out, OK
 }
 
-func (p *pipe) write(gen uint64, b []byte) (int, Errno) {
+func (p *pipe) write(gen uint64, b []byte, intr func() bool) (int, Errno) {
 	p.mu.Lock()
 	if !p.checkGenLocked(gen) {
 		p.mu.Unlock()
@@ -308,6 +329,21 @@ func (p *pipe) write(gen uint64, b []byte) (int, Errno) {
 		}
 		space := pipeBufSize - p.unread()
 		if space == 0 {
+			// Like the read side, the interrupt predicate only bites when
+			// the write would otherwise sleep — and per POSIX, a write
+			// that already transferred bytes returns the short count with
+			// NO error (EINTR is only for zero-progress interruptions):
+			// the standard retry-on-EINTR idiom assumes nothing was
+			// written, and handing it (n>0, EINTR) would make it resend
+			// and duplicate bytes in the stream.
+			if intr != nil && intr() {
+				p.mu.Unlock()
+				if written > 0 {
+					p.hdr.pollWake()
+					return written, OK
+				}
+				return 0, EINTR
+			}
 			// Announce what this call already buffered BEFORE sleeping:
 			// a poller parked on the kernel wait set is the only thing
 			// that can drain the pipe in the evented mode, and the

@@ -141,13 +141,20 @@ func (k *Kernel) doPoll(p *Proc, c Call) Ret {
 			// on a dying kernel (an empty fd set would never wake).
 			return Ret{Data: out, Err: EBADF}
 		}
+		if p.signalPending() {
+			// A deliverable signal interrupts a poll that would otherwise
+			// sleep (a ready scan above already returned, matching Linux:
+			// poll with ready fds wins over EINTR). Kill's signalKick wakes
+			// the poll wait set, so a parked poller gets here promptly.
+			return Ret{Data: out, Err: EINTR}
+		}
 		// FUTEX_WAIT protocol on the kernel's poll wait set: announce,
 		// re-check readiness AND the deadline (a state change — or the
 		// deadline timer's one-shot Wake, which is a no-op while nobody
 		// has Prepared — landing between the checks above and the
 		// announcement would otherwise be a lost wakeup), then park.
 		g := k.pollPark.Prepare()
-		if k.pollScan(p, out, n) > 0 || k.stopped() ||
+		if k.pollScan(p, out, n) > 0 || k.stopped() || p.signalPending() ||
 			(timeout != PollNoTimeout && !time.Now().Before(deadline)) {
 			k.pollPark.Cancel()
 			continue

@@ -3,6 +3,9 @@ package kernel
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/futex"
 )
 
 // maxFDs bounds a process's descriptor table, like RLIMIT_NOFILE.
@@ -13,14 +16,18 @@ const maxFDs = 1024
 // pipe2(2) result. dup(2)'d descriptors point at the SAME description, so
 // they share the file offset and status flags exactly like Linux
 // descriptors do (an lseek or read through one moves the offset the other
-// observes).
+// observes). Since fork(2) landed, descriptions are also shared ACROSS
+// processes: the child's descriptor table references the parent's
+// descriptions, which is why refs and gen are atomics — a close in the
+// child and a close in the parent run under different Proc locks.
 //
-// Descriptions are pooled per process (Proc.free): close pushes the
-// retired entry onto the freelist and the next alloc pops it, so the
-// descriptor-install on the serving accept path costs zero allocations in
-// steady state. Retirement bumps gen; an fdRef snapshot taken before the
-// close fails its generation check under mu instead of reading a
-// successor descriptor's offset.
+// Descriptions are pooled per process (Proc.free): the close that drops
+// the last reference pushes the retired entry onto ITS process's freelist
+// and the next alloc there pops it, so the descriptor-install on the
+// serving accept path costs zero allocations in steady state. Retirement
+// bumps gen; an fdRef snapshot taken before the close fails its
+// generation check under mu instead of reading a successor descriptor's
+// offset.
 type openFile struct {
 	// mu guards offset against concurrent seekable operations (two
 	// threads reading one dup'd descriptor race the shared offset) and
@@ -29,12 +36,14 @@ type openFile struct {
 	obj    object
 	offset int64
 	flags  int
-	// refs counts descriptor-table references (dup adds one); the last
-	// close releases obj. Guarded by Proc.mu.
-	refs int
-	// gen is the entry's reuse generation: bumped at retirement, written
-	// under Proc.mu AND openFile.mu, readable under either.
-	gen uint64
+	// refs counts descriptor-table references across ALL processes
+	// sharing the description (dup and fork add one each); the close
+	// that drops it to zero releases obj. An entry live in any table
+	// pins refs >= 1, so retirement can never race a lookup.
+	refs atomic.Int32
+	// gen is the entry's reuse generation: bumped at retirement under
+	// openFile.mu, read atomically anywhere.
+	gen atomic.Uint64
 }
 
 // fdRef is a point-in-time snapshot of one descriptor: the description,
@@ -112,6 +121,18 @@ func (t *fdTable) get(fd int) *openFile {
 
 func (t *fdTable) set(fd int, e *openFile) { t.slots[fd] = e }
 
+// install claims a SPECIFIC descriptor number and maps it to e, growing
+// the slot array as needed — the fork path, which must mirror the
+// parent's descriptor numbers rather than take the lowest free slot. The
+// bitmap/slot representation stays private to fdTable.
+func (t *fdTable) install(fd int, e *openFile) {
+	t.used[fd>>6] |= 1 << uint(fd&63)
+	for len(t.slots) <= fd {
+		t.slots = append(t.slots, nil)
+	}
+	t.slots[fd] = e
+}
+
 func (t *fdTable) clear(fd int) {
 	t.used[fd>>6] &^= 1 << uint(fd&63)
 	t.slots[fd] = nil
@@ -127,8 +148,14 @@ func (t *fdTable) count() int {
 	return n - 3
 }
 
-// Proc is the kernel-side state of one process (one MVEE variant).
+// Proc is the kernel-side state of one simulated process. Each variant's
+// root process anchors a tree grown by SysFork; the tree shares a pid
+// namespace and a thread-id space (see process.go) and each process
+// carries its own descriptor table, address space, and signal table.
 type Proc struct {
+	// Pid is the kernel-internal process id: globally unique across every
+	// variant (it keys the futex namespaces). The GUEST-visible pid is
+	// vpid, deterministic across variants; SysGetpid returns that one.
 	Pid int
 	AS  *AddressSpace
 
@@ -138,17 +165,55 @@ type Proc struct {
 	// alloc; see openFile.
 	free []*openFile
 
-	nextTid int
+	// Process-tree state, guarded by Kernel.treeMu (see process.go).
+	kern     *Kernel
+	ns       *pidNamespace
+	vpid     int
+	parent   *Proc
+	children []*Proc
+	state    int
+	status   int
+	// autoReap marks a child a slave's waitpid record already reaped in
+	// the master: the child frees itself at its own (later) local exit.
+	autoReap bool
+
+	// tids allocates thread ids tree-wide (see tidSpace).
+	tids *tidSpace
+
+	// Signal table (see signal.go). The pending/blocked/ignored masks are
+	// atomics so the deliverable predicate polled by blocking kernel ops
+	// is lock-free; sigMu serializes read-modify-write transitions.
+	sigMu      sync.Mutex
+	sigPending atomic.Uint64
+	sigBlocked atomic.Uint64
+	sigIgnored atomic.Uint64
+	sigDisp    [maxSig + 1]uint8
+	// sigPark parks nanosleep; kill wakes it. (Other blocking sites park
+	// on their object's cond or the kernel poll wait set.)
+	sigPark futex.Parker
+	// sigIntr is the precomputed interrupt predicate (== signalPending as
+	// a method value, bound once so blocking call sites don't allocate a
+	// closure per call).
+	sigIntr func() bool
 }
 
-// NewProc creates a process with an empty descriptor table (descriptors
-// 0-2 are reserved, as stdin/stdout/stderr would be) and the given address
-// space.
+// NewProc creates a root process with an empty descriptor table
+// (descriptors 0-2 are reserved, as stdin/stdout/stderr would be), the
+// given address space, and a fresh pid namespace in which it is pid 1.
 func NewProc(pid int, as *AddressSpace) *Proc {
-	p := &Proc{Pid: pid, AS: as, nextTid: 1}
+	p := &Proc{Pid: pid, AS: as, vpid: 1}
 	p.fdt.init()
+	p.ns = &pidNamespace{nextVpid: 2, byVpid: map[int]*Proc{1: p}}
+	p.tids = &tidSpace{next: 1}
+	p.sigIgnored.Store(defaultIgnored)
+	p.sigIntr = p.signalPending
 	return p
 }
+
+// Vpid returns the guest-visible process id: 1 for a variant's root
+// process, 2, 3, … for forked children in fork order — identical across
+// variants because fork is an ordered syscall.
+func (p *Proc) Vpid() int { return p.vpid }
 
 // getEntry pops a pooled description (its gen was bumped at retirement) or
 // makes a fresh one. Callers hold p.mu.
@@ -172,16 +237,18 @@ func (p *Proc) allocFD(obj object, flags int, offset int64) (int, Errno) {
 		return -1, EMFILE
 	}
 	e := p.getEntry()
-	e.obj, e.flags, e.offset, e.refs = obj, flags, offset, 1
+	e.obj, e.flags, e.offset = obj, flags, offset
+	e.refs.Store(1)
 	p.fdt.set(fd, e)
 	p.mu.Unlock()
 	return fd, OK
 }
 
 // lookupFD snapshots descriptor fd. The snapshot is valid by construction
-// at the moment it is taken (the entry is live in the table under p.mu);
-// offset-committing operations revalidate ref.gen under ent.mu before
-// acting, so a close racing in between degrades the op to EBADF.
+// at the moment it is taken (the entry is live in the table under p.mu,
+// which pins refs >= 1 and therefore blocks retirement); offset-committing
+// operations revalidate ref.gen under ent.mu before acting, so a close
+// racing in between degrades the op to EBADF.
 func (p *Proc) lookupFD(fd int) (fdRef, Errno) {
 	p.mu.Lock()
 	e := p.fdt.get(fd)
@@ -189,7 +256,7 @@ func (p *Proc) lookupFD(fd int) (fdRef, Errno) {
 		p.mu.Unlock()
 		return fdRef{}, EBADF
 	}
-	ref := fdRef{ent: e, obj: e.obj, flags: e.flags, gen: e.gen, objGen: e.obj.header().generation()}
+	ref := fdRef{ent: e, obj: e.obj, flags: e.flags, gen: e.gen.Load(), objGen: e.obj.header().generation()}
 	p.mu.Unlock()
 	return ref, OK
 }
@@ -200,7 +267,7 @@ func (p *Proc) lookupFD(fd int) (fdRef, Errno) {
 // concurrent close(2) could have retired it. Callers hold p.mu.
 func (p *Proc) revalidateLocked(fd int, ref fdRef) bool {
 	cur := p.fdt.get(fd)
-	return cur == ref.ent && cur.gen == ref.gen
+	return cur == ref.ent && cur.gen.Load() == ref.gen
 }
 
 func (p *Proc) closeFD(fd int) Errno {
@@ -211,16 +278,18 @@ func (p *Proc) closeFD(fd int) Errno {
 		return EBADF
 	}
 	p.fdt.clear(fd)
-	e.refs--
-	last := e.refs == 0
+	// The slot is cleared before the reference drops: once refs hits
+	// zero, no table anywhere still maps the entry, so the retirement
+	// below cannot race a lookup in a process sharing the description.
+	last := e.refs.Add(-1) == 0
 	var obj object
 	if last {
 		obj = e.obj
-		// Retire the description: bump gen (under both locks, so readers
-		// holding either see it), drop the object reference, and pool the
-		// entry for the next alloc.
+		// Retire the description: bump gen (under ent.mu, so in-flight
+		// offset ops serialize against it), drop the object reference, and
+		// pool the entry for this process's next alloc.
 		e.mu.Lock()
-		e.gen++
+		e.gen.Add(1)
 		e.obj = nil
 		e.mu.Unlock()
 		p.free = append(p.free, e)
@@ -252,7 +321,7 @@ func (p *Proc) dupFD(fd int) (int, Errno) {
 		p.mu.Unlock()
 		return -1, EMFILE // nothing was touched; no reference leaked
 	}
-	e.refs++
+	e.refs.Add(1)
 	p.fdt.set(nfd, e)
 	p.mu.Unlock()
 	return nfd, OK
@@ -265,13 +334,9 @@ func (p *Proc) OpenFDs() int {
 	return p.fdt.count()
 }
 
-// NextTid allocates a thread id within the process. The monitor calls this
-// inside the ordered clone critical section so that corresponding threads
-// receive identical tids in every variant.
-func (p *Proc) NextTid() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	tid := p.nextTid
-	p.nextTid++
-	return tid
-}
+// NextTid allocates a thread id. Tids come from the process TREE's shared
+// space (fork children's threads must not collide with the parent's: the
+// monitor's syscall rings are per-tid). The monitor calls this inside the
+// ordered clone critical section so that corresponding threads receive
+// identical tids in every variant.
+func (p *Proc) NextTid() int { return p.tids.take() }

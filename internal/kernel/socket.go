@@ -79,15 +79,15 @@ func (s *socketObj) read(b []byte, _ int64) (int, Errno) {
 	if rx == nil {
 		return 0, EINVAL // unconnected placeholder (see SysSocket)
 	}
-	return rx.read(s.rxGen.Load(), b)
+	return rx.read(s.rxGen.Load(), b, nil)
 }
 
-func (s *socketObj) readAvailable(max int) ([]byte, Errno) {
+func (s *socketObj) readAvailable(max int, intr func() bool) ([]byte, Errno) {
 	rx := s.rx.Load()
 	if rx == nil {
 		return nil, EINVAL
 	}
-	return rx.readAvailable(s.rxGen.Load(), max)
+	return rx.readAvailable(s.rxGen.Load(), max, intr)
 }
 
 func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
@@ -95,7 +95,15 @@ func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
 	if tx == nil {
 		return 0, EINVAL
 	}
-	return tx.write(s.txGen.Load(), b)
+	return tx.write(s.txGen.Load(), b, nil)
+}
+
+func (s *socketObj) writeIntr(b []byte, intr func() bool) (int, Errno) {
+	tx := s.tx.Load()
+	if tx == nil {
+		return 0, EINVAL
+	}
+	return tx.write(s.txGen.Load(), b, intr)
 }
 func (s *socketObj) size() (int64, Errno) { return 0, ESPIPE }
 func (s *socketObj) seekable() bool       { return false }
@@ -173,6 +181,14 @@ func (l *listener) poll() uint32 {
 	return ev
 }
 
+// kick wakes accept waiters without closing the listener (signal
+// delivery; see pipe.kick).
+func (l *listener) kick() {
+	l.mu.Lock()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
 func (l *listener) close() Errno {
 	l.mu.Lock()
 	l.closed = true
@@ -213,13 +229,19 @@ func (l *listener) enqueue(c conn) Errno {
 	return OK
 }
 
-// accept blocks until a connection is available or the listener closes.
-func (l *listener) accept() (conn, Errno) {
+// accept blocks until a connection is available, the listener closes, or —
+// with a non-nil interrupt predicate — a deliverable signal arrives
+// (EINTR), checked before the first wait so a pre-pended signal interrupts
+// deterministically.
+func (l *listener) accept(intr func() bool) (conn, Errno) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for len(l.backlog)-l.head == 0 {
 		if l.closed {
 			return conn{}, EINVAL
+		}
+		if intr != nil && intr() {
+			return conn{}, EINTR
 		}
 		l.cond.Wait()
 	}

@@ -60,8 +60,31 @@ const (
 	// so new syscalls append to the enum rather than renumbering the
 	// existing ones out from under previously captured traces.
 	SysPoll
+	// SysFork creates a child process: a copy of the caller's descriptor
+	// table (Linux semantics: shared open file descriptions) under a fresh,
+	// deterministically allocated pid. Like SysPoll and everything after
+	// it, it appends to the enum — the values are trace wire format.
+	SysFork
+	// SysWaitpid reaps a zombie child, blocking until one exits. Args[0]
+	// selects the child (WaitAny for "any child"); Val is the reaped
+	// child's pid and Val2 its exit status.
+	SysWaitpid
+	// SysKill posts a signal (Args[1]) to the process named by Args[0].
+	SysKill
+	// SysSigaction sets the disposition of signal Args[0] to Args[1]
+	// (SigDfl, SigIgn, or SigHandler).
+	SysSigaction
+	// SysSigprocmask manipulates the caller's blocked-signal mask:
+	// Args[0] is the how (SigBlock/SigUnblock/SigSetmask), Args[1] the
+	// bit mask; Val returns the previous mask.
+	SysSigprocmask
 	sysnoMax
 )
+
+// SysnoMax is the exclusive upper bound of the Sysno enum. Guard tests
+// iterate [SysOpen, SysnoMax) to prove every simulated syscall has a name,
+// a deliberate monitor classification, and an argument-mask decision.
+const SysnoMax = sysnoMax
 
 var sysnoNames = map[Sysno]string{
 	SysOpen: "open", SysClose: "close", SysRead: "read", SysWrite: "write",
@@ -74,6 +97,8 @@ var sysnoNames = map[Sysno]string{
 	SysSocket: "socket", SysBind: "bind", SysListen: "listen", SysAccept: "accept",
 	SysConnect: "connect", SysSend: "send", SysRecv: "recv", SysShutdown: "shutdown",
 	SysFutex: "futex", SysPoll: "poll", SysMVEEAware: "mvee_aware",
+	SysFork: "fork", SysWaitpid: "waitpid", SysKill: "kill",
+	SysSigaction: "sigaction", SysSigprocmask: "sigprocmask",
 }
 
 // String implements fmt.Stringer.
@@ -88,10 +113,20 @@ func (s Sysno) String() string {
 type Errno uint32
 
 const (
-	OK           Errno = 0
-	EPERM        Errno = 1
-	ENOENT       Errno = 2
-	EBADF        Errno = 9
+	OK     Errno = 0
+	EPERM  Errno = 1
+	ENOENT Errno = 2
+	// ESRCH: no such process (kill/waitpid on a pid that was never
+	// allocated or has already been reaped).
+	ESRCH Errno = 3
+	// EINTR: a blocking call (read, accept, poll, waitpid, nanosleep) was
+	// interrupted because a deliverable signal arrived for the calling
+	// process. The signal itself travels in Ret.Sig; the caller is
+	// expected to run its handler and retry.
+	EINTR Errno = 4
+	EBADF Errno = 9
+	// ECHILD: waitpid with no children left to wait for.
+	ECHILD       Errno = 10
 	EAGAIN       Errno = 11
 	ENOMEM       Errno = 12
 	EACCES       Errno = 13
@@ -110,7 +145,8 @@ const (
 )
 
 var errnoNames = map[Errno]string{
-	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", EBADF: "EBADF", EAGAIN: "EAGAIN",
+	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH", EINTR: "EINTR",
+	ECHILD: "ECHILD", EBADF: "EBADF", EAGAIN: "EAGAIN",
 	ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EBUSY: "EBUSY",
 	EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EINVAL: "EINVAL", EMFILE: "EMFILE",
 	ESPIPE: "ESPIPE", EPIPE: "EPIPE", ENOSYS: "ENOSYS", ENOTSOCK: "ENOTSOCK",
@@ -158,6 +194,12 @@ type Ret struct {
 	Val2 uint64 // secondary value (pipe2's second fd)
 	Data []byte // payload for read/recv/…
 	Err  Errno
+	// Sig is the signal delivered at this syscall boundary (0 = none).
+	// The kernel never sets it: the MONITOR stamps it onto the master's
+	// record after executing the call, which is what makes signal
+	// delivery a replicable event — the slaves consume the master's
+	// delivery schedule instead of racing their own (DESIGN.md §2.5).
+	Sig uint32
 }
 
 // Ok reports whether the call succeeded.

@@ -504,10 +504,19 @@ func (m *Monitor) checkKilled() {
 // process), so every wait in the replication path shares one policy.
 func relax(spins int) { ring.Backoff(spins) }
 
-// Invoke performs one system call on behalf of thread tid of variant v.
+// Invoke performs one system call on behalf of thread tid of variant v,
+// running against variant v's ROOT process. Multi-process programs go
+// through InvokeOn instead; Invoke remains the single-process surface the
+// benchmarks and monitor tests use.
+func (m *Monitor) Invoke(v, tid int, call kernel.Call) kernel.Ret {
+	return m.InvokeOn(v, tid, m.procs[v], call)
+}
+
+// InvokeOn performs one system call on behalf of thread tid of variant v,
+// whose current process is proc (the root process, or a fork descendant).
 // This is the interposition point: the variant's thread "traps" here
 // instead of entering the kernel directly.
-func (m *Monitor) Invoke(v, tid int, call kernel.Call) kernel.Ret {
+func (m *Monitor) InvokeOn(v, tid int, proc *kernel.Proc, call kernel.Call) kernel.Ret {
 	m.checkKilled()
 	// The MVEE-awareness call never reaches the kernel (§4.5): the
 	// monitor answers it, telling the variant its role.
@@ -518,17 +527,17 @@ func (m *Monitor) Invoke(v, tid int, call kernel.Call) kernel.Ret {
 	cls := classify(call.Nr)
 	if !cls.monitored {
 		m.unmon[v].n.Add(1)
-		return m.kern.Do(m.procs[v], call)
+		return m.kern.Do(proc, call)
 	}
 	m.syscalls[v].n.Add(1)
 	if m.replay && v == 0 {
 		// The replayed variant consumes the trace like an online slave.
-		return m.slaveCall(1, tid, call, cls)
+		return m.slaveCall(1, tid, proc, call, cls)
 	}
 	if v == 0 {
-		return m.masterCall(tid, call, cls)
+		return m.masterCall(tid, proc, call, cls)
 	}
-	return m.slaveCall(v, tid, call, cls)
+	return m.slaveCall(v, tid, proc, call, cls)
 }
 
 // ThreadExit publishes (master) or validates (slave) a thread-exit marker,
@@ -669,8 +678,13 @@ func (m *Monitor) validateDigest(v, tid int, call kernel.Call, cls class, exit b
 }
 
 // masterCall executes a monitored call in the master variant and publishes
-// the record for the slaves.
-func (m *Monitor) masterCall(tid int, call kernel.Call, cls class) kernel.Ret {
+// the record for the slaves. After the call executes, the master pops the
+// lowest deliverable pending signal of the calling process (if any) into
+// Ret.Sig — the syscall-boundary delivery point. Because the popped signal
+// travels inside the replicated record, the master's delivery schedule IS
+// the session's delivery schedule: slaves consume it positionally instead
+// of racing their own pending sets (DESIGN.md §2.5).
+func (m *Monitor) masterCall(tid int, proc *kernel.Proc, call kernel.Call, cls class) kernel.Ret {
 	if m.cfg.Variants > 1 && m.lockstepped(cls) {
 		m.awaitDigests(tid, call, cls, false)
 	}
@@ -701,7 +715,13 @@ func (m *Monitor) masterCall(tid int, call kernel.Call, cls class) kernel.Ret {
 			relax(spins)
 		}
 		rec.Ts = t
-		rec.Ret = m.execute(0, call)
+		rec.Ret = m.execute(proc, call)
+		if call.Nr != kernel.SysExit {
+			// No delivery at the exit boundary: the process is gone and
+			// Linux discards its pending signals. (Delivering here would
+			// also re-terminate a process already inside its exit path.)
+			rec.Ret.Sig = proc.TakeSignal()
+		}
 		m.clocks[0].Tick()
 		m.clockParks[0].Wake()
 		if m.publish {
@@ -712,7 +732,8 @@ func (m *Monitor) masterCall(tid int, call kernel.Call, cls class) kernel.Ret {
 	// Blocking call: may not be wrapped in the ordering critical section
 	// because the kernel may never return (§4.1 Limitations). It is still
 	// executed by the master only and replicated positionally.
-	rec.Ret = m.execute(0, call)
+	rec.Ret = m.execute(proc, call)
+	rec.Ret.Sig = proc.TakeSignal()
 	if m.publish {
 		m.publishRecord(tid, &rec, call.Data)
 	}
@@ -744,7 +765,7 @@ func (m *Monitor) publishRecord(tid int, rec *Record, payload []byte) {
 // slaveCall validates thread tid's call against the master's record,
 // waits for its ordering turn, and returns the replicated (or per-variant
 // re-executed) result.
-func (m *Monitor) slaveCall(v, tid int, call kernel.Call, cls class) kernel.Ret {
+func (m *Monitor) slaveCall(v, tid int, proc *kernel.Proc, call kernel.Call, cls class) kernel.Ret {
 	if m.lockstepped(cls) && !m.replay {
 		// Submit this call for the master's pre-execution validation;
 		// the master will not execute until every slave has arrived.
@@ -779,29 +800,39 @@ func (m *Monitor) slaveCall(v, tid int, call kernel.Call, cls class) kernel.Ret 
 			}
 			relax(spins)
 		}
-		ret = m.slaveResult(v, tid, call, rec, cls)
+		ret = m.slaveResult(proc, call, rec, cls)
 		m.clocks[v].Tick()
 		m.clockParks[v].Wake()
 	} else {
-		ret = m.slaveResult(v, tid, call, rec, cls)
+		ret = m.slaveResult(proc, call, rec, cls)
+	}
+	// Enact the master's signal-delivery schedule: the record says a
+	// signal landed at this boundary, so consume the slave's own pending
+	// bit (set by its per-variant execution of the same ordered kill) and
+	// surface the same signal to the slave's guest.
+	if rec.Ret.Sig != 0 {
+		proc.AckSignal(rec.Ret.Sig)
+		ret.Sig = rec.Ret.Sig
+	}
+	// A replicated waitpid reaped a child in the master's tree; mirror the
+	// reap in this variant's tree so pid liveness stays in lockstep.
+	if call.Nr == kernel.SysWaitpid && rec.Ret.Err == kernel.OK {
+		m.kern.ApplySlaveWait(proc, int(rec.Ret.Val))
 	}
 	m.advance(v, tid)
 	return ret
 }
 
-func (m *Monitor) slaveResult(v, tid int, call kernel.Call, rec *Record, cls class) kernel.Ret {
+func (m *Monitor) slaveResult(proc *kernel.Proc, call kernel.Call, rec *Record, cls class) kernel.Ret {
 	if cls.perVariant {
-		if m.replay {
-			v = 0 // the replayed variant owns the only process
-		}
-		return m.execute(v, call)
+		return m.execute(proc, call)
 	}
 	return rec.Ret // replicated master (or traced) result
 }
 
-// execute runs the call against the kernel for variant v.
-func (m *Monitor) execute(v int, call kernel.Call) kernel.Ret {
-	return m.kern.Do(m.procs[v], call)
+// execute runs the call against the kernel for the given process.
+func (m *Monitor) execute(proc *kernel.Proc, call kernel.Call) kernel.Ret {
+	return m.kern.Do(proc, call)
 }
 
 // nextRecord returns the master's record for slave v's thread tid,

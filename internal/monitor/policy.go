@@ -81,8 +81,35 @@ func classify(nr kernel.Sysno) class {
 		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
 	case kernel.SysClone:
 		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
+	case kernel.SysFork:
+		// Fork executes in every variant (each builds its own child
+		// process) inside the ordered section, which is exactly what makes
+		// the returned child pids and initial tids deterministic: the i-th
+		// ordered fork of every variant draws the same ids.
+		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
 	case kernel.SysExit:
-		return class{monitored: true, perVariant: true}
+		// Process exit is ordered so that exit/kill/waitpid interleavings
+		// replay identically: a master that observed ESRCH because the
+		// target died first must see its slaves observe the same.
+		return class{monitored: true, ordered: true, perVariant: true}
+	case kernel.SysKill:
+		// Kill is per-variant (each variant posts the signal to its own
+		// process tree, so slave-side pending state marches with the
+		// master's) and sensitive: the (pid, signo) arguments are compared
+		// even under the relaxed policy — a variant signalling a different
+		// process or signal is an attack, not noise.
+		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
+	case kernel.SysSigaction, kernel.SysSigprocmask:
+		// Signal-table edits are per-variant ordered state changes; the
+		// (signo, disposition/mask) arguments are security-relevant and
+		// compared under every policy.
+		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
+	case kernel.SysWaitpid:
+		// Waitpid blocks until a child dies, so like read/accept it cannot
+		// sit inside the ordering critical section; the master executes the
+		// reap and the (pid, status) result is replicated. It is sensitive:
+		// which child a variant waits for is compared under every policy.
+		return class{monitored: true, replicated: true, blocking: true, sensitive: true}
 	case kernel.SysRead, kernel.SysRecv, kernel.SysAccept:
 		return class{monitored: true, replicated: true, blocking: true}
 	case kernel.SysPoll:
@@ -123,8 +150,19 @@ func argMask(nr kernel.Sysno) uint8 {
 		return 1 << 1 // compare length; addr hint masked
 	case kernel.SysMunmap, kernel.SysMprotect:
 		return 1<<1 | 1<<2 // compare length (and prot); addr masked
-	case kernel.SysClone:
+	case kernel.SysClone, kernel.SysFork:
+		// No compared arguments: the determinism that matters (identical
+		// child tids/pids) is a property of the ordered execution, not of
+		// the call's inputs.
 		return 0
+	case kernel.SysKill, kernel.SysWaitpid, kernel.SysSigaction,
+		kernel.SysSigprocmask, kernel.SysExit:
+		// Full comparison, stated explicitly rather than via the default:
+		// pid/signo/disposition/mask/exit-status arguments are plain values
+		// that must be identical across variants — a variant signalling a
+		// different target, registering a different handler, or exiting
+		// with a different status is divergence.
+		return 0x3f
 	case kernel.SysNanosleep:
 		// The duration is a plain value, identical across variants by
 		// construction — compare it, or a variant sleeping a different

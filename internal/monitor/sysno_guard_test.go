@@ -1,0 +1,119 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// The enum-completeness guard: every Sysno in [SysOpen, SysnoMax) must
+// have a name, a DELIBERATE monitor classification, and an argument-mask
+// decision, all recorded in the table below. Before this test existed, an
+// appended syscall silently stringified as "sys#N" and fell into
+// classify's default case with nothing tripping — the table forces every
+// future append to state its routing decisions explicitly (and keeps the
+// trace wire format honest: Sysno values are recorded-trace currency, so
+// the walk also locks the enum's order).
+func TestSysnoSurfaceIsComplete(t *testing.T) {
+	type decision struct {
+		name string
+		cls  class
+		mask uint8
+	}
+	const all = uint8(0x3f)
+	want := map[kernel.Sysno]decision{
+		kernel.SysOpen:      {"open", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysClose:     {"close", class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysRead:      {"read", class{monitored: true, replicated: true, blocking: true}, all},
+		kernel.SysWrite:     {"write", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysPread:     {"pread", class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysPwrite:    {"pwrite", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysLseek:     {"lseek", class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysStat:      {"stat", class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysUnlink:    {"unlink", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysDup:       {"dup", class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysPipe2:     {"pipe2", class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysFtruncate: {"ftruncate", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysBrk:       {"brk", class{monitored: true, ordered: true, perVariant: true}, 0},
+		kernel.SysMmap:      {"mmap", class{monitored: true, ordered: true, perVariant: true, sensitive: true}, 1 << 1},
+		kernel.SysMunmap:    {"munmap", class{monitored: true, ordered: true, perVariant: true}, 1<<1 | 1<<2},
+		kernel.SysMprotect:  {"mprotect", class{monitored: true, ordered: true, perVariant: true, sensitive: true}, 1<<1 | 1<<2},
+		kernel.SysClone:     {"clone", class{monitored: true, ordered: true, perVariant: true, sensitive: true}, 0},
+		kernel.SysExit:      {"exit", class{monitored: true, ordered: true, perVariant: true}, all},
+		kernel.SysGettimeofday: {"gettimeofday",
+			class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysClockGettime: {"clock_gettime",
+			class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysNanosleep:  {"nanosleep", class{monitored: true, replicated: true, blocking: true}, 1 << 0},
+		kernel.SysSchedYield: {"sched_yield", class{}, all},
+		kernel.SysGetpid:     {"getpid", class{monitored: true, ordered: true, replicated: true}, all},
+		kernel.SysGettid:     {"gettid", class{}, all},
+		kernel.SysSocket:     {"socket", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysBind:       {"bind", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysListen:     {"listen", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysAccept:     {"accept", class{monitored: true, replicated: true, blocking: true}, all},
+		kernel.SysConnect:    {"connect", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysSend:       {"send", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysRecv:       {"recv", class{monitored: true, replicated: true, blocking: true}, all},
+		kernel.SysShutdown:   {"shutdown", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysFutex:      {"futex", class{}, all},
+		kernel.SysMVEEAware:  {"mvee_aware", class{monitored: true, ordered: true, perVariant: true}, all},
+		kernel.SysPoll:       {"poll", class{monitored: true, replicated: true, blocking: true}, all},
+		kernel.SysFork:       {"fork", class{monitored: true, ordered: true, perVariant: true, sensitive: true}, 0},
+		kernel.SysWaitpid:    {"waitpid", class{monitored: true, replicated: true, blocking: true, sensitive: true}, all},
+		kernel.SysKill:       {"kill", class{monitored: true, ordered: true, perVariant: true, sensitive: true}, all},
+		kernel.SysSigaction:  {"sigaction", class{monitored: true, ordered: true, perVariant: true, sensitive: true}, all},
+		kernel.SysSigprocmask: {"sigprocmask",
+			class{monitored: true, ordered: true, perVariant: true, sensitive: true}, all},
+	}
+
+	n := 0
+	for s := kernel.SysOpen; s < kernel.SysnoMax; s++ {
+		n++
+		d, ok := want[s]
+		if !ok {
+			t.Errorf("Sysno %d (%v) has no entry in the guard table: a new syscall "+
+				"must record its name, classify case, and argMask decision here", uint32(s), s)
+			continue
+		}
+		if got := s.String(); got != d.name {
+			t.Errorf("%v: String() = %q, want %q (missing sysnoNames entry?)", s, got, d.name)
+		}
+		if strings.HasPrefix(s.String(), "sys#") {
+			t.Errorf("Sysno %d stringifies as %q — add it to sysnoNames", uint32(s), s)
+		}
+		if got := classify(s); got != d.cls {
+			t.Errorf("%v: classify = %+v, want %+v", s, got, d.cls)
+		}
+		if got := argMask(s); got != d.mask {
+			t.Errorf("%v: argMask = %#x, want %#x", s, got, d.mask)
+		}
+	}
+	if n != len(want) {
+		t.Errorf("guard table has %d entries for %d enum members — remove stale rows", len(want), n)
+	}
+	// Internal-consistency sweeps over the classification itself:
+	for s := kernel.SysOpen; s < kernel.SysnoMax; s++ {
+		cls := classify(s)
+		if cls.ordered && cls.blocking {
+			t.Errorf("%v is both ordered and blocking: a blocking call must not sit "+
+				"inside the ordering critical section (§4.1 Limitations)", s)
+		}
+		if cls.replicated && cls.perVariant {
+			t.Errorf("%v is both replicated and per-variant", s)
+		}
+		if (cls.ordered || cls.replicated || cls.perVariant || cls.blocking) && !cls.monitored {
+			t.Errorf("%v has routing flags but is not monitored: %+v", s, cls)
+		}
+	}
+	// A hypothetical appended syscall (SysnoMax itself) must stringify as
+	// sys#N and fall into the documented default class — the behaviour the
+	// guard exists to catch.
+	if got := kernel.SysnoMax.String(); !strings.HasPrefix(got, "sys#") {
+		t.Errorf("out-of-range Sysno stringified as %q", got)
+	}
+	if got := classify(kernel.SysnoMax); !(got.monitored && got.ordered && got.perVariant) {
+		t.Errorf("default classify changed: %+v", got)
+	}
+}

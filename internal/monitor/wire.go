@@ -16,7 +16,12 @@ import (
 // that exist:
 //
 //	u32 Nr | 6×u64 Args | u64 Ret.Val | u64 Ret.Val2 | u32 Ret.Err |
-//	u32 len(Ret.Data) | Ret.Data | u64 Ts | u8 flags | u32 plen | payload
+//	u32 Ret.Sig | u32 len(Ret.Data) | Ret.Data | u64 Ts | u8 flags |
+//	u32 plen | payload
+//
+// Ret.Sig entered the layout with trace.Version 3 (the signal delivered at
+// this record's syscall boundary; replaying it is what makes recorded
+// signal schedules deterministic offline).
 const (
 	wireFlagOrdered = 1 << 0
 	wireFlagExit    = 1 << 1
@@ -33,6 +38,7 @@ func (r Record) GobEncode() ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint64(buf, r.Ret.Val)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Ret.Val2)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Ret.Err))
+	buf = binary.LittleEndian.AppendUint32(buf, r.Ret.Sig)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Ret.Data)))
 	buf = append(buf, r.Ret.Data...)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Ts)
@@ -60,6 +66,7 @@ func (r *Record) GobDecode(buf []byte) error {
 	r.Ret.Val = d.u64()
 	r.Ret.Val2 = d.u64()
 	r.Ret.Err = kernel.Errno(d.u32())
+	r.Ret.Sig = d.u32()
 	if data := d.bytes(); len(data) > 0 {
 		r.Ret.Data = append([]byte(nil), data...)
 	}

@@ -19,7 +19,9 @@ import (
 // Format version; bump on incompatible changes to the encoded layout.
 // Version 2: monitor.Record stores its input payload inline/spilled
 // (PayloadLen/Inline/Spill) instead of a single Data slice.
-const Version = 2
+// Version 3: Record carries Ret.Sig — the signal delivered at the
+// record's syscall boundary — so recorded signal schedules replay.
+const Version = 3
 
 // Trace is one recorded execution.
 type Trace struct {

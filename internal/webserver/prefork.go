@@ -1,0 +1,128 @@
+package webserver
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// The prefork serving mode: the nginx/Apache master-worker process model
+// on top of the simulated kernel's fork/wait/kill subsystem (DESIGN.md
+// §2.5). The parent process binds the listener and forks cfg.Workers
+// child PROCESSES; every worker inherits the listening descriptor through
+// the forked (shared) descriptor table and runs a single-threaded
+// accept→serve loop. The parent then becomes a reaper: it blocks in
+// waitpid, and any worker that dies abnormally — a /quit request, a
+// self-inflicted SIGTERM via /killme, a crash — is immediately replaced by
+// a fresh fork, so worker death is a survivable, in-protocol event rather
+// than an outage.
+//
+// Under the MVEE every piece of this is deterministic: fork hands out the
+// same pids and tids in every variant (ordered call), the master's waitpid
+// results and signal-delivery points are replicated, and kill's (pid,
+// signo) arguments are compared — a variant signalling a different worker
+// is divergence, not noise.
+
+// Worker exit statuses. Status 0 (shutdownExit) means "the listener
+// closed, do not replace me"; anything else makes the parent re-fork.
+const (
+	shutdownExit = 0
+	quitExit     = 1
+)
+
+func runPreforkServer(t *core.Thread, cfg Config) {
+	page := strings.Repeat("x", cfg.PageSize)
+	response := []byte("HTTP/1.1 200 OK\r\n\r\n" + page)
+	// Computed BEFORE the forks: workers inherit the parent's (variant-
+	// local) handler address, exactly like a real prefork server's workers
+	// inherit the parent's code layout.
+	handlerPtr := t.CodeAddr(64)
+
+	sfd := t.Syscall(kernel.SysSocket, [6]uint64{}, nil).Val
+	t.Syscall(kernel.SysBind, [6]uint64{sfd, uint64(cfg.Port)}, nil)
+	if lr := t.Syscall(kernel.SysListen, [6]uint64{sfd, uint64(cfg.Port), 128}, nil); !lr.Ok() {
+		return
+	}
+
+	forkWorker := func() {
+		t.Fork(func(w *core.Thread) {
+			preforkWorker(w, cfg, sfd, response, handlerPtr)
+		})
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		forkWorker()
+	}
+
+	// The reap loop: one waitpid per dead worker. EINTR (a signal landed
+	// in the parent) just retries; ECHILD means every worker exited
+	// cleanly after the listener closed — the server is done.
+	for {
+		_, status, errno := t.Wait()
+		if errno == kernel.EINTR {
+			continue
+		}
+		if errno != kernel.OK {
+			break
+		}
+		if status != shutdownExit {
+			forkWorker()
+		}
+	}
+}
+
+// preforkWorker is one worker process's initial (and only) thread: accept
+// on the shared listener, serve the connection, repeat. EINTR from accept
+// or recv — a signal delivered while parked — retries after the handler
+// ran; a failed accept means the listener closed and the worker exits
+// cleanly (status 0, not replaced).
+func preforkWorker(w *core.Thread, cfg Config, sfd uint64, response []byte, handlerPtr uint64) {
+	// Per-process request counter: prefork's answer to the thread-pool
+	// mode's custom-lock-protected global — no sharing, no lock, and the
+	// /count responses are deterministic because connection→worker
+	// assignment is part of the replicated accept stream.
+	var served uint32
+	for {
+		acc := w.Syscall(kernel.SysAccept, [6]uint64{sfd}, nil)
+		if acc.Err == kernel.EINTR {
+			continue
+		}
+		if !acc.Ok() {
+			w.Exit(shutdownExit)
+		}
+		fd := acc.Val
+		var r kernel.Ret
+		for {
+			r = w.Syscall(kernel.SysRecv, [6]uint64{fd, 4096}, nil)
+			if r.Err != kernel.EINTR {
+				break
+			}
+		}
+		if !r.Ok() || r.Val == 0 {
+			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+			continue
+		}
+		line := string(r.Data)
+		served++
+		switch {
+		case strings.HasPrefix(line, "GET /quit"):
+			// Orderly worker suicide: the parent reaps status 1 and forks
+			// a replacement.
+			sendAll(w, fd, []byte("bye"))
+			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+			w.Exit(quitExit)
+		case strings.HasPrefix(line, "GET /killme"):
+			// Signal-path worker death: the worker SIGTERMs itself. The
+			// kill syscall's own boundary delivers the (unhandled,
+			// terminating) signal, so the process exits with 128+SIGTERM
+			// and the parent re-forks — the whole path runs through the
+			// replicated signal schedule.
+			sendAll(w, fd, []byte("bye"))
+			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+			w.Kill(w.Getpid(), kernel.SIGTERM)
+		default:
+			respond(w, cfg, fd, line, response, handlerPtr, served)
+			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+		}
+	}
+}

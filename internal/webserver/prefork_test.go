@@ -1,0 +1,244 @@
+package webserver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/kernel"
+)
+
+// The prefork mode must pass the same serving/divergence/leak suite the
+// thread-pool and evented modes do: the change is the concurrency model
+// (worker PROCESSES sharing the listener via forked descriptor tables,
+// reaped and re-forked by the parent's waitpid loop).
+
+func preforkCfg(port uint16) Config {
+	return Config{Port: port, PageSize: 4096, Prefork: true, Workers: 3, InstrumentCustomSync: true}
+}
+
+func TestPreforkServesStaticPageUnderMVEE(t *testing.T) {
+	cfg := preforkCfg(8200)
+	s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+	res := GenerateLoad(s.Kernel(), cfg.Port, 4, 25)
+	if res.Errors > 0 || res.Responses != res.Requests {
+		t.Fatalf("load: %+v", res)
+	}
+	if res.Bytes < res.Responses*4096 {
+		t.Fatalf("short responses: %d bytes over %d responses", res.Bytes, res.Responses)
+	}
+	final := shutdown()
+	if final.Divergence != nil {
+		t.Fatalf("prefork server diverged under benign load: %v", final.Divergence)
+	}
+}
+
+func TestPreforkCountEndpointIsConsistent(t *testing.T) {
+	// Worker-local counters: which worker serves which connection is part
+	// of the replicated accept stream, so /count responses are identical
+	// across variants with no locks at all.
+	cfg := preforkCfg(8201)
+	s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+	for round := 0; round < 25; round++ {
+		if _, err := CountProbe(s.Kernel(), cfg.Port); err != nil {
+			t.Fatalf("count probe %d: %v", round, err)
+		}
+	}
+	res := shutdown()
+	if res.Divergence != nil {
+		t.Fatalf("prefork /count diverged: %v", res.Divergence)
+	}
+}
+
+func TestPreforkAttackDetectedWithTwoVariants(t *testing.T) {
+	// The §5.5 security result holds in worker processes: the divergent
+	// send is caught before the leak escapes, and the fact that the
+	// vulnerable handler runs in a forked child changes nothing — the
+	// child's syscalls are monitored exactly like the root's.
+	for _, target := range []int{0, 1} {
+		cfg := preforkCfg(uint16(8202 + target))
+		cfg.Vulnerable = true
+		s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+		resp, err := Attack(s.Kernel(), cfg.Port, attackGadget(target, 77))
+		if err == nil && strings.Contains(resp, "PWNED") {
+			t.Fatalf("target=%d: leak escaped the MVEE: %q", target, resp)
+		}
+		res := shutdown()
+		if res.Divergence == nil {
+			t.Fatalf("target=%d: attack not detected", target)
+		}
+		if res.Divergence.Reason != "payload mismatch" {
+			t.Fatalf("target=%d: unexpected reason %q", target, res.Divergence.Reason)
+		}
+	}
+}
+
+func TestPreforkBenignTrafficWithVulnerableEndpointDoesNotDiverge(t *testing.T) {
+	cfg := preforkCfg(8210)
+	cfg.Vulnerable = true
+	s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+	res := GenerateLoad(s.Kernel(), cfg.Port, 4, 20)
+	if res.Errors > 0 {
+		t.Fatalf("benign load errored: %+v", res)
+	}
+	final := shutdown()
+	if final.Divergence != nil {
+		t.Fatalf("false positive: %v", final.Divergence)
+	}
+}
+
+// probe sends one request and returns the response body.
+func probe(k *kernel.Kernel, port uint16, req string) (string, error) {
+	cc, errno := k.Connect(port)
+	if errno != kernel.OK {
+		return "", errno
+	}
+	defer cc.Close()
+	if _, err := cc.Write([]byte(req)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 8192)
+	n, err := cc.Read(buf)
+	if err != nil {
+		return "", err
+	}
+	return string(buf[:n]), nil
+}
+
+func TestPreforkWorkerReapAndRefork(t *testing.T) {
+	// Worker death is survivable: /quit makes the serving worker exit
+	// (status 1), the parent's waitpid reaps it and forks a replacement,
+	// and the pool keeps serving — with zero divergence, because the
+	// whole reap/re-fork cycle is replicated kernel state.
+	cfg := preforkCfg(8211)
+	cfg.Workers = 2
+	s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+	for round := 0; round < 3; round++ {
+		if resp, err := probe(s.Kernel(), cfg.Port, "GET /quit"); err != nil || resp != "bye" {
+			t.Fatalf("round %d: /quit: %q %v", round, resp, err)
+		}
+		// The replacement (and the surviving sibling) keep serving.
+		for i := 0; i < 6; i++ {
+			resp, err := probe(s.Kernel(), cfg.Port, "GET /")
+			if err != nil || !strings.Contains(resp, "200 OK") {
+				t.Fatalf("round %d, request %d after refork: %q %v", round, i, resp, err)
+			}
+		}
+	}
+	res := shutdown()
+	if res.Divergence != nil {
+		t.Fatalf("reap/refork diverged: %v", res.Divergence)
+	}
+}
+
+func TestPreforkKilledWorkerIsReforked(t *testing.T) {
+	// The signal path of worker death: /killme SIGTERMs the serving
+	// worker; the unhandled terminating signal is delivered at the kill's
+	// own syscall boundary, the process exits 128+SIGTERM, the parent
+	// reaps and re-forks. Every variant replays the same delivery point.
+	cfg := preforkCfg(8212)
+	cfg.Workers = 2
+	s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+	for round := 0; round < 3; round++ {
+		if resp, err := probe(s.Kernel(), cfg.Port, "GET /killme"); err != nil || resp != "bye" {
+			t.Fatalf("round %d: /killme: %q %v", round, resp, err)
+		}
+		for i := 0; i < 6; i++ {
+			resp, err := probe(s.Kernel(), cfg.Port, "GET /")
+			if err != nil || !strings.Contains(resp, "200 OK") {
+				t.Fatalf("round %d, request %d after kill: %q %v", round, i, resp, err)
+			}
+		}
+	}
+	res := shutdown()
+	if res.Divergence != nil {
+		t.Fatalf("kill/refork diverged: %v", res.Divergence)
+	}
+}
+
+func TestPreforkLeavesNoZombies(t *testing.T) {
+	// Every dead worker must be reaped: after a few /quit cycles and the
+	// shutdown drain, no zombie processes may remain in any variant.
+	cfg := preforkCfg(8213)
+	cfg.Workers = 2
+	s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+	for round := 0; round < 4; round++ {
+		probe(s.Kernel(), cfg.Port, "GET /quit")
+		probe(s.Kernel(), cfg.Port, "GET /")
+	}
+	res := shutdown()
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	// Only the two root processes (one per variant) survive a clean run:
+	// every worker — including the /quit casualties and their
+	// replacements — was reaped in every variant's tree.
+	if n := s.Kernel().ProcCount(); n != 2 {
+		t.Fatalf("%d processes left after shutdown, want 2 roots", n)
+	}
+}
+
+func TestPreforkFleetServes(t *testing.T) {
+	// The fleet gateway drives the prefork mode like every other: warm
+	// spawn probes, watchdog closes, and divergence quarantine ride the
+	// same ClientConn surface, and a layout-targeted exploit burns one
+	// member which is hot-replaced.
+	cfg := Config{Port: 8214, PageSize: 512, Prefork: true, Workers: 2,
+		Vulnerable: true, InstrumentCustomSync: true}
+	f, err := fleet.New(FleetConfig(cfg, core.Options{
+		Variants: 2, Agent: agent.WallOfClocks, ASLR: true, DCL: true, Seed: 11, MaxThreads: 64,
+	}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 32; i++ {
+		resp, err := f.Do([]byte("GET /"))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !strings.Contains(string(resp), "200 OK") {
+			t.Fatalf("request %d: %q", i, resp)
+		}
+	}
+	f.Do([]byte(fmt.Sprintf("POST /upload %x", attackGadget(0, 11))))
+	for i := 0; i < 16; i++ {
+		if _, err := f.Do([]byte("GET /")); err != nil {
+			t.Fatalf("post-attack request %d: %v", i, err)
+		}
+	}
+	st := f.Stats()
+	if st.Divergences == 0 {
+		t.Fatal("exploit did not burn a session")
+	}
+	if st.Recycled == 0 {
+		t.Fatal("burned session was not hot-replaced")
+	}
+}
+
+func TestPreforkStress(t *testing.T) {
+	// CI race-job stress cell: heavy concurrent load over a small worker
+	// pool with mid-run worker churn.
+	cfg := preforkCfg(8215)
+	cfg.Workers = 3
+	s, shutdown := startServer(t, cfg, 2, agent.WallOfClocks)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			probe(s.Kernel(), cfg.Port, "GET /quit")
+		}
+	}()
+	res := GenerateLoad(s.Kernel(), cfg.Port, 8, 15)
+	<-done
+	if res.Errors > 0 {
+		t.Fatalf("stress load errored: %+v", res)
+	}
+	final := shutdown()
+	if final.Divergence != nil {
+		t.Fatalf("stress diverged: %v", final.Divergence)
+	}
+}

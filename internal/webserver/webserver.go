@@ -44,6 +44,16 @@ type Config struct {
 	// every variant's event loop takes the same branches — and a variant
 	// polling a different fd set is divergence.
 	Evented bool
+	// Prefork selects the multi-PROCESS serving mode (nginx/Apache
+	// prefork): the parent binds the listener, forks Workers child
+	// processes that inherit (and accept on) the shared listening
+	// descriptor, then sits in a waitpid loop reaping dead workers and
+	// re-forking replacements. Worker death — a /quit request, a kill —
+	// is an ordinary, survivable event; shutdown (listener closed) makes
+	// every worker exit cleanly and the parent drain to ECHILD.
+	Prefork bool
+	// Workers is the prefork worker-process count (nginx worker_processes).
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -55,6 +65,9 @@ func (c *Config) fill() {
 	}
 	if c.PageSize <= 0 {
 		c.PageSize = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
 	}
 }
 
@@ -79,15 +92,21 @@ func (l *uninstrumentedSpinLock) Unlock() { l.state <- struct{}{} }
 func Program(cfg Config) core.Program {
 	cfg.fill()
 	name := "nginx-sim"
-	if cfg.Evented {
+	switch {
+	case cfg.Evented:
 		name = "nginx-sim-evented"
+	case cfg.Prefork:
+		name = "nginx-sim-prefork"
 	}
 	return core.Program{Name: name, Main: func(t *core.Thread) {
-		if cfg.Evented {
+		switch {
+		case cfg.Evented:
 			runEventedServer(t, cfg)
-			return
+		case cfg.Prefork:
+			runPreforkServer(t, cfg)
+		default:
+			runServer(t, cfg)
 		}
-		runServer(t, cfg)
 	}}
 }
 
@@ -216,8 +235,25 @@ func handle(t *core.Thread, cfg Config, req request, response []byte, handlerPtr
 	t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
 }
 
+// sendAll writes the whole payload, resuming after EINTR and after the
+// POSIX short counts an interrupted pipe write can return — without the
+// loop, a signal landing while the send is parked on a full buffer would
+// silently truncate the response (the callers never inspect Ret.Val).
+func sendAll(t *core.Thread, fd uint64, p []byte) {
+	for len(p) > 0 {
+		r := t.Syscall(kernel.SysSend, [6]uint64{fd}, p)
+		if r.Err == kernel.EINTR {
+			continue
+		}
+		if !r.Ok() || r.Val == 0 {
+			return // broken connection; nothing more to send
+		}
+		p = p[r.Val:]
+	}
+}
+
 // respond dispatches one parsed request line and sends the response. It is
-// shared by the thread-pool and the evented serving modes.
+// shared by the thread-pool, evented, and prefork serving modes.
 func respond(t *core.Thread, cfg Config, fd uint64, line string, response []byte,
 	handlerPtr uint64, count uint32) {
 	switch {
@@ -247,9 +283,9 @@ func respond(t *core.Thread, cfg Config, fd uint64, line string, response []byte
 		// custom lock uninstrumented, counts drift across variants and
 		// this response diverges. (The evented mode has a single thread,
 		// so its count is deterministic by construction.)
-		t.Syscall(kernel.SysSend, [6]uint64{fd}, []byte(fmt.Sprintf("count=%d", count)))
+		sendAll(t, fd, []byte(fmt.Sprintf("count=%d", count)))
 	default:
-		t.Syscall(kernel.SysSend, [6]uint64{fd}, response)
+		sendAll(t, fd, response)
 	}
 }
 

@@ -75,6 +75,9 @@ type (
 	Thread = core.Thread
 	// ThreadHandle joins a spawned thread.
 	ThreadHandle = core.ThreadHandle
+	// ProcHandle is the parent-side handle of a forked child process
+	// (Thread.Fork): its deterministic pid, for Kill/Waitpid.
+	ProcHandle = core.ProcHandle
 	// SyncVar is an instrumented synchronization variable.
 	SyncVar = core.SyncVar
 	// Session is an MVEE run in progress.
