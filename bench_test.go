@@ -28,6 +28,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/monitor"
 	"repro/internal/ring"
+	"repro/internal/telemetry"
 	"repro/internal/variant"
 	"repro/internal/webserver"
 	"repro/internal/workload"
@@ -543,6 +544,8 @@ func BenchmarkPolicyComparison(b *testing.B) {
 //	relaxed  only security-sensitive calls lockstep; the rest run ahead
 //	payload-0    getpid (ordered, replicated, no payload)
 //	payload-64   pwrite of 64 bytes at offset 0 (sensitive, inline payload)
+//	telemetry=on/off  A-B for the PR-6 matrix + flight recorder: the `on`
+//	                  cells must match `off` within ~1 ns/op and stay 0 allocs
 func BenchmarkReplicationHotPath(b *testing.B) {
 	policies := []struct {
 		name   string
@@ -553,68 +556,115 @@ func BenchmarkReplicationHotPath(b *testing.B) {
 	}
 	for _, pc := range policies {
 		for _, payload := range []int{0, 64} {
-			pc, payload := pc, payload
-			b.Run(fmt.Sprintf("%s/payload-%d", pc.name, payload), func(b *testing.B) {
-				b.ReportAllocs()
-				k := kernel.New()
-				procs := []*kernel.Proc{
-					k.NewProc(0x1000_0000, 0x7000_0000),
-					k.NewProc(0x2000_0000, 0x7100_0000),
-				}
-				m := monitor.New(k, procs, monitor.Config{
-					MaxThreads: 2, RingCap: 1024, Policy: pc.policy,
-				})
-				data := make([]byte, payload)
-				for i := range data {
-					data[i] = byte(i)
-				}
-				// Setup (both variants, like real lockstepped threads):
-				// open the target file and pre-size it so the benchmarked
-				// pwrites never grow the inode.
-				setup := func(v int) uint64 {
-					fd := m.Invoke(v, 0, kernel.Call{
-						Nr:   kernel.SysOpen,
-						Args: [6]uint64{kernel.OCreat | kernel.ORdwr},
-						Data: []byte("/bench-hotpath"),
+			for _, tel := range []bool{false, true} {
+				pc, payload, tel := pc, payload, tel
+				b.Run(fmt.Sprintf("%s/payload-%d/telemetry=%s", pc.name, payload, onOff(tel)), func(b *testing.B) {
+					b.ReportAllocs()
+					k := kernel.New()
+					procs := []*kernel.Proc{
+						k.NewProc(0x1000_0000, 0x7000_0000),
+						k.NewProc(0x2000_0000, 0x7100_0000),
+					}
+					m := monitor.New(k, procs, monitor.Config{
+						MaxThreads: 2, RingCap: 1024, Policy: pc.policy, Telemetry: tel,
 					})
-					m.Invoke(v, 0, kernel.Call{
-						Nr: kernel.SysPwrite, Args: [6]uint64{fd.Val, 0},
-						Data: make([]byte, 64),
-					})
-					return fd.Val
-				}
-				loop := func(v int, fd uint64) {
-					for i := 0; i < b.N; i++ {
-						if payload == 0 {
-							m.Invoke(v, 0, kernel.Call{Nr: kernel.SysGetpid})
-						} else {
-							m.Invoke(v, 0, kernel.Call{
-								Nr: kernel.SysPwrite, Args: [6]uint64{fd, 0}, Data: data,
-							})
+					data := make([]byte, payload)
+					for i := range data {
+						data[i] = byte(i)
+					}
+					// Setup (both variants, like real lockstepped threads):
+					// open the target file and pre-size it so the benchmarked
+					// pwrites never grow the inode.
+					setup := func(v int) uint64 {
+						fd := m.Invoke(v, 0, kernel.Call{
+							Nr:   kernel.SysOpen,
+							Args: [6]uint64{kernel.OCreat | kernel.ORdwr},
+							Data: []byte("/bench-hotpath"),
+						})
+						m.Invoke(v, 0, kernel.Call{
+							Nr: kernel.SysPwrite, Args: [6]uint64{fd.Val, 0},
+							Data: make([]byte, 64),
+						})
+						return fd.Val
+					}
+					loop := func(v int, fd uint64) {
+						for i := 0; i < b.N; i++ {
+							if payload == 0 {
+								m.Invoke(v, 0, kernel.Call{Nr: kernel.SysGetpid})
+							} else {
+								m.Invoke(v, 0, kernel.Call{
+									Nr: kernel.SysPwrite, Args: [6]uint64{fd, 0}, Data: data,
+								})
+							}
 						}
 					}
-				}
-				var slaveFd uint64
-				ready := make(chan struct{})
-				done := make(chan struct{})
-				go func() {
-					defer close(done)
-					slaveFd = setup(1)
-					close(ready)
-					loop(1, slaveFd)
-				}()
-				masterFd := setup(0)
-				<-ready
-				b.ResetTimer()
-				loop(0, masterFd)
-				<-done
-				b.StopTimer()
-				if d := m.Divergence(); d != nil {
-					b.Fatalf("diverged: %v", d)
-				}
-			})
+					var slaveFd uint64
+					ready := make(chan struct{})
+					done := make(chan struct{})
+					go func() {
+						defer close(done)
+						slaveFd = setup(1)
+						close(ready)
+						loop(1, slaveFd)
+					}()
+					masterFd := setup(0)
+					<-ready
+					b.ResetTimer()
+					loop(0, masterFd)
+					<-done
+					b.StopTimer()
+					if d := m.Divergence(); d != nil {
+						b.Fatalf("diverged: %v", d)
+					}
+				})
+			}
 		}
 	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// BenchmarkTelemetryMatrix prices the bare telemetry primitives the
+// monitor adds to every replicated call, without the monitor around them:
+// the per-call atomic count (Inc into a thread-sharded bank), the same
+// with the 1-in-64 latency sample amortized in, and a flight-recorder
+// append. All must be allocation-free; Inc alone is the ~1 ns/op figure
+// quoted in DESIGN.md.
+func BenchmarkTelemetryMatrix(b *testing.B) {
+	b.Run("inc", func(b *testing.B) {
+		b.ReportAllocs()
+		m := telemetry.NewMatrix(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Inc(0, 0, kernel.SysGetpid)
+		}
+	})
+	b.Run("inc-sampled", func(b *testing.B) {
+		b.ReportAllocs()
+		m := telemetry.NewMatrix(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := m.Inc(0, 0, kernel.SysGetpid)
+			if telemetry.SampleDue(c) {
+				t0 := time.Now()
+				m.Observe(0, kernel.SysGetpid, time.Since(t0))
+			}
+		}
+	})
+	b.Run("flight-append", func(b *testing.B) {
+		b.ReportAllocs()
+		f := telemetry.NewFlight(telemetry.FlightCap)
+		args := [6]uint64{1, 2, 3}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Append(kernel.SysGetpid, 0, telemetry.Digest(&args, nil), uint64(i), 0)
+		}
+	})
 }
 
 // BenchmarkLaggingSlaveWait measures what a far-behind waiter costs —

@@ -14,6 +14,8 @@
 //	mvee-serve -pool 8 -dispatch least -policy sensitive
 //	mvee-serve -pool 4 -evented -attacks 1           # event-driven (poll) serving mode
 //	mvee-serve -pool 2 -prefork -worker-procs 4      # multi-process (fork) serving mode
+//	mvee-serve -pool 4 -admin 127.0.0.1:9090         # live /metrics, /statusz, pprof
+//	mvee-serve -admin :9090 -linger 60s              # stay up after the load for scraping
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -51,6 +54,8 @@ func main() {
 	attacks := flag.Int("attacks", 0, "exploit payloads injected mid-run (forces -vulnerable)")
 	noInstrument := flag.Bool("no-instrument", false, "leave the custom spinlock uninstrumented (§5.5 benign-divergence churn)")
 	forensics := flag.Bool("forensics", false, "record sessions so quarantines carry a replayable trace")
+	adminAddr := flag.String("admin", "", "serve the admin plane (/metrics, /statusz, /api/snapshot, /debug/pprof) on this host:port")
+	linger := flag.Duration("linger", 0, "keep the fleet (and admin plane) up this long after the load completes")
 	flag.Parse()
 
 	if *pool < 1 {
@@ -98,6 +103,17 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *adminAddr != "" {
+		srv := admin.New(f)
+		bound, err := srv.Start(*adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("admin plane on http://%s (/metrics /statusz /api/snapshot /debug/pprof)\n", bound)
+	}
 
 	// The load: conns clients, each issuing `requests` gateway requests.
 	// Every 8th request probes /count, the endpoint that exposes the
@@ -165,6 +181,11 @@ func main() {
 			state = "down"
 		}
 		fmt.Printf("slot %d: gen %d seed %-12d %-7s served %d\n", m.Slot, m.Gen, m.Seed, state, m.Served)
+	}
+
+	if *linger > 0 {
+		fmt.Printf("\nlingering %v for admin scrapes...\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/ring"
 	"repro/internal/shm"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/variant"
 )
@@ -51,6 +52,10 @@ type Options struct {
 	RingCap    int
 	// WallSize is the wall-of-clocks size (power of two).
 	WallSize int
+	// Telemetry enables the monitor's syscall matrix and per-variant
+	// flight recorders (internal/telemetry). Off by default: the matrix
+	// adds one atomic add per call and ~6 per replicated record.
+	Telemetry bool
 	// Kernel optionally supplies a pre-populated kernel (input files,
 	// listening clients). If nil a fresh kernel is created.
 	Kernel *kernel.Kernel
@@ -111,6 +116,10 @@ type Result struct {
 	Variants int
 	// Trace is the recorded execution when Options.Record was set.
 	Trace *trace.Trace
+	// Flight is each variant's flight-recorder tail (oldest first) when
+	// Options.Telemetry was set — frozen at kill time if the session was
+	// killed, the final live view otherwise.
+	Flight [][]telemetry.FlightRecord
 }
 
 // Session is one MVEE run in progress.
@@ -196,6 +205,7 @@ func NewSession(opts Options, prog Program) *Session {
 		RingCap:    opts.RingCap,
 		Policy:     opts.Policy,
 		Capture:    opts.Record,
+		Telemetry:  opts.Telemetry,
 	}
 	if opts.Replay != nil {
 		mcfg.Replay = opts.Replay.Syscalls
@@ -283,6 +293,10 @@ func (s *Session) Kernel() *kernel.Kernel { return s.kern }
 // Monitor exposes the monitor (for policy inspection in tests).
 func (s *Session) Monitor() *monitor.Monitor { return s.mon }
 
+// Telemetry exposes the session's telemetry recorder (nil unless
+// Options.Telemetry was set).
+func (s *Session) Telemetry() *telemetry.Recorder { return s.mon.Telemetry() }
+
 // IPC exposes the session's shared-memory namespace, where the agent
 // exchange publishes its sync buffers (§4.5).
 func (s *Session) IPC() *shm.Registry { return s.ipc }
@@ -320,6 +334,7 @@ func (s *Session) collect() {
 		Syscalls:   s.mon.Syscalls(0),
 		SyncOps:    s.vars[0].agent.Ops(),
 		Variants:   s.opts.Variants,
+		Flight:     s.mon.FlightTail(),
 	}
 	for _, vs := range s.vars[1:] {
 		res.Stalls += vs.agent.Stalls()

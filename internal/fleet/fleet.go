@@ -148,6 +148,11 @@ func (c *Config) fill() error {
 	// Forensics implies recording; a caller-set Session.Record is
 	// honored either way (the trace then lands in Quarantine.Trace).
 	c.Session.Record = c.Session.Record || c.Forensics
+	// The fleet always runs its sessions with telemetry: the syscall
+	// matrix and flight recorders are what the admin plane and the
+	// quarantine forensics are built on, and the per-call cost is one
+	// uncontended atomic add (see the bench A/B cells).
+	c.Session.Telemetry = true
 	return nil
 }
 

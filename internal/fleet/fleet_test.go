@@ -156,6 +156,17 @@ func TestFleetQuarantinesInjectedDivergence(t *testing.T) {
 	if q.Gen != 0 || q.Seed != testSeed {
 		t.Fatalf("unexpected quarantined session identity: %+v", q)
 	}
+	// The flight-recorder tail rode along: the monitor froze each
+	// variant's last replicated records at kill time, and they must show
+	// the serving activity that led up to the divergent send.
+	if len(q.Flight) != 2 {
+		t.Fatalf("quarantine flight tails for %d variants, want 2", len(q.Flight))
+	}
+	for v, tail := range q.Flight {
+		if len(tail) == 0 {
+			t.Fatalf("variant %d quarantine flight tail is empty", v)
+		}
+	}
 
 	// No in-flight request on the other three sessions may have failed:
 	// any benign failure must implicate the quarantined session.

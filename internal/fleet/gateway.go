@@ -235,7 +235,9 @@ func (f *Fleet) tryMember(m *member, req, scratch []byte) ([]byte, error, bool) 
 }
 
 // StatsTable renders the fleet stats as an aligned table (for
-// cmd/mvee-serve).
+// cmd/mvee-serve and /statusz). Every Stats field appears: the counters,
+// the uptime, and the latency histogram's sample count, mean, quantiles,
+// and max.
 func StatsTable(s Stats) string {
 	t := &stats.Table{Header: []string{"metric", "value"}}
 	t.Add("served", fmt.Sprintf("%d", s.Served))
@@ -245,7 +247,10 @@ func StatsTable(s Stats) string {
 	t.Add("crashes quarantined", fmt.Sprintf("%d", s.Crashes))
 	t.Add("sessions recycled", fmt.Sprintf("%d", s.Recycled))
 	t.Add("healthy members", fmt.Sprintf("%d", s.Healthy))
+	t.Add("uptime", s.Uptime.Round(time.Millisecond).String())
 	t.Add("throughput", fmt.Sprintf("%.0f req/s", s.Throughput()))
+	t.Add("latency samples", fmt.Sprintf("%d", s.Latency.Count()))
+	t.Add("latency mean", time.Duration(s.Latency.MeanValue()).String())
 	t.Add("latency p50", time.Duration(s.Latency.Quantile(0.50)).String())
 	t.Add("latency p90", time.Duration(s.Latency.Quantile(0.90)).String())
 	t.Add("latency p99", time.Duration(s.Latency.Quantile(0.99)).String())

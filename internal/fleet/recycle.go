@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -33,7 +34,11 @@ type Quarantine struct {
 	// Trace is the recorded execution (nil unless Config.Forensics):
 	// replaying it deterministically reproduces the run that diverged.
 	Trace *trace.Trace
-	When  time.Time
+	// Flight is each variant's flight-recorder tail, frozen by the monitor
+	// at kill time: the last replicated records leading up to the death,
+	// oldest first (see internal/telemetry).
+	Flight [][]telemetry.FlightRecord
+	When   time.Time
 }
 
 // quarantine captures the diverged member's forensic record.
@@ -47,6 +52,7 @@ func (f *Fleet) quarantine(m *member, res *core.Result) {
 		Syscalls:   res.Syscalls,
 		SyncOps:    res.SyncOps,
 		Trace:      res.Trace,
+		Flight:     res.Flight,
 		When:       time.Now(),
 	}
 	if res.Divergence != nil {

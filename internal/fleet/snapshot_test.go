@@ -1,0 +1,65 @@
+package fleet_test
+
+import (
+	"testing"
+
+	"repro/internal/webserver"
+)
+
+// TestFleetSnapshot drives a small pool and checks the admin-plane view:
+// per-member process tables and syscall totals, the merged syscall matrix
+// (telemetry is always on inside a fleet), and live flight tails.
+func TestFleetSnapshot(t *testing.T) {
+	cfg := webserver.Config{Port: 8080, PoolThreads: 2, InstrumentCustomSync: true}
+	f := newTestFleet(t, cfg, 2, nil)
+	for r := 0; r < 20; r++ {
+		if _, err := f.Do([]byte("GET /")); err != nil {
+			t.Fatalf("request %d: %v", r, err)
+		}
+	}
+	s := f.Snapshot()
+	if len(s.Members) != 2 {
+		t.Fatalf("snapshot has %d members, want 2", len(s.Members))
+	}
+	var served uint64
+	for _, m := range s.Members {
+		served += m.Served
+		if m.Syscalls == 0 {
+			t.Errorf("slot %d reports zero syscalls after serving", m.Slot)
+		}
+		if len(m.Procs) == 0 {
+			t.Errorf("slot %d has an empty process table", m.Slot)
+		}
+		for _, p := range m.Procs {
+			if p.State != "running" && p.State != "zombie" && p.State != "reaped" {
+				t.Errorf("slot %d proc %d in unknown state %q", m.Slot, p.Pid, p.State)
+			}
+		}
+		if len(m.Flight) == 0 {
+			t.Errorf("slot %d has no flight tails (telemetry must be on in a fleet)", m.Slot)
+		}
+		for v, tail := range m.Flight {
+			if len(tail) == 0 {
+				t.Errorf("slot %d variant %d flight tail is empty", m.Slot, v)
+			}
+		}
+	}
+	if served != 20 || s.Stats.Served != 20 {
+		t.Fatalf("member served sum %d / stats served %d, want 20/20", served, s.Stats.Served)
+	}
+	if s.Telemetry == nil {
+		t.Fatal("snapshot lacks the merged telemetry matrix")
+	}
+	// The merged matrix totals the members' master counts; both must agree
+	// with the per-member syscall counters the monitor keeps.
+	var monTotal uint64
+	for _, m := range s.Members {
+		monTotal += m.Syscalls
+	}
+	if got := s.Telemetry.Total(0); got != monTotal {
+		t.Fatalf("merged matrix master total = %d, monitor counters say %d", got, monTotal)
+	}
+	if s.Taken.IsZero() {
+		t.Fatal("snapshot missing timestamp")
+	}
+}

@@ -1,0 +1,62 @@
+package fleet_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/stats"
+)
+
+// TestStatsTableGolden pins the rendered stats table to a fixed Stats
+// value: every field of fleet.Stats must appear, so adding a field without
+// teaching StatsTable about it fails here.
+func TestStatsTableGolden(t *testing.T) {
+	var lat stats.Histogram
+	lat.Observe(uint64(100 * time.Microsecond))
+	lat.Observe(uint64(100 * time.Microsecond))
+	lat.Observe(uint64(200 * time.Microsecond))
+	lat.Observe(uint64(400 * time.Microsecond))
+	s := fleet.Stats{
+		Served:      1000,
+		Errors:      3,
+		Rejected:    7,
+		Divergences: 2,
+		Crashes:     1,
+		Recycled:    3,
+		Healthy:     4,
+		Uptime:      2 * time.Second,
+		Latency:     lat,
+	}
+	const want = "metric                   value     \n" +
+		"-----------------------  ----------\n" +
+		"served                   1000      \n" +
+		"errors                   3         \n" +
+		"rejected (backpressure)  7         \n" +
+		"divergences quarantined  2         \n" +
+		"crashes quarantined      1         \n" +
+		"sessions recycled        3         \n" +
+		"healthy members          4         \n" +
+		"uptime                   2s        \n" +
+		"throughput               500 req/s \n" +
+		"latency samples          4         \n" +
+		"latency mean             200µs     \n" +
+		"latency p50              100µs     \n" +
+		"latency p90              393.216µs \n" +
+		"latency p99              393.216µs \n" +
+		"latency max              400µs     \n"
+	got := fleet.StatsTable(s)
+	if got != want {
+		t.Errorf("StatsTable mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Belt and braces independent of exact quantile arithmetic: every
+	// metric label renders.
+	for _, label := range []string{"served", "errors", "rejected", "divergences", "crashes",
+		"recycled", "healthy", "uptime", "throughput",
+		"latency samples", "latency mean", "latency p50", "latency p90", "latency p99", "latency max"} {
+		if !strings.Contains(got, label) {
+			t.Errorf("StatsTable lacks %q", label)
+		}
+	}
+}

@@ -73,6 +73,7 @@ func (p *Parker) Cancel() {
 // possible (any Wake releases every parked waiter); callers re-check their
 // condition in a loop.
 func (p *Parker) Park(g uint64) {
+	parkEvents.Add(1)
 	p.mu.Lock()
 	if p.cond.L == nil {
 		p.cond.L = &p.mu
@@ -91,6 +92,7 @@ func (p *Parker) Wake() {
 	if p.waiters.Load() == 0 {
 		return
 	}
+	wakeEvents.Add(1)
 	p.mu.Lock()
 	p.gen++
 	if p.cond.L == nil {

@@ -1,0 +1,58 @@
+package kernel
+
+import "sort"
+
+// ProcInfo is one process's admin-plane view: identity, tree position,
+// lifecycle state, and descriptor pressure. Values are copies; the snapshot
+// stays valid after the process exits.
+type ProcInfo struct {
+	// Pid is the kernel-internal id (globally unique across variants).
+	Pid int `json:"pid"`
+	// Vpid is the guest-visible pid (deterministic across variants).
+	Vpid int `json:"vpid"`
+	// Parent is the guest-visible parent pid, 0 for a variant's root.
+	Parent int `json:"parent,omitempty"`
+	// State is "running", "zombie", or "reaped".
+	State string `json:"state"`
+	// OpenFDs counts live descriptors.
+	OpenFDs int `json:"open_fds"`
+}
+
+func procStateName(s int) string {
+	switch s {
+	case procRunning:
+		return "running"
+	case procZombie:
+		return "zombie"
+	case procReaped:
+		return "reaped"
+	}
+	return "unknown"
+}
+
+// Snapshot returns every tracked process's ProcInfo, ordered by kernel pid.
+// Consistency matches the lock structure: the proc list is copied under
+// procMu, tree state is read under treeMu, descriptor counts under each
+// proc's own lock — three separate acquisitions (the documented lock order
+// forbids nesting them), so a snapshot racing a fork may see the child
+// without its tree link for one read. Monitoring tolerates that.
+func (k *Kernel) Snapshot() []ProcInfo {
+	k.procMu.Lock()
+	procs := make([]*Proc, 0, len(k.procs))
+	for _, p := range k.procs {
+		procs = append(procs, p)
+	}
+	k.procMu.Unlock()
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Pid < procs[j].Pid })
+
+	out := make([]ProcInfo, len(procs))
+	k.treeMu.Lock()
+	for i, p := range procs {
+		out[i] = ProcInfo{Pid: p.Pid, Vpid: p.vpid, Parent: p.Parent(), State: procStateName(p.state)}
+	}
+	k.treeMu.Unlock()
+	for i, p := range procs {
+		out[i].OpenFDs = p.OpenFDs()
+	}
+	return out
+}

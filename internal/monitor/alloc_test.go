@@ -15,10 +15,12 @@ import (
 // slave goroutine runs the same calls concurrently.
 //
 // The matrix matches BenchmarkReplicationHotPath: both policies, payload-
-// free (getpid) and inline-payload (64-byte pwrite) calls. Parking keeps
-// this invariant because futex.Parker parks on sync.Cond, which recycles
-// its queue nodes — even under AllocsPerRun's GOMAXPROCS=1, where every
-// rendezvous escalates through yields and may park.
+// free (getpid) and inline-payload (64-byte pwrite) calls, telemetry off
+// and on — the observability plane (counter matrix, sampled latency,
+// flight-recorder appends) must not cost a single allocation. Parking
+// keeps this invariant because futex.Parker parks on sync.Cond, which
+// recycles its queue nodes — even under AllocsPerRun's GOMAXPROCS=1,
+// where every rendezvous escalates through yields and may park.
 func TestReplicationHotPathZeroAllocs(t *testing.T) {
 	policies := []struct {
 		name   string
@@ -29,62 +31,64 @@ func TestReplicationHotPathZeroAllocs(t *testing.T) {
 	}
 	for _, pc := range policies {
 		for _, payload := range []int{0, InlinePayload} {
-			pc, payload := pc, payload
-			t.Run(fmt.Sprintf("%s/payload-%d", pc.name, payload), func(t *testing.T) {
-				k := kernel.New()
-				procs := []*kernel.Proc{
-					k.NewProc(0x1000_0000, 0x7000_0000),
-					k.NewProc(0x2000_0000, 0x7100_0000),
-				}
-				m := New(k, procs, Config{MaxThreads: 2, RingCap: 256, Policy: pc.policy})
-				data := make([]byte, payload)
-				for i := range data {
-					data[i] = byte(i)
-				}
-				one := func(v int, fd uint64) {
-					if payload == 0 {
-						m.Invoke(v, 0, kernel.Call{Nr: kernel.SysGetpid})
-					} else {
+			for _, tel := range []bool{false, true} {
+				pc, payload, tel := pc, payload, tel
+				t.Run(fmt.Sprintf("%s/payload-%d/telemetry=%v", pc.name, payload, tel), func(t *testing.T) {
+					k := kernel.New()
+					procs := []*kernel.Proc{
+						k.NewProc(0x1000_0000, 0x7000_0000),
+						k.NewProc(0x2000_0000, 0x7100_0000),
+					}
+					m := New(k, procs, Config{MaxThreads: 2, RingCap: 256, Policy: pc.policy, Telemetry: tel})
+					data := make([]byte, payload)
+					for i := range data {
+						data[i] = byte(i)
+					}
+					one := func(v int, fd uint64) {
+						if payload == 0 {
+							m.Invoke(v, 0, kernel.Call{Nr: kernel.SysGetpid})
+						} else {
+							m.Invoke(v, 0, kernel.Call{
+								Nr: kernel.SysPwrite, Args: [6]uint64{fd, 0}, Data: data,
+							})
+						}
+					}
+					setup := func(v int) uint64 {
+						fd := m.Invoke(v, 0, openCall("/alloc-test", kernel.OCreat|kernel.ORdwr))
+						// Pre-size so the measured pwrites never grow the inode.
 						m.Invoke(v, 0, kernel.Call{
-							Nr: kernel.SysPwrite, Args: [6]uint64{fd, 0}, Data: data,
+							Nr: kernel.SysPwrite, Args: [6]uint64{fd.Val, 0},
+							Data: make([]byte, InlinePayload),
 						})
+						return fd.Val
 					}
-				}
-				setup := func(v int) uint64 {
-					fd := m.Invoke(v, 0, openCall("/alloc-test", kernel.OCreat|kernel.ORdwr))
-					// Pre-size so the measured pwrites never grow the inode.
-					m.Invoke(v, 0, kernel.Call{
-						Nr: kernel.SysPwrite, Args: [6]uint64{fd.Val, 0},
-						Data: make([]byte, InlinePayload),
-					})
-					return fd.Val
-				}
-				const warmup, runs = 64, 200
-				// AllocsPerRun invokes f runs+1 times (one untimed warmup
-				// call); the slave mirrors the exact total or the last
-				// rendezvous would hang.
-				total := warmup + runs + 1
-				done := make(chan struct{})
-				go func() {
-					defer close(done)
-					fd := setup(1)
-					for i := 0; i < total; i++ {
-						one(1, fd)
+					const warmup, runs = 64, 200
+					// AllocsPerRun invokes f runs+1 times (one untimed warmup
+					// call); the slave mirrors the exact total or the last
+					// rendezvous would hang.
+					total := warmup + runs + 1
+					done := make(chan struct{})
+					go func() {
+						defer close(done)
+						fd := setup(1)
+						for i := 0; i < total; i++ {
+							one(1, fd)
+						}
+					}()
+					fd := setup(0)
+					for i := 0; i < warmup; i++ {
+						one(0, fd)
 					}
-				}()
-				fd := setup(0)
-				for i := 0; i < warmup; i++ {
-					one(0, fd)
-				}
-				allocs := testing.AllocsPerRun(runs, func() { one(0, fd) })
-				<-done
-				if d := m.Divergence(); d != nil {
-					t.Fatalf("diverged: %v", d)
-				}
-				if allocs != 0 {
-					t.Fatalf("replication hot path allocates %.2f/op, want 0", allocs)
-				}
-			})
+					allocs := testing.AllocsPerRun(runs, func() { one(0, fd) })
+					<-done
+					if d := m.Divergence(); d != nil {
+						t.Fatalf("diverged: %v", d)
+					}
+					if allocs != 0 {
+						t.Fatalf("replication hot path allocates %.2f/op, want 0", allocs)
+					}
+				})
+			}
 		}
 	}
 }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/futex"
 	"repro/internal/kernel"
 	"repro/internal/ring"
+	"repro/internal/telemetry"
 )
 
 // ErrKilled is panicked out of monitor calls once the session has been
@@ -127,6 +129,13 @@ type Config struct {
 	// Replay pre-fills the syscall buffers from a recorded trace; the
 	// single variant then consumes them like an online slave.
 	Replay [][]Record
+	// Telemetry arms the observability plane: the per-syscall/per-variant
+	// counter+latency matrix and the per-variant flight recorders (see
+	// internal/telemetry). The hot-path cost is one atomic add plus the
+	// flight ring's atomic stores per monitored call — and zero
+	// allocations, which TestReplicationHotPathZeroAllocs asserts with
+	// this flag on.
+	Telemetry bool
 }
 
 func (c *Config) fill() {
@@ -280,6 +289,15 @@ type Monitor struct {
 
 	syscalls []counter // per variant: monitored syscall count
 	unmon    []counter // per variant: unmonitored syscall count
+
+	// tel is the observability plane (nil unless Config.Telemetry): the
+	// syscall matrix fed from InvokeOn and the per-variant flight
+	// recorders fed from the master/slave call paths. flightTail is the
+	// tail captured at kill time (killMu), so quarantine forensics see
+	// the records that led INTO the divergence, not the unwind noise
+	// after it.
+	tel        *telemetry.Recorder
+	flightTail [][]telemetry.FlightRecord
 }
 
 // New creates a monitor for nvariants over kern. procs[v] is variant v's
@@ -307,6 +325,11 @@ func New(kern *kernel.Kernel, procs []*kernel.Proc, cfg Config) *Monitor {
 		m.clocks[v] = &clock.Lamport{}
 	}
 	m.clockParks = make([]futex.Parker, len(m.clocks))
+	if cfg.Telemetry {
+		// Sized by len(m.clocks), not cfg.Variants: replay runs a single
+		// variant through the slave path under variant index 1.
+		m.tel = telemetry.New(len(m.clocks))
+	}
 	slaves := len(procs) - 1
 	groups := slaves
 	if cfg.Capture {
@@ -441,6 +464,16 @@ func (m *Monitor) Kill(d *Divergence) {
 		m.diverged.CompareAndSwap(nil, d)
 	}
 	if m.killed.CompareAndSwap(false, true) {
+		if m.tel != nil {
+			// Freeze the flight tails NOW, before the variants unwind:
+			// the forensic value is the records that led into the kill,
+			// and threads racing their teardown would otherwise keep
+			// overwriting the tail.
+			tail := m.tel.SnapshotFlights()
+			m.killMu.Lock()
+			m.flightTail = tail
+			m.killMu.Unlock()
+		}
 		m.killMu.Lock()
 		hooks := m.onKill
 		m.killMu.Unlock()
@@ -483,6 +516,26 @@ func (m *Monitor) Divergence() *Divergence { return m.diverged.Load() }
 
 // Syscalls returns variant v's monitored syscall count.
 func (m *Monitor) Syscalls(v int) uint64 { return m.syscalls[v].n.Load() }
+
+// Telemetry returns the session's observability recorder, or nil when
+// Config.Telemetry was off.
+func (m *Monitor) Telemetry() *telemetry.Recorder { return m.tel }
+
+// FlightTail returns the per-variant flight-recorder tails: the snapshot
+// frozen at kill time if the session was killed, or a live snapshot
+// otherwise. Nil without telemetry.
+func (m *Monitor) FlightTail() [][]telemetry.FlightRecord {
+	m.killMu.Lock()
+	tail := m.flightTail
+	m.killMu.Unlock()
+	if tail != nil {
+		return tail
+	}
+	if m.tel == nil {
+		return nil
+	}
+	return m.tel.SnapshotFlights()
+}
 
 // StopCapture ends the record capture (if any) and returns the per-thread
 // record streams. Call only after the session has finished.
@@ -530,6 +583,25 @@ func (m *Monitor) InvokeOn(v, tid int, proc *kernel.Proc, call kernel.Call) kern
 		return m.kern.Do(proc, call)
 	}
 	m.syscalls[v].n.Add(1)
+	if tel := m.tel; tel != nil {
+		// Telemetry hot path: one atomic add; every SampleEvery-th call
+		// of a cell additionally brackets the dispatch with two clock
+		// reads and one histogram observation. Master samples therefore
+		// measure execute+publish, slave samples measure the replay wait
+		// — both ends of the replication path, at sampling cost.
+		if c := tel.Matrix.Inc(v, tid, call.Nr); telemetry.SampleDue(c) {
+			t0 := time.Now()
+			ret := m.dispatch(v, tid, proc, call, cls)
+			tel.Matrix.Observe(v, call.Nr, time.Since(t0))
+			return ret
+		}
+	}
+	return m.dispatch(v, tid, proc, call, cls)
+}
+
+// dispatch routes a monitored call to the master execute or slave replay
+// path.
+func (m *Monitor) dispatch(v, tid int, proc *kernel.Proc, call kernel.Call, cls class) kernel.Ret {
 	if m.replay && v == 0 {
 		// The replayed variant consumes the trace like an online slave.
 		return m.slaveCall(1, tid, proc, call, cls)
@@ -538,6 +610,16 @@ func (m *Monitor) InvokeOn(v, tid int, proc *kernel.Proc, call kernel.Call) kern
 		return m.masterCall(tid, proc, call, cls)
 	}
 	return m.slaveCall(v, tid, proc, call, cls)
+}
+
+// flightAppend records one replicated call of variant v into its flight
+// ring: sysno, a digest of the compared args+payload, the ordering ticket,
+// and the delivered signal. Allocation-free (see telemetry.Flight).
+func (m *Monitor) flightAppend(v, tid int, rec *Record, payload []byte) {
+	if m.tel == nil {
+		return
+	}
+	m.tel.Flights[v].Append(rec.Nr, tid, telemetry.Digest(&rec.Args, payload), rec.Ts, rec.Ret.Sig)
 }
 
 // ThreadExit publishes (master) or validates (slave) a thread-exit marker,
@@ -727,6 +809,7 @@ func (m *Monitor) masterCall(tid int, proc *kernel.Proc, call kernel.Call, cls c
 		if m.publish {
 			m.publishRecord(tid, &rec, call.Data)
 		}
+		m.flightAppend(0, tid, &rec, call.Data)
 		return rec.Ret
 	}
 	// Blocking call: may not be wrapped in the ordering critical section
@@ -737,6 +820,7 @@ func (m *Monitor) masterCall(tid int, proc *kernel.Proc, call kernel.Call, cls c
 	if m.publish {
 		m.publishRecord(tid, &rec, call.Data)
 	}
+	m.flightAppend(0, tid, &rec, call.Data)
 	return rec.Ret
 }
 
@@ -819,6 +903,10 @@ func (m *Monitor) slaveCall(v, tid int, proc *kernel.Proc, call kernel.Call, cls
 	if call.Nr == kernel.SysWaitpid && rec.Ret.Err == kernel.OK {
 		m.kern.ApplySlaveWait(proc, int(rec.Ret.Val))
 	}
+	// The slave's own call compared equal to the record, so digesting the
+	// slave's args+payload yields the master's digest: matching tails
+	// digest identically across variants right up to the divergence point.
+	m.flightAppend(v, tid, rec, call.Data)
 	m.advance(v, tid)
 	return ret
 }

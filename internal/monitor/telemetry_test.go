@@ -1,0 +1,137 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func newTelemetryMonitor(t *testing.T, variants int) (*Monitor, *kernel.Kernel) {
+	t.Helper()
+	k := kernel.New()
+	procs := make([]*kernel.Proc, variants)
+	for v := range procs {
+		procs[v] = k.NewProc(uint64(0x1000_0000*(v+1)), uint64(0x7000_0000*(uint64(v)+1)))
+	}
+	return New(k, procs, Config{MaxThreads: 8, RingCap: 32, Telemetry: true}), k
+}
+
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	m, _ := newTestMonitor(t, 2)
+	if m.Telemetry() != nil {
+		t.Fatalf("telemetry recorder present without Config.Telemetry")
+	}
+	if tail := m.FlightTail(); tail != nil {
+		t.Fatalf("flight tail = %v, want nil", tail)
+	}
+}
+
+func TestTelemetryCountsMatchSyscalls(t *testing.T) {
+	m, k := newTelemetryMonitor(t, 2)
+	k.WriteFile("/in", []byte("payload"))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fd := m.Invoke(1, 0, openCall("/in", kernel.ORdonly))
+		m.Invoke(1, 0, kernel.Call{Nr: kernel.SysRead, Args: [6]uint64{fd.Val, 64}})
+		m.Invoke(1, 0, kernel.Call{Nr: kernel.SysGetpid})
+	}()
+	fd := m.Invoke(0, 0, openCall("/in", kernel.ORdonly))
+	m.Invoke(0, 0, kernel.Call{Nr: kernel.SysRead, Args: [6]uint64{fd.Val, 64}})
+	m.Invoke(0, 0, kernel.Call{Nr: kernel.SysGetpid})
+	wg.Wait()
+	if d := m.Divergence(); d != nil {
+		t.Fatalf("divergence: %v", d)
+	}
+
+	tel := m.Telemetry()
+	if tel == nil {
+		t.Fatal("telemetry recorder missing")
+	}
+	for v := 0; v < 2; v++ {
+		for _, nr := range []kernel.Sysno{kernel.SysOpen, kernel.SysRead, kernel.SysGetpid} {
+			if got := tel.Matrix.Count(v, nr); got != 1 {
+				t.Errorf("matrix count variant %d %v = %d, want 1", v, nr, got)
+			}
+		}
+		// The matrix total must agree with the monitor's own per-variant
+		// syscall counter — same interposition point, same increments.
+		snap := tel.Matrix.Snapshot()
+		if got, want := snap.Total(v), m.Syscalls(v); got != want {
+			t.Errorf("matrix total variant %d = %d, want %d", v, got, want)
+		}
+	}
+
+	// The first call of every (variant, sysno) cell is latency-sampled, so
+	// each exercised cell must hold at least one observation.
+	s := tel.Matrix.Snapshot()
+	if c := s.Cells[0][kernel.SysOpen]; c.LatN == 0 {
+		t.Errorf("sampled latency missing for master open: %+v", c)
+	}
+
+	// Live flight tails: both variants recorded their replicated calls.
+	tails := m.FlightTail()
+	if len(tails) != 2 {
+		t.Fatalf("flight tails for %d variants, want 2", len(tails))
+	}
+	for v, tail := range tails {
+		if len(tail) != 3 {
+			t.Fatalf("variant %d flight tail has %d records, want 3: %v", v, len(tail), tail)
+		}
+		if tail[0].Sysno != kernel.SysOpen || tail[1].Sysno != kernel.SysRead || tail[2].Sysno != kernel.SysGetpid {
+			t.Fatalf("variant %d flight order = %v", v, tail)
+		}
+	}
+	// Matching calls must digest identically across variants — that is what
+	// makes the tails comparable in a divergence dump.
+	for i := range tails[0] {
+		if tails[0][i].Digest != tails[1][i].Digest {
+			t.Errorf("digest mismatch at %d: %016x vs %016x", i, tails[0][i].Digest, tails[1][i].Digest)
+		}
+	}
+}
+
+func TestDivergenceFreezesFlightTail(t *testing.T) {
+	m, _ := newTelemetryMonitor(t, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { _ = recover() }()
+		m.Invoke(1, 0, kernel.Call{Nr: kernel.SysGetpid})
+		m.Invoke(1, 0, kernel.Call{Nr: kernel.SysWrite, Args: [6]uint64{3}, Data: []byte("EVIL")})
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		m.Invoke(0, 0, kernel.Call{Nr: kernel.SysGetpid})
+		m.Invoke(0, 0, kernel.Call{Nr: kernel.SysWrite, Args: [6]uint64{3}, Data: []byte("good")})
+	}()
+	wg.Wait()
+	if m.Divergence() == nil {
+		t.Fatal("expected divergence")
+	}
+	tail := m.FlightTail()
+	if len(tail) != 2 {
+		t.Fatalf("flight tails for %d variants, want 2", len(tail))
+	}
+	// The divergent write was blocked at the lockstep barrier before the
+	// master executed it, so the frozen tails end at the last call that
+	// replicated cleanly; the offending call itself rides the Divergence.
+	for v := range tail {
+		if n := len(tail[v]); n == 0 || tail[v][n-1].Sysno != kernel.SysGetpid {
+			t.Fatalf("variant %d frozen tail = %v", v, tail[v])
+		}
+	}
+	// Frozen means frozen: activity after the kill must not change the view.
+	before := len(tail[0])
+	func() {
+		defer func() { _ = recover() }()
+		m.Invoke(0, 0, kernel.Call{Nr: kernel.SysGetpid})
+	}()
+	if again := m.FlightTail(); len(again[0]) != before {
+		t.Fatalf("frozen tail grew from %d to %d records", before, len(again[0]))
+	}
+}

@@ -1,0 +1,60 @@
+package ring
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The counters are package-global and the test binary shares them across
+// tests, so every assertion is on deltas.
+func TestMetricsCountBatches(t *testing.T) {
+	before := ReadMetrics()
+	l := NewLog[int](8, 1)
+	l.AppendBatch([]int{1, 2, 3})
+	l.AppendBatch(nil) // empty batches are not counted
+	out := make([]int, 8)
+	if n := l.TryConsumeBatch(0, out); n != 3 {
+		t.Fatalf("consumed %d, want 3", n)
+	}
+	if n := l.TryConsumeBatch(0, out); n != 0 {
+		t.Fatalf("consumed %d from drained log, want 0", n)
+	}
+	after := ReadMetrics()
+	if d := after.AppendBatches - before.AppendBatches; d != 1 {
+		t.Errorf("append batches delta = %d, want 1", d)
+	}
+	if d := after.AppendItems - before.AppendItems; d != 3 {
+		t.Errorf("append items delta = %d, want 3", d)
+	}
+	if d := after.ConsumeRuns - before.ConsumeRuns; d != 1 {
+		t.Errorf("consume runs delta = %d, want 1", d)
+	}
+	if d := after.ConsumeItems - before.ConsumeItems; d != 3 {
+		t.Errorf("consume items delta = %d, want 3", d)
+	}
+}
+
+func TestMetricsCountParks(t *testing.T) {
+	before := ReadMetrics()
+	l := NewLog[int](2, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Blocks — and, with an idle consumer, escalates to a park — on the
+		// third append into a capacity-2 ring.
+		for i := 0; i < 3; i++ {
+			l.Append(i)
+		}
+	}()
+	// The producer must park: nothing drains the ring until we do, so its
+	// back-pressure wait escalates past the spin phases.
+	for ReadMetrics().Parks == before.Parks {
+		runtime.Gosched()
+	}
+	out := make([]int, 4)
+	total := 0
+	for total < 3 {
+		total += l.TryConsumeBatch(0, out)
+	}
+	<-done
+}

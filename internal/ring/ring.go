@@ -140,6 +140,8 @@ func (l *Log[T]) AppendBatch(vs []T) uint64 {
 	if len(vs) == 0 {
 		return l.prod.Load()
 	}
+	appendBatches.Add(1)
+	appendItems.Add(uint64(len(vs)))
 	// A batch can only be in flight whole if it fits the ring: the
 	// back-pressure wait below needs the LAST slot of the chunk to be
 	// recyclable while the first is still unpublished.
@@ -296,6 +298,8 @@ func (l *Log[T]) TryConsumeBatch(g int, out []T) int {
 	if !l.cursors[g].c.CompareAndSwap(cur, cur+uint64(n)) {
 		panic(fmt.Sprintf("ring: group %d consumed concurrently (cursor moved from %d)", g, cur))
 	}
+	consumeRuns.Add(1)
+	consumeItems.Add(uint64(n))
 	l.waitQ.Wake()
 	return n
 }
@@ -393,6 +397,7 @@ func SetStopViolationHandler(f func(string)) {
 }
 
 func reportStopViolation(msg string) {
+	stopTrips.Add(1)
 	if f := stopViolationHook.Load(); f != nil {
 		(*f)(msg)
 		return
@@ -416,6 +421,7 @@ func reportStopViolation(msg string) {
 // while a violator's waiters are still parked because nothing else can
 // wake them.
 func (l *Log[T]) park(g uint64) {
+	parkCount.Add(1)
 	d := stopWatchNanos.Load()
 	if d <= 0 || l.stop == nil {
 		l.waitQ.Park(g)

@@ -35,9 +35,12 @@ func TestStopWithoutInterruptTripsDebugWatch(t *testing.T) {
 		defer func() { unwound <- recover() }()
 		l.Get(0) // nothing is ever published: the waiter spins, then parks
 	}()
-	// Let the waiter reach the park, then flip stop WITHOUT Interrupt —
-	// the mistake the contract forbids.
-	time.Sleep(20 * time.Millisecond)
+	// Let the waiter actually reach the park (a fixed sleep races the
+	// pre-park spin when the scheduler is slow, e.g. under -race), then
+	// flip stop WITHOUT Interrupt — the mistake the contract forbids.
+	for l.waitQ.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
 	stop.Store(true)
 
 	select {

@@ -1,0 +1,96 @@
+package stats
+
+import "testing"
+
+// Quantile edge cases on the atomic histogram, through the same Snapshot
+// path the telemetry matrix uses: an empty histogram, a population that
+// lands entirely in one bucket, and a merge of shards with disjoint value
+// ranges (the per-thread-shard layout of telemetry.Matrix).
+
+func TestAtomicHistogramQuantileEmpty(t *testing.T) {
+	var h AtomicHistogram
+	s := h.Snapshot()
+	if s.Count() != 0 {
+		t.Fatalf("empty count = %d", s.Count())
+	}
+	for _, p := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if q := s.Quantile(p); q != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", p, q)
+		}
+	}
+	if s.MinValue() != 0 || s.MaxValue() != 0 || s.MeanValue() != 0 {
+		t.Fatalf("empty extrema/mean nonzero: min=%d max=%d mean=%v",
+			s.MinValue(), s.MaxValue(), s.MeanValue())
+	}
+	if s.String() != "no samples" {
+		t.Fatalf("empty String = %q", s.String())
+	}
+}
+
+func TestAtomicHistogramQuantileSingleBucket(t *testing.T) {
+	// Every observation identical: whatever the bucket midpoint says, the
+	// [min, max] clamp must force every quantile to the exact value.
+	var h AtomicHistogram
+	const v = 777
+	for i := 0; i < 100; i++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.MinValue() != v || s.MaxValue() != v {
+		t.Fatalf("min=%d max=%d, want both %d", s.MinValue(), s.MaxValue(), v)
+	}
+	for _, p := range []float64{0, 0.01, 0.5, 0.9, 0.99, 1} {
+		if q := s.Quantile(p); q != v {
+			t.Fatalf("Quantile(%v) = %d, want %d", p, q, v)
+		}
+	}
+	// Same for an all-zero population (bucket 0 is special-cased).
+	var z AtomicHistogram
+	for i := 0; i < 10; i++ {
+		z.Observe(0)
+	}
+	zs := z.Snapshot()
+	if zs.Count() != 10 || zs.Quantile(0.5) != 0 || zs.Quantile(1) != 0 {
+		t.Fatalf("zero bucket: count=%d p50=%d p100=%d", zs.Count(), zs.Quantile(0.5), zs.Quantile(1))
+	}
+}
+
+func TestAtomicHistogramMergeDisjointShards(t *testing.T) {
+	// Two shards observing disjoint ranges — the layout of a sharded
+	// telemetry matrix where different threads see different latencies.
+	// The merged snapshot must behave like one observer saw both ranges:
+	// min from one shard, max from the other, and the median sitting at
+	// the boundary between them.
+	var lo, hi AtomicHistogram
+	for i := 0; i < 100; i++ {
+		lo.Observe(10) // all of [shard lo] in bucket 4
+		hi.Observe(1 << 20)
+	}
+	merged := lo.Snapshot()
+	hs := hi.Snapshot()
+	merged.Merge(&hs)
+	if merged.Count() != 200 {
+		t.Fatalf("merged count = %d", merged.Count())
+	}
+	if merged.MinValue() != 10 || merged.MaxValue() != 1<<20 {
+		t.Fatalf("merged extrema = [%d, %d], want [10, %d]",
+			merged.MinValue(), merged.MaxValue(), 1<<20)
+	}
+	// The 100th observation (p50 by nearest rank) is the last of the low
+	// shard: the quantile must report the low bucket (within resolution,
+	// i.e. under 2x the true value of 10), not leak into the high range.
+	if q := merged.Quantile(0.5); q < 10 || q >= 20 {
+		t.Fatalf("merged p50 = %d, want a low-shard value in [10, 20)", q)
+	}
+	if q := merged.Quantile(0.51); q != 1<<20 {
+		t.Fatalf("merged p51 = %d, want %d (first high-shard observation)", q, 1<<20)
+	}
+	// Merging an empty shard is the identity.
+	var empty AtomicHistogram
+	es := empty.Snapshot()
+	before := merged
+	merged.Merge(&es)
+	if merged != before {
+		t.Fatal("merging an empty snapshot changed the histogram")
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+)
+
+// FlightCap is the default per-variant flight-recorder depth: the last
+// FlightCap replicated records of each variant survive to the divergence
+// snapshot. Power of two (the ring masks, it does not divide).
+const FlightCap = 128
+
+// FlightRecord is one replicated record's fixed-width forensic summary:
+// what the variant did (sysno, a digest of the compared args+payload),
+// where in the total order it did it (the ordering-clock ticket; 0 for
+// unordered calls), and what signal the record delivered. Seq is the
+// per-variant append position, so a snapshot reads as a timeline.
+type FlightRecord struct {
+	Seq    uint64       `json:"seq"`
+	Sysno  kernel.Sysno `json:"sysno"`
+	Tid    int32        `json:"tid"`
+	Digest uint64       `json:"digest"`
+	Ticket uint64       `json:"ticket,omitempty"`
+	Sig    uint32       `json:"sig,omitempty"`
+}
+
+// String renders one record for /statusz and quarantine dumps.
+func (r FlightRecord) String() string {
+	s := fmt.Sprintf("#%d tid%d %v digest=%016x", r.Seq, r.Tid, r.Sysno, r.Digest)
+	if r.Ticket != 0 {
+		s += fmt.Sprintf(" ts=%d", r.Ticket)
+	}
+	if r.Sig != 0 {
+		s += fmt.Sprintf(" sig=%d", r.Sig)
+	}
+	return s
+}
+
+// flightSlot is one ring entry, all-atomic so concurrent appenders a full
+// ring lap apart and snapshot readers race benignly (no torn words, and
+// the stamp protocol below catches torn RECORDS). Fields are packed into
+// four words: stamp (seq+1 once stable, 0 mid-write), sysno<<32|tid,
+// digest, ticket, sig.
+type flightSlot struct {
+	stamp  atomic.Uint64
+	nrTid  atomic.Uint64
+	digest atomic.Uint64
+	ticket atomic.Uint64
+	sig    atomic.Uint64
+}
+
+// Flight is a lock-free fixed-capacity ring of the last N FlightRecords of
+// ONE variant. Appenders (the variant's threads, through the monitor)
+// claim a sequence with one atomic add and store the fields; the ring
+// wraps by overwriting. Snapshot never blocks appenders: it reads the
+// stamp before and after copying a slot and discards entries caught
+// mid-write — forensics want the freshest tail, not a barrier on the
+// replication path.
+type Flight struct {
+	mask  uint64
+	head  atomic.Uint64
+	slots []flightSlot
+}
+
+// NewFlight builds a recorder with the given capacity (rounded up to a
+// power of two, minimum 2).
+func NewFlight(capacity int) *Flight {
+	c := 2
+	for c < capacity {
+		c <<= 1
+	}
+	return &Flight{mask: uint64(c - 1), slots: make([]flightSlot, c)}
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int { return len(f.slots) }
+
+// Len returns how many records were ever appended.
+func (f *Flight) Len() uint64 { return f.head.Load() }
+
+// Append records one replicated call. Allocation-free: one atomic add to
+// claim the slot, five atomic stores to fill it. The stamp is zeroed
+// first, so a reader that catches the slot mid-overwrite sees a stamp
+// that matches neither the old nor the new sequence and skips it.
+func (f *Flight) Append(nr kernel.Sysno, tid int, digest, ticket uint64, sig uint32) {
+	seq := f.head.Add(1) - 1
+	s := &f.slots[seq&f.mask]
+	s.stamp.Store(0)
+	s.nrTid.Store(uint64(nr)<<32 | uint64(uint32(tid)))
+	s.digest.Store(digest)
+	s.ticket.Store(ticket)
+	s.sig.Store(uint64(sig))
+	s.stamp.Store(seq + 1)
+}
+
+// Snapshot copies the recorder's current tail, oldest first. Entries being
+// overwritten during the read are dropped (their stamp mismatches), so the
+// result is always internally consistent; it allocates (per call, not per
+// append) and is meant for the kill path and the admin plane.
+func (f *Flight) Snapshot() []FlightRecord {
+	head := f.head.Load()
+	n := head
+	if n > uint64(len(f.slots)) {
+		n = uint64(len(f.slots))
+	}
+	out := make([]FlightRecord, 0, n)
+	for seq := head - n; seq != head; seq++ {
+		s := &f.slots[seq&f.mask]
+		if s.stamp.Load() != seq+1 {
+			continue // unpublished, or already overwritten by a racing lap
+		}
+		rec := FlightRecord{
+			Seq:    seq,
+			Sysno:  kernel.Sysno(s.nrTid.Load() >> 32),
+			Tid:    int32(uint32(s.nrTid.Load())),
+			Digest: s.digest.Load(),
+			Ticket: s.ticket.Load(),
+			Sig:    uint32(s.sig.Load()),
+		}
+		if s.stamp.Load() != seq+1 {
+			continue // overwritten mid-copy; the fields may be mixed
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Digest hashes the compared portion of a call — the args array and the
+// input payload — into one word (FNV-1a over the words and bytes).
+// Identical calls digest identically across variants, so a divergence
+// snapshot shows WHERE the tails stop matching without shipping payloads.
+func Digest(args *[6]uint64, payload []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, a := range args {
+		for i := 0; i < 8; i++ {
+			h ^= (a >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, b := range payload {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,194 @@
+// Package telemetry is the MVEE's observability plane: allocation-free
+// per-syscall/per-variant counter and latency matrices fed by the monitor's
+// interposition point, and a lock-free flight recorder whose tail of recent
+// replicated records is attached to divergence forensics.
+//
+// The monitor sits on every system call of every variant, which makes it
+// the natural vantage point for production metrics — but only if the
+// instrumentation respects the replication path's standing invariant:
+// 0 allocs/op and no locks on the hot path. Everything here is therefore
+// built from fixed-size arrays indexed by kernel.Sysno (the enum is
+// bounded and append-only, so an array lookup replaces a map's hashing,
+// bucket probing, and allocation) and per-shard atomic words:
+//
+//   - Counting is ONE uncontended atomic add: Inc indexes
+//     [variant][tid&shardMask][sysno] in a flat padded array. Sharding by
+//     thread keeps sibling threads of one variant off each other's cache
+//     lines, exactly like fleet's per-worker latency shards.
+//   - Latency is SAMPLED, not measured per call: every SampleEvery-th call
+//     of a given (variant, shard, sysno) cell — decided from the count the
+//     hot-path add already returns, so the common case pays one branch and
+//     zero clock reads. Sampled calls pay two time.Now() and one
+//     stats.AtomicHistogram observation.
+//   - The flight recorder (flight.go) stores fixed-width atomic words into
+//     a wrapping ring; no allocation, no locks, readers validate via
+//     sequence stamps.
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// Shards is how many independent counter banks each variant's matrix
+// carries; threads map onto banks by tid&(Shards-1). Four banks cover the
+// common serving shapes (a handful of pool threads per session) without
+// blowing up the snapshot cost, which folds the banks back together.
+const Shards = 4
+
+const shardMask = Shards - 1
+
+// SampleEvery is the latency sampling period: one call in SampleEvery per
+// (variant, shard, sysno) cell pays the two clock reads and the histogram
+// observation; the rest pay only the counting add. A power of two so the
+// due-test is a mask, not a division.
+const SampleEvery = 64
+
+// SampleDue reports whether the call that received count c (the value
+// returned by Inc) is the one that should be latency-sampled. The first
+// call of every cell samples (c == 1 wraps to due at c&mask == 1), so even
+// rare syscalls get at least one latency observation.
+func SampleDue(c uint64) bool { return c&(SampleEvery-1) == 1 }
+
+// bank is one shard's counter row: a fixed array indexed by Sysno. The
+// trailing pad keeps the next bank's first counters off this bank's last
+// cache line, so threads hashed to different banks never false-share.
+type bank struct {
+	counts [kernel.SysnoMax]atomic.Uint64
+	_      [64]byte
+}
+
+// Matrix is the per-session syscall telemetry: counts[variant][shard][nr]
+// and sampled latency histograms lat[variant][nr]. Create with NewMatrix;
+// the zero value is not usable.
+type Matrix struct {
+	variants int
+	banks    []bank                  // variants * Shards, flat
+	lat      []stats.AtomicHistogram // variants * SysnoMax, flat
+}
+
+// NewMatrix builds a matrix for nvariants (min 1). All memory is allocated
+// here, up front; the hot-path methods never allocate.
+func NewMatrix(nvariants int) *Matrix {
+	if nvariants < 1 {
+		nvariants = 1
+	}
+	return &Matrix{
+		variants: nvariants,
+		banks:    make([]bank, nvariants*Shards),
+		lat:      make([]stats.AtomicHistogram, nvariants*int(kernel.SysnoMax)),
+	}
+}
+
+// Variants returns the variant count the matrix was sized for.
+func (m *Matrix) Variants() int { return m.variants }
+
+// Inc counts one monitored call of nr by thread tid of variant v and
+// returns the cell's new count (feed it to SampleDue). This is the hot
+// path: one uncontended atomic add into a fixed array.
+func (m *Matrix) Inc(v, tid int, nr kernel.Sysno) uint64 {
+	return m.banks[v*Shards+tid&shardMask].counts[nr].Add(1)
+}
+
+// Observe records one sampled latency for (v, nr).
+func (m *Matrix) Observe(v int, nr kernel.Sysno, d time.Duration) {
+	m.lat[v*int(kernel.SysnoMax)+int(nr)].ObserveDuration(d)
+}
+
+// Count folds the shards of (v, nr) into the total monitored-call count.
+func (m *Matrix) Count(v int, nr kernel.Sysno) uint64 {
+	var n uint64
+	for s := 0; s < Shards; s++ {
+		n += m.banks[v*Shards+s].counts[nr].Load()
+	}
+	return n
+}
+
+// Cell is one (variant, sysno) aggregate in a snapshot.
+type Cell struct {
+	Count   uint64          `json:"count"`
+	Latency stats.Histogram `json:"-"`
+	// Sampled latency summary, precomputed for JSON consumers (mvee-top)
+	// that cannot carry the histogram's unexported buckets across the
+	// wire. Nanoseconds; zero when the cell was never sampled.
+	LatN   uint64 `json:"lat_n,omitempty"`
+	LatP50 uint64 `json:"lat_p50_ns,omitempty"`
+	LatP99 uint64 `json:"lat_p99_ns,omitempty"`
+	LatMax uint64 `json:"lat_max_ns,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a Matrix (or a merge of several —
+// the fleet folds its members' matrices into one). Indexing is
+// Cells[variant][sysno].
+type Snapshot struct {
+	Variants int      `json:"variants"`
+	Cells    [][]Cell `json:"cells"`
+}
+
+// Snapshot folds the shards together and snapshots the latency histograms.
+// Concurrent Incs are not lost, merely torn across the fold — exact enough
+// for an admin plane read while the session serves.
+func (m *Matrix) Snapshot() Snapshot {
+	s := Snapshot{Variants: m.variants, Cells: make([][]Cell, m.variants)}
+	for v := 0; v < m.variants; v++ {
+		row := make([]Cell, kernel.SysnoMax)
+		for nr := kernel.Sysno(0); nr < kernel.SysnoMax; nr++ {
+			c := Cell{Count: m.Count(v, nr)}
+			c.Latency = m.lat[v*int(kernel.SysnoMax)+int(nr)].Snapshot()
+			c.fillSummary()
+			row[nr] = c
+		}
+		s.Cells[v] = row
+	}
+	return s
+}
+
+func (c *Cell) fillSummary() {
+	if c.Latency.Count() == 0 {
+		return
+	}
+	c.LatN = c.Latency.Count()
+	c.LatP50 = c.Latency.Quantile(0.50)
+	c.LatP99 = c.Latency.Quantile(0.99)
+	c.LatMax = c.Latency.MaxValue()
+}
+
+// Merge folds o into s cell-wise (counts add, histograms Merge — the same
+// commutative-monoid aggregation fleet stats use). Snapshots of different
+// variant widths merge over the common prefix and keep the wider tail.
+func (s *Snapshot) Merge(o Snapshot) {
+	for v := range o.Cells {
+		if v >= len(s.Cells) {
+			s.Cells = append(s.Cells, o.Cells[v])
+			if s.Variants < v+1 {
+				s.Variants = v + 1
+			}
+			continue
+		}
+		row, orow := s.Cells[v], o.Cells[v]
+		for nr := range orow {
+			if nr >= len(row) {
+				row = append(row, orow[nr])
+				continue
+			}
+			row[nr].Count += orow[nr].Count
+			row[nr].Latency.Merge(&orow[nr].Latency)
+			row[nr].fillSummary()
+		}
+		s.Cells[v] = row
+	}
+}
+
+// Total returns the snapshot's total monitored-call count for variant v.
+func (s *Snapshot) Total(v int) uint64 {
+	var n uint64
+	if v < len(s.Cells) {
+		for nr := range s.Cells[v] {
+			n += s.Cells[v][nr].Count
+		}
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+package telemetry
+
+// Recorder bundles one session's telemetry: the counter/latency matrix and
+// one flight recorder per variant. The monitor owns one (when enabled) and
+// feeds it from the interposition point; the fleet and the admin plane
+// read it through Snapshot views.
+type Recorder struct {
+	Matrix  *Matrix
+	Flights []*Flight
+}
+
+// New builds a Recorder for nvariants with the default flight depth.
+func New(nvariants int) *Recorder {
+	return NewWithCap(nvariants, FlightCap)
+}
+
+// NewWithCap builds a Recorder with an explicit per-variant flight depth.
+func NewWithCap(nvariants, flightCap int) *Recorder {
+	if nvariants < 1 {
+		nvariants = 1
+	}
+	r := &Recorder{
+		Matrix:  NewMatrix(nvariants),
+		Flights: make([]*Flight, nvariants),
+	}
+	for v := range r.Flights {
+		r.Flights[v] = NewFlight(flightCap)
+	}
+	return r
+}
+
+// Variants returns the variant count the recorder was sized for.
+func (r *Recorder) Variants() int { return r.Matrix.variants }
+
+// SnapshotFlights copies every variant's current flight tail (oldest
+// first). This is what the monitor captures at kill time and what rides
+// the quarantine record.
+func (r *Recorder) SnapshotFlights() [][]FlightRecord {
+	out := make([][]FlightRecord, len(r.Flights))
+	for v, f := range r.Flights {
+		out[v] = f.Snapshot()
+	}
+	return out
+}
