@@ -19,7 +19,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench records the perf trajectory into BENCH_5.json (see scripts/bench.sh
+# bench records the perf trajectory into BENCH_7.json (see scripts/bench.sh
 # and the README's Performance section for how to read it — compare
 # interleaved medians, not single sequential runs).
 bench:
@@ -27,11 +27,16 @@ bench:
 
 # bench-smoke is the CI gate: one iteration of every tracked benchmark, no
 # JSON rewrite — it proves the benchmarks still build, run, and hold the
-# alloc invariants: 0 allocs/op on every BenchmarkReplicationHotPath cell,
-# and <= 1 alloc/op on BenchmarkConnectPath (the exact-sized recv result is
-# the one allowed allocation on the serving connect path).
+# alloc invariants: 0 allocs/op on every BenchmarkReplicationHotPath cell
+# and every BenchmarkChaosOverhead cell (the chaos seam must be free when
+# no fault fires), and <= 1 alloc/op on BenchmarkConnectPath (the
+# exact-sized recv result is the one allowed allocation on the serving
+# connect path). ChaosOverhead runs 2000 iterations so the armed-miss cell
+# actually exercises the injector consult, not just the first call.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplicationHotPath|BenchmarkAgentMicro|BenchmarkWallClockAssignment|BenchmarkPollServer' -benchmem -benchtime=1x . | \
 	awk '{ print } /BenchmarkReplicationHotPath/ && / allocs\/op/ { if ($$(NF-1) != 0) bad = 1 } END { exit bad }'
+	$(GO) test -run '^$$' -bench 'BenchmarkChaosOverhead' -benchmem -benchtime=2000x . | \
+	awk '{ print } /BenchmarkChaosOverhead/ && / allocs\/op/ { if ($$(NF-1) != 0) bad = 1 } END { exit bad }'
 	$(GO) test -run '^$$' -bench 'BenchmarkConnectPath' -benchmem -benchtime=2000x . | \
 	awk '{ print } /BenchmarkConnectPath/ && / allocs\/op/ { if ($$(NF-1) > 1) bad = 1 } END { exit bad }'

@@ -22,6 +22,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/analysis"
 	"repro/internal/bench"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dmt"
 	"repro/internal/fleet"
@@ -805,4 +806,60 @@ func BenchmarkConnectPath(b *testing.B) {
 	b.StopTimer()
 	k.CloseListener(8088)
 	<-done
+}
+
+// BenchmarkChaosOverhead prices the chaos plane's seam when it is NOT
+// firing — the cost every deployment pays whether or not a fault plan is
+// loaded. disabled = no injector installed: Kernel.Do pays one nil check.
+// armed-miss = a listener-only plan is installed and consulted on every
+// eligible call but never matches: one atomic counter draw plus a rule
+// scan per call. Both cells must stay at 0 allocs/op — the CI bench-smoke
+// gate enforces it — so compiling the chaos plane in costs nothing when
+// it is off.
+//
+//	sleep0      nanosleep(0): the injector consult with no fd lookup
+//	pipe-write  zero-byte pipe write: adds the descriptor classification
+func BenchmarkChaosOverhead(b *testing.B) {
+	plan, err := chaos.Parse("target=listener:9999 error=50% seed=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := []struct {
+		name string
+		inj  kernel.FaultInjector
+	}{
+		{"disabled", nil},
+		{"armed-miss", chaos.New(plan)},
+	}
+	for _, c := range cells {
+		c := c
+		b.Run("sleep0/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			k := kernel.New()
+			if c.inj != nil {
+				k.SetInjector(c.inj)
+			}
+			p := k.NewProc(0x1000_0000, 0x7000_0000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Do(p, kernel.Call{Nr: kernel.SysNanosleep})
+			}
+		})
+		b.Run("pipe-write/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			k := kernel.New()
+			if c.inj != nil {
+				k.SetInjector(c.inj)
+			}
+			p := k.NewProc(0x1000_0000, 0x7000_0000)
+			pr := k.Do(p, kernel.Call{Nr: kernel.SysPipe2})
+			if !pr.Ok() {
+				b.Fatalf("pipe2: %v", pr.Err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Do(p, kernel.Call{Nr: kernel.SysWrite, Args: [6]uint64{pr.Val2}})
+			}
+		})
+	}
 }

@@ -28,8 +28,10 @@ import (
 
 	"repro/internal/admin"
 	"repro/internal/agent"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/kernel"
 	"repro/internal/monitor"
 	"repro/internal/variant"
 	"repro/internal/webserver"
@@ -56,6 +58,8 @@ func main() {
 	forensics := flag.Bool("forensics", false, "record sessions so quarantines carry a replayable trace")
 	adminAddr := flag.String("admin", "", "serve the admin plane (/metrics, /statusz, /api/snapshot, /debug/pprof) on this host:port")
 	linger := flag.Duration("linger", 0, "keep the fleet (and admin plane) up this long after the load completes")
+	inject := flag.String("inject", "", `chaos fault plan, e.g. "target=listener latency=+2ms error=3% short-reads seed=7" (';' separates rules)`)
+	timeScale := flag.Float64("time-scale", 1, "run the kernel clocks N x faster than wall time (scales injected latencies and kernel timeouts)")
 	flag.Parse()
 
 	if *pool < 1 {
@@ -86,11 +90,30 @@ func main() {
 	sess := core.Options{
 		Variants: *variants, Agent: kind, Policy: policy,
 		ASLR: true, DCL: true, Seed: *seed, MaxThreads: 64,
+		TimeScale: *timeScale,
+	}
+	plan, err := chaos.Parse(*inject)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvee-serve:", err)
+		os.Exit(2)
+	}
+	injector := chaos.New(plan)
+	if injector != nil {
+		// One injector shared by the whole pool: the fault decisions stay
+		// seeded and reproducible per total call order, and the admin
+		// counters aggregate naturally.
+		sess.Inject = injector
 	}
 	fcfg := webserver.FleetConfig(wcfg, sess, *pool)
 	fcfg.QueueCap = *queueCap
 	fcfg.Workers = *workers
 	fcfg.Forensics = *forensics
+	if *timeScale > 0 && *timeScale != 1 {
+		// The request watchdog must tick on the same accelerated time the
+		// sessions run on, or a 10x-scaled injected latency could outlive
+		// a wall-clock RequestTimeout.
+		fcfg.Clock = kernel.NewScaledClock(*timeScale)
+	}
 	if strings.HasPrefix(*dispatch, "least") {
 		fcfg.Dispatch = fleet.LeastLoaded
 	}
@@ -158,6 +181,13 @@ func main() {
 	fmt.Println()
 	fmt.Println("== fleet stats ==")
 	fmt.Print(fleet.StatsTable(f.Stats()))
+
+	if injector != nil {
+		snap := f.Snapshot()
+		fmt.Printf("\n== chaos ==\nplan: %s\nfaults injected: %d (latency %d, error %d, timeout %d, short %d)\n",
+			plan, snap.Faults.Total(), snap.Faults.Latency, snap.Faults.Errors,
+			snap.Faults.Timeouts, snap.Faults.Shorts)
+	}
 
 	if quars := f.Quarantined(); len(quars) > 0 {
 		fmt.Println("\n== quarantined sessions ==")

@@ -62,6 +62,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	// Chaos plane: injected faults by class, summed over members. All-zero
+	// (but present, so dashboards can alert on "chaos unexpectedly on")
+	// without a fault plan.
+	fmt.Fprintf(&b, "# HELP mvee_faults_injected_total Chaos-plane faults injected, by class.\n# TYPE mvee_faults_injected_total counter\n")
+	fmt.Fprintf(&b, "mvee_faults_injected_total{kind=\"latency\"} %d\n", snap.Faults.Latency)
+	fmt.Fprintf(&b, "mvee_faults_injected_total{kind=\"error\"} %d\n", snap.Faults.Errors)
+	fmt.Fprintf(&b, "mvee_faults_injected_total{kind=\"timeout\"} %d\n", snap.Faults.Timeouts)
+	fmt.Fprintf(&b, "mvee_faults_injected_total{kind=\"short\"} %d\n", snap.Faults.Shorts)
+
 	counter("mvee_ring_parks_total", "Ring waits that escalated to a futex park.", snap.Ring.Parks)
 	counter("mvee_ring_stop_trips_total", "Parking-contract watchdog violations.", snap.Ring.StopTrips)
 	counter("mvee_ring_append_batches_total", "Batched ring appends.", snap.Ring.AppendBatches)

@@ -38,6 +38,12 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "\n== syscall matrix (merged) ==\n%s", MatrixTable(snap.Telemetry))
 	}
 
+	if snap.Faults.Total() > 0 {
+		fmt.Fprintf(&b, "\n== chaos ==\nfaults injected: %d (latency %d, error %d, timeout %d, short %d)\n",
+			snap.Faults.Total(), snap.Faults.Latency, snap.Faults.Errors,
+			snap.Faults.Timeouts, snap.Faults.Shorts)
+	}
+
 	fmt.Fprintf(&b, "\n== waits ==\nring: parks %d, stop trips %d, append batches %d (%d items), consume runs %d (%d items)\nfutex: parks %d, wakes %d\n",
 		snap.Ring.Parks, snap.Ring.StopTrips, snap.Ring.AppendBatches, snap.Ring.AppendItems,
 		snap.Ring.ConsumeRuns, snap.Ring.ConsumeItems, snap.Futex.Parks, snap.Futex.Wakes)

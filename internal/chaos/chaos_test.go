@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+func TestParseFullGrammar(t *testing.T) {
+	p, err := Parse("target=listener:80 latency=+5ms error=3% errno=ECONNRESET short-reads seed=42; target=pipe timeout=0.25 short-writes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Rules) != 2 {
+		t.Fatalf("seed=%d rules=%d, want 42/2", p.Seed, len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Target != kernel.FaultListener || r.Port != 80 || r.Latency != 5*time.Millisecond ||
+		r.ErrorRate != 0.03 || r.Errno != kernel.ECONNRESET || !r.ShortReads || r.ShortWrites {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = p.Rules[1]
+	if r.Target != kernel.FaultPipe || r.TimeoutRate != 0.25 || !r.ShortWrites || r.ShortReads {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	// The zero target means "all"; the errno default is EIO.
+	if r.Errno != kernel.EIO {
+		t.Fatalf("default errno = %v, want EIO", r.Errno)
+	}
+}
+
+func TestParseDefaultsAndEmpty(t *testing.T) {
+	if p, err := Parse("   "); p != nil || err != nil {
+		t.Fatalf("blank spec: plan=%v err=%v, want nil/nil (injection disabled)", p, err)
+	}
+	p, err := Parse("error=10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 1 || p.Rules[0].Target != kernel.FaultNone || p.Rules[0].Errno != kernel.EIO {
+		t.Fatalf("defaults: %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"target=disk error=1%",     // unknown target
+		"target=pipe:9 error=1%",   // port on a non-listener
+		"target=listener:bignum",   // bad port
+		"latency=5",                // bare number is not a duration
+		"latency=-3ms",             // negative latency
+		"error=150%",               // rate above 1
+		"error=-1%",                // negative rate
+		"errno=ENOENT error=1%",    // errno outside the injectable set
+		"frobnicate=1",             // unknown clause
+		"target=pipe",              // rule with no fault clause
+		"seed=7",                   // seed alone arms nothing
+		"target=pipe seed=notanum", // bad seed
+		"target=listener timeout",  // rate with no value
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed plan", spec)
+		}
+	}
+}
+
+func TestPlanStringRoundTrips(t *testing.T) {
+	p, err := Parse("target=listener:8080 latency=+2ms error=3% short-reads seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"target=listener:8080", "latency=+2ms", "error=3%", "errno=EIO", "short-reads", "seed=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	// The normalized form must itself parse back to the same plan.
+	p2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", s, err)
+	}
+	if p2.String() != s {
+		t.Fatalf("round trip drifted:\n  %s\n  %s", s, p2.String())
+	}
+}
+
+func TestDecideIsDeterministicPerSeed(t *testing.T) {
+	const spec = "latency=+1ms error=20% timeout=10% short-reads short-writes seed=99"
+	ops := []kernel.FaultOp{
+		{Nr: kernel.SysRead, Kind: kernel.FaultPipe},
+		{Nr: kernel.SysWrite, Kind: kernel.FaultPipe},
+		{Nr: kernel.SysRecv, Kind: kernel.FaultSocket},
+		{Nr: kernel.SysAccept, Kind: kernel.FaultListener, Port: 80},
+		{Nr: kernel.SysPoll, Kind: kernel.FaultPoll},
+		{Nr: kernel.SysNanosleep, Kind: kernel.FaultSleep},
+	}
+	draw := func(seed string) []kernel.FaultDecision {
+		p, err := Parse(strings.Replace(spec, "seed=99", seed, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := New(p)
+		var out []kernel.FaultDecision
+		for i := 0; i < 200; i++ {
+			d, _ := in.Decide(ops[i%len(ops)])
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b, c := draw("seed=99"), draw("seed=99"), draw("seed=100")
+	same := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across same-seed injectors: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed=100 produced the identical decision sequence as seed=99 — the seed is dead")
+	}
+}
+
+func TestDecideRatesApproximate(t *testing.T) {
+	p, err := Parse("target=pipe error=25% seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(p)
+	op := kernel.FaultOp{Nr: kernel.SysRead, Kind: kernel.FaultPipe}
+	errs := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if d, ok := in.Decide(op); ok && d.Err != kernel.OK {
+			errs++
+		}
+	}
+	// 25% of 4000 is 1000; allow a generous band — this checks the rate is
+	// honored, not the PRNG's quality.
+	if errs < n/5 || errs > 3*n/10 {
+		t.Fatalf("error=25%% injected %d/%d (%.1f%%)", errs, n, 100*float64(errs)/n)
+	}
+	if in.Injected() != uint64(errs) {
+		t.Fatalf("Injected() = %d, want %d (only carried decisions count)", in.Injected(), errs)
+	}
+}
+
+func TestDecideScoping(t *testing.T) {
+	p, err := Parse("target=listener:80 error=100%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(p)
+	if d, ok := in.Decide(kernel.FaultOp{Nr: kernel.SysAccept, Kind: kernel.FaultListener, Port: 80}); !ok || d.Err != kernel.EIO {
+		t.Fatalf("matching op: %+v ok=%v", d, ok)
+	}
+	// Wrong port, wrong kind: no decision.
+	if _, ok := in.Decide(kernel.FaultOp{Nr: kernel.SysAccept, Kind: kernel.FaultListener, Port: 81}); ok {
+		t.Fatal("port 81 matched a listener:80 rule")
+	}
+	if _, ok := in.Decide(kernel.FaultOp{Nr: kernel.SysRead, Kind: kernel.FaultPipe}); ok {
+		t.Fatal("pipe op matched a listener rule")
+	}
+}
+
+func TestShortAppliesOnlyToMatchingDirection(t *testing.T) {
+	p, err := Parse("target=pipe short-reads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(p)
+	if d, ok := in.Decide(kernel.FaultOp{Nr: kernel.SysRead, Kind: kernel.FaultPipe}); !ok || !d.Short {
+		t.Fatalf("read under short-reads: %+v ok=%v", d, ok)
+	}
+	if _, ok := in.Decide(kernel.FaultOp{Nr: kernel.SysWrite, Kind: kernel.FaultPipe}); ok {
+		t.Fatal("short-reads truncated a write")
+	}
+}
+
+func TestNilInjectorDecidesNothing(t *testing.T) {
+	var in *Injector
+	if d, ok := in.Decide(kernel.FaultOp{Nr: kernel.SysRead, Kind: kernel.FaultPipe}); ok || d != (kernel.FaultDecision{}) {
+		t.Fatalf("nil injector decided %+v", d)
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) must return a nil injector")
+	}
+}

@@ -1,0 +1,173 @@
+package fleet_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/fleet"
+	"repro/internal/kernel"
+	"repro/internal/webserver"
+)
+
+// TestChaosSoak is the fleet-level chaos acceptance (DESIGN.md §8): the
+// prefork webserver pool serves a concurrent load while a worker-kill
+// storm (/quit exits and /killme SIGTERMs) churns the worker processes
+// AND a seeded fault plan injects connection resets, short transfers, and
+// listener latency — all on 10× accelerated kernel time. The MVEE
+// contract under all of that:
+//
+//   - zero divergences and zero program crashes (every injected fault is a
+//     master decision replicated to the slaves, so lockstep cannot break);
+//   - no leaked processes: every killed worker is reaped and re-forked,
+//     and each member settles back to variants × (parent + Workers)
+//     running procs with no zombies;
+//   - no leaked descriptors: at quiescence every process holds exactly its
+//     share of the listener, nothing else.
+//
+// CI runs this ×3 under -race as part of the stress job.
+func TestChaosSoak(t *testing.T) {
+	const (
+		pool     = 2
+		workers  = 3
+		clients  = 6
+		requests = 30
+		kills    = 12
+	)
+	cfg := webserver.Config{
+		Port: 8300, PageSize: 1024, InstrumentCustomSync: true,
+		Prefork: true, Workers: workers,
+	}
+	// Listener errors are deliberately absent from the plan: a failed
+	// accept is how a worker learns its listener closed (it exits without
+	// replacement), so accept faults would legitimately drain the worker
+	// pool rather than expose a bug.
+	plan, err := chaos.Parse(
+		"target=listener latency=+200us; " +
+			"target=socket error=2% errno=ECONNRESET timeout=2% short-reads short-writes seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector := chaos.New(plan)
+
+	sess := sessOpts()
+	sess.Telemetry = true
+	sess.Inject = injector
+	sess.TimeScale = 10
+	fc := webserver.FleetConfig(cfg, sess, pool)
+	// The request watchdog must tick on the same accelerated time the
+	// session kernels run on.
+	fc.Clock = kernel.NewScaledClock(10)
+	f, err := fleet.New(fc)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				req := []byte("GET /")
+				if r%8 == 7 {
+					req = []byte("GET /count")
+				}
+				// Chaos makes individual request failures legitimate (an
+				// injected reset mid-response surfaces as a gateway error);
+				// the counters below are what must stay clean.
+				f.Do(req)
+			}
+		}()
+	}
+	// The kill storm, interleaved with the load: each kill takes down the
+	// serving worker after it responds, and the parent's waitpid loop
+	// re-forks a replacement while the surviving workers keep serving.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < kills; k++ {
+			req := []byte("GET /quit")
+			if k%2 == 1 {
+				req = []byte("GET /killme")
+			}
+			f.Do(req)
+		}
+	}()
+	wg.Wait()
+
+	s := f.Stats()
+	if s.Divergences != 0 {
+		t.Fatalf("chaos soak diverged %d times: %+v\nquarantines: %+v", s.Divergences, s, f.Quarantined())
+	}
+	if s.Crashes != 0 {
+		t.Fatalf("chaos soak crashed %d sessions: %+v\nquarantines: %+v", s.Crashes, s, f.Quarantined())
+	}
+	if s.Served == 0 {
+		t.Fatal("nothing was served — the storm killed the fleet outright")
+	}
+	if injector.Injected() == 0 {
+		t.Fatal("the fault plan injected nothing — the soak exercised no chaos")
+	}
+
+	// Quiescence: after the load drains, every member must settle back to
+	// exactly variants × (parent + workers) running processes, zero
+	// zombies, and at most one descriptor — the shared listener — per
+	// process (slave-variant procs hold zero: replicated descriptor calls
+	// execute only in the master's process). Anything above that is a
+	// leaked proc or fd from the kill/re-fork churn; poll briefly, since
+	// the last re-fork may still be in flight.
+	wantProcs := sessOpts().Variants * (1 + workers)
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for {
+		last = leakReport(f.Snapshot(), wantProcs)
+		if last == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never quiesced leak-free: %s\n%s", last, procTable(f.Snapshot()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// leakReport returns "" when every member shows exactly wantProcs running
+// processes, no zombies, and at most one open fd (the listener share) per
+// process; otherwise a description of the first discrepancy.
+func leakReport(snap fleet.Snapshot, wantProcs int) string {
+	for _, m := range snap.Members {
+		running := 0
+		for _, p := range m.Procs {
+			switch p.State {
+			case "running":
+				running++
+				if p.OpenFDs > 1 {
+					return fmt.Sprintf("slot %d: pid %d holds %d fds, want <= 1 (leaked descriptor)", m.Slot, p.Pid, p.OpenFDs)
+				}
+			case "zombie":
+				return fmt.Sprintf("slot %d: pid %d is an unreaped zombie", m.Slot, p.Pid)
+			}
+		}
+		if running != wantProcs {
+			return fmt.Sprintf("slot %d: %d running procs, want %d", m.Slot, running, wantProcs)
+		}
+	}
+	return ""
+}
+
+// procTable renders every member's process table for failure messages.
+func procTable(snap fleet.Snapshot) string {
+	var b []byte
+	for _, m := range snap.Members {
+		b = fmt.Appendf(b, "slot %d gen %d:\n", m.Slot, m.Gen)
+		for _, p := range m.Procs {
+			b = fmt.Appendf(b, "  pid %-5d vpid %-3d parent %-3d %-8s fds %d\n",
+				p.Pid, p.Vpid, p.Parent, p.State, p.OpenFDs)
+		}
+	}
+	return string(b)
+}

@@ -92,6 +92,12 @@ type Config struct {
 	// trace under Forensics. The divergence/crash/recycle counters keep
 	// counting past the cap. Default 64.
 	MaxQuarantined int
+	// Clock is the time source for the gateway's request watchdog. It
+	// defaults to the wall clock; chaos soaks running their sessions at
+	// -time-scale N install the matching scaled clock here so the
+	// watchdog's RequestTimeout tightens in proportion to the (scaled)
+	// injected latencies it guards against.
+	Clock kernel.Clock
 	// Forensics records every session (core.Options.Record) so a
 	// quarantined session's Quarantine carries the full execution trace,
 	// replayable offline with core Replay. Recording forces the
@@ -144,6 +150,9 @@ func (c *Config) fill() error {
 	}
 	if c.MaxQuarantined <= 0 {
 		c.MaxQuarantined = 64
+	}
+	if c.Clock == nil {
+		c.Clock = kernel.RealClock()
 	}
 	// Forensics implies recording; a caller-set Session.Record is
 	// honored either way (the trace then lands in Quarantine.Trace).

@@ -220,7 +220,7 @@ func (f *Fleet) tryMember(m *member, req, scratch []byte) ([]byte, error, bool) 
 	if errno != kernel.OK {
 		return nil, fmt.Errorf("fleet: connect to slot %d (gen %d): %w", m.slot, m.gen, errno), true
 	}
-	watchdog := time.AfterFunc(f.cfg.RequestTimeout, cc.Close)
+	watchdog := f.cfg.Clock.AfterFunc(f.cfg.RequestTimeout, cc.Close)
 	defer watchdog.Stop()
 	defer cc.Close()
 	if _, err := cc.Write(req); err != nil {

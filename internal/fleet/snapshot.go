@@ -36,6 +36,9 @@ type Snapshot struct {
 	Ring        ring.Metrics        `json:"ring"`
 	Futex       futex.Metrics       `json:"futex"`
 	Quarantined []Quarantine        `json:"quarantined,omitempty"`
+	// Faults sums the chaos plane's injected-fault counters over every
+	// live member (all-zero when no fault plan is installed).
+	Faults telemetry.FaultSnapshot `json:"faults"`
 }
 
 // Snapshot assembles the fleet-wide admin view. It never blocks serving:
@@ -76,6 +79,7 @@ func (f *Fleet) Snapshot() Snapshot {
 			} else {
 				s.Telemetry.Merge(snap)
 			}
+			s.Faults.Merge(tel.Faults.Snapshot())
 		}
 		s.Members = append(s.Members, ms)
 	}

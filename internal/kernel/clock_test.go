@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockStandsStillWithoutAdvance(t *testing.T) {
+	vc := NewVirtualClock()
+	a := vc.Now()
+	b := vc.Now()
+	if !a.Equal(b) {
+		t.Fatalf("virtual time moved on its own: %v -> %v", a, b)
+	}
+	vc.Advance(time.Second)
+	if got := vc.Now().Sub(a); got != time.Second {
+		t.Fatalf("advanced %v, want 1s", got)
+	}
+}
+
+func TestVirtualClockFiresTimersInDeadlineOrder(t *testing.T) {
+	vc := NewVirtualClock()
+	var order []int
+	vc.AfterFunc(30*time.Millisecond, func() { order = append(order, 30) })
+	vc.AfterFunc(10*time.Millisecond, func() { order = append(order, 10) })
+	vc.AfterFunc(20*time.Millisecond, func() { order = append(order, 20) })
+	vc.Advance(15 * time.Millisecond)
+	if len(order) != 1 || order[0] != 10 {
+		t.Fatalf("after 15ms fired %v, want [10]", order)
+	}
+	vc.Advance(20 * time.Millisecond)
+	if len(order) != 3 || order[1] != 20 || order[2] != 30 {
+		t.Fatalf("after 35ms fired %v, want [10 20 30]", order)
+	}
+	if vc.Timers() != 0 {
+		t.Fatalf("%d timers still armed after all fired", vc.Timers())
+	}
+}
+
+func TestVirtualClockStop(t *testing.T) {
+	vc := NewVirtualClock()
+	fired := false
+	tm := vc.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on an armed timer reported already-fired")
+	}
+	vc.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported the timer as still armed")
+	}
+}
+
+func TestScaledClockAcceleratesTime(t *testing.T) {
+	c := NewScaledClock(100)
+	start := c.Now()
+	fired := make(chan struct{})
+	// 500ms of scaled time is 5ms of real time.
+	c.AfterFunc(500*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scaled timer never fired")
+	}
+	if el := c.Now().Sub(start); el < 100*time.Millisecond {
+		t.Fatalf("scaled clock advanced only %v of virtual time over a 500ms timer", el)
+	}
+}
+
+func TestScaledClockDegenerateScales(t *testing.T) {
+	for _, scale := range []float64{0, -3, 1} {
+		if _, ok := NewScaledClock(scale).(realClock); !ok {
+			t.Fatalf("scale %v should degenerate to the real clock", scale)
+		}
+	}
+}
+
+// Nanosleep on a virtual clock: the sleeper parks forever until Advance
+// crosses its deadline — kernel time is fully decoupled from wall time.
+func TestNanosleepOnVirtualClock(t *testing.T) {
+	k := New()
+	vc := NewVirtualClock()
+	k.SetClock(vc)
+	p := newTestProc(k)
+	done := make(chan Ret, 1)
+	go func() {
+		done <- k.Do(p, Call{Nr: SysNanosleep, Args: [6]uint64{uint64(time.Hour)}})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for vc.Timers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never armed its timer")
+		}
+		runtime.Gosched()
+	}
+	select {
+	case r := <-done:
+		t.Fatalf("1h virtual nanosleep returned early: %+v", r)
+	default:
+	}
+	vc.Advance(time.Hour + time.Millisecond)
+	select {
+	case r := <-done:
+		if !r.Ok() {
+			t.Fatalf("nanosleep: %v", r.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nanosleep still parked after its virtual deadline passed")
+	}
+	if k.Sleeps() != 1 {
+		t.Fatalf("sleeps = %d, want 1", k.Sleeps())
+	}
+}
+
+// Gettimeofday reads the kernel clock: on virtual time it advances only
+// with Advance (plus the strictly-increasing logical component).
+func TestGettimeofdayOnVirtualClock(t *testing.T) {
+	k := New()
+	vc := NewVirtualClock()
+	k.SetClock(vc)
+	p := newTestProc(k)
+	t0 := k.Do(p, Call{Nr: SysGettimeofday}).Val
+	t1 := k.Do(p, Call{Nr: SysGettimeofday}).Val
+	if t1 <= t0 {
+		t.Fatalf("clock not strictly increasing: %d then %d", t0, t1)
+	}
+	if t1-t0 > 1000 {
+		t.Fatalf("virtual clock drifted %dns between reads without an Advance", t1-t0)
+	}
+	vc.Advance(time.Second)
+	t2 := k.Do(p, Call{Nr: SysGettimeofday}).Val
+	if t2-t1 < uint64(time.Second) {
+		t.Fatalf("Advance(1s) moved gettimeofday by only %dns", t2-t1)
+	}
+}

@@ -30,6 +30,14 @@ type Kernel struct {
 	treeMu   sync.Mutex
 	treeCond sync.Cond
 
+	// clock is the kernel's time source (real by default). Every deadline
+	// site — nanosleep, poll, injected latency, gettimeofday — goes through
+	// it, so tests and soaks can run on virtual or accelerated time.
+	clock Clock
+	// injector, when non-nil, decides fault injection for eligible calls
+	// (see fault.go). The nil check in Do is the entire disabled-path cost.
+	injector FaultInjector
+
 	start time.Time
 	// logical advances once per clock read so that two gettimeofday calls
 	// never return the identical instant — the property the covert
@@ -153,10 +161,19 @@ func New() *Kernel {
 		futexes: make(map[int]*futex.Table),
 		procs:   make(map[int]*Proc),
 		nextPid: 1000,
+		clock:   realClock{},
 		start:   time.Now(),
 	}
 	k.treeCond.L = &k.treeMu
 	return k
+}
+
+// SetClock installs an alternative time source and re-anchors the kernel's
+// epoch on it. Call it before the kernel serves calls (it is not
+// synchronized against in-flight syscalls).
+func (k *Kernel) SetClock(c Clock) {
+	k.clock = c
+	k.start = c.Now()
 }
 
 // NewProc registers a new process whose heap and mmap regions start at the
@@ -299,7 +316,7 @@ func (cc ClientConn) Close() {
 // reads in the master only and replicates the value (see
 // monitor.classify).
 func (k *Kernel) nowNanos() uint64 {
-	return uint64(time.Since(k.start).Nanoseconds()) + k.logical.Add(1)
+	return uint64(k.clock.Now().Sub(k.start).Nanoseconds()) + k.logical.Add(1)
 }
 
 // Sleeps reports how many nanosleeps the kernel actually executed (slept
@@ -320,7 +337,18 @@ func (k *Kernel) ProcCount() int {
 // Do executes one system call on behalf of process p. It may block (pipe
 // reads, accept, poll, nanosleep) — the monitor is responsible for only
 // routing calls here in accordance with its synchronization model.
+//
+// With a fault injector installed, eligible calls detour through
+// injectedDo (fault.go) first; without one, the nil check below is the
+// whole cost of having the chaos plane compiled in.
 func (k *Kernel) Do(p *Proc, c Call) Ret {
+	if k.injector != nil {
+		return k.injectedDo(p, c)
+	}
+	return k.dispatch(p, c)
+}
+
+func (k *Kernel) dispatch(p *Proc, c Call) Ret {
 	switch c.Nr {
 	case SysOpen:
 		return k.doOpen(p, c)
@@ -420,32 +448,12 @@ func retErr(errno Errno) Ret { return Ret{Err: errno} }
 // signal arriving mid-sleep wakes the sleeper (kill's signalKick wakes the
 // proc's parker) and the call returns EINTR so the boundary can deliver
 // it. Only the master ever executes this (nanosleep is replicated), so the
-// sleeps counter still counts exactly the paid sleeps.
+// sleeps counter still counts exactly the paid sleeps. The deadline loop
+// itself is sleepFor (fault.go) — the same clock-driven wait that injected
+// latency uses, so both honor virtual time and kill identically.
 func (k *Kernel) doNanosleep(p *Proc, c Call) Ret {
 	k.sleeps.Add(1)
-	deadline := time.Now().Add(time.Duration(c.Args[0]))
-	for {
-		if p.signalPending() {
-			return Ret{Err: EINTR}
-		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return Ret{}
-		}
-		if k.stopped() {
-			return Ret{Err: EINTR}
-		}
-		// FUTEX_WAIT protocol on the proc's parker: announce, re-check,
-		// park with a one-shot timer for the remaining duration.
-		g := p.sigPark.Prepare()
-		if p.signalPending() || k.stopped() || !time.Now().Before(deadline) {
-			p.sigPark.Cancel()
-			continue
-		}
-		tm := time.AfterFunc(remaining, p.sigPark.Wake)
-		p.sigPark.Park(g)
-		tm.Stop()
-	}
+	return retErr(k.sleepFor(p, time.Duration(c.Args[0])))
 }
 
 // doClose implements SysClose/SysShutdown. A successful close flips the

@@ -119,21 +119,21 @@ func (k *Kernel) doPoll(p *Proc, c Call) Ret {
 	}
 	var deadline time.Time
 	if timeout != PollNoTimeout && timeout != 0 {
-		deadline = time.Now().Add(time.Duration(timeout))
+		deadline = k.clock.Now().Add(time.Duration(timeout))
 		// One wake at the deadline for the whole call (the parked poller
 		// re-checks and returns 0 events), armed up front: the wait set is
 		// kernel-wide, so a busy kernel wakes the loop spuriously many
 		// times, and re-arming per park would allocate a timer per wake.
 		// The timer allocates once; event loops that must stay
 		// allocation-free poll with PollNoTimeout and rely on wakeups.
-		tm := time.AfterFunc(time.Duration(timeout), k.pollPark.Wake)
+		tm := k.clock.AfterFunc(time.Duration(timeout), k.pollPark.Wake)
 		defer tm.Stop()
 	}
 	for {
 		if ready := k.pollScan(p, out, n); ready > 0 {
 			return Ret{Val: uint64(ready), Data: out}
 		}
-		if timeout == 0 || (timeout != PollNoTimeout && !time.Now().Before(deadline)) {
+		if timeout == 0 || (timeout != PollNoTimeout && !k.clock.Now().Before(deadline)) {
 			return Ret{Data: out}
 		}
 		if k.stopped() {
@@ -155,7 +155,7 @@ func (k *Kernel) doPoll(p *Proc, c Call) Ret {
 		// announcement would otherwise be a lost wakeup), then park.
 		g := k.pollPark.Prepare()
 		if k.pollScan(p, out, n) > 0 || k.stopped() || p.signalPending() ||
-			(timeout != PollNoTimeout && !time.Now().Before(deadline)) {
+			(timeout != PollNoTimeout && !k.clock.Now().Before(deadline)) {
 			k.pollPark.Cancel()
 			continue
 		}

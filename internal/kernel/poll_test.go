@@ -2,10 +2,28 @@ package kernel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 )
+
+// waitPollParked spins until a goroutine has announced itself on the
+// kernel's poll wait set — the condition the fixed time.Sleep calls in
+// these tests used to approximate. Once Waiters is non-zero the poller is
+// past its readiness re-check, so any subsequent state change's Wake is
+// guaranteed to reach it (a Wake landing between Prepare and Park is
+// absorbed by the parker protocol).
+func waitPollParked(t *testing.T, k *Kernel) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for k.pollPark.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("poller never parked")
+		}
+		runtime.Gosched()
+	}
+}
 
 // pollOne runs SysPoll over a single descriptor and returns (revents, Ret).
 func pollOne(k *Kernel, p *Proc, fd uint64, events uint16, timeout uint64) (uint16, Ret) {
@@ -57,7 +75,7 @@ func TestPollBlocksUntilWrite(t *testing.T) {
 		got <- rev
 	}()
 	// The poller parks (no events yet); the write must wake it.
-	time.Sleep(5 * time.Millisecond)
+	waitPollParked(t, k)
 	k.Do(p, Call{Nr: SysWrite, Args: [6]uint64{wfd}, Data: []byte("wake")})
 	select {
 	case rev := <-got:
@@ -69,17 +87,47 @@ func TestPollBlocksUntilWrite(t *testing.T) {
 	}
 }
 
+// The timeout test runs on virtual time: the poll must block for exactly
+// its 20ms window — no return before Advance crosses the deadline, a
+// 0-events return right after — with no wall-clock sleeps or slack margins.
 func TestPollTimeoutExpires(t *testing.T) {
 	k := New()
+	vc := NewVirtualClock()
+	k.SetClock(vc)
 	p := newTestProc(k)
 	pr := k.Do(p, Call{Nr: SysPipe2})
-	start := time.Now()
-	rev, r := pollOne(k, p, pr.Val, PollIn, uint64(20*time.Millisecond))
-	if r.Val != 0 || rev != 0 {
-		t.Fatalf("timed-out poll reported events: ready=%d revents=%#x", r.Val, rev)
+	type res struct {
+		rev uint16
+		r   Ret
 	}
-	if el := time.Since(start); el < 15*time.Millisecond {
-		t.Fatalf("poll returned after %v, before the 20ms timeout", el)
+	done := make(chan res, 1)
+	go func() {
+		rev, r := pollOne(k, p, pr.Val, PollIn, uint64(20*time.Millisecond))
+		done <- res{rev, r}
+	}()
+	// doPoll arms its deadline timer before first parking, so a registered
+	// timer means the poll is underway and Advance's wake cannot be lost.
+	deadline := time.Now().Add(10 * time.Second)
+	for vc.Timers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("poll never armed its timeout timer")
+		}
+		runtime.Gosched()
+	}
+	vc.Advance(19 * time.Millisecond)
+	select {
+	case got := <-done:
+		t.Fatalf("poll returned at t=19ms of a 20ms timeout: %+v", got)
+	case <-time.After(10 * time.Millisecond):
+	}
+	vc.Advance(time.Millisecond)
+	select {
+	case got := <-done:
+		if got.r.Val != 0 || got.rev != 0 {
+			t.Fatalf("timed-out poll reported events: ready=%d revents=%#x", got.r.Val, got.rev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("poll still parked after its virtual deadline passed")
 	}
 }
 
@@ -167,7 +215,7 @@ func TestPollInterruptUnblocks(t *testing.T) {
 		EncodePollFD(buf, 0, int(pr.Val), PollIn)
 		done <- k.Do(p, Call{Nr: SysPoll, Args: [6]uint64{1, PollNoTimeout}, Data: buf})
 	}()
-	time.Sleep(2 * time.Millisecond)
+	waitPollParked(t, k)
 	k.Interrupt()
 	select {
 	case <-done:
@@ -190,7 +238,7 @@ func TestPollWokenByPlaceholderClose(t *testing.T) {
 		rev, _ := pollOne(k, p, sfd, PollIn, PollNoTimeout)
 		got <- rev
 	}()
-	time.Sleep(5 * time.Millisecond) // let the poller park on the idle placeholder
+	waitPollParked(t, k) // let the poller park on the idle placeholder
 	if r := k.Do(p, Call{Nr: SysClose, Args: [6]uint64{sfd}}); !r.Ok() {
 		t.Fatalf("close: %v", r.Err)
 	}
@@ -220,7 +268,12 @@ func TestPollWokenByOversizedWriteInProgress(t *testing.T) {
 		// the oversized write starts filling it — the deadlock ordering:
 		// the writer buffers a pipeful and sleeps mid-call, and only the
 		// wake it issues before sleeping can reach the parked poller.
-		time.Sleep(10 * time.Millisecond)
+		// (Condition-wait, capped, non-fatal: a t.Fatal off the test
+		// goroutine is illegal, and a missed park only loses the ordering
+		// this test wants, which the assertions below would then catch.)
+		for dl := time.Now().Add(10 * time.Second); k.pollPark.Waiters() == 0 && time.Now().Before(dl); {
+			runtime.Gosched()
+		}
 		writerDone <- k.Do(p, Call{Nr: SysWrite, Args: [6]uint64{wfd}, Data: make([]byte, total)})
 	}()
 	// The evented drain loop: poll (parking when nothing is pending),

@@ -124,33 +124,42 @@ const (
 	// process. The signal itself travels in Ret.Sig; the caller is
 	// expected to run its handler and retry.
 	EINTR Errno = 4
+	// EIO: low-level I/O failure. The simulated kernel never earns one on
+	// its own; it exists as a fault-injection errno (chaos plans default
+	// to it), so a guest's error paths can be exercised deterministically.
+	EIO   Errno = 5
 	EBADF Errno = 9
 	// ECHILD: waitpid with no children left to wait for.
-	ECHILD       Errno = 10
-	EAGAIN       Errno = 11
-	ENOMEM       Errno = 12
-	EACCES       Errno = 13
-	EFAULT       Errno = 14
-	EBUSY        Errno = 16
-	EEXIST       Errno = 17
-	ENOTDIR      Errno = 20
-	EINVAL       Errno = 22
-	EMFILE       Errno = 24
-	ESPIPE       Errno = 29
-	EPIPE        Errno = 32
-	ENOSYS       Errno = 38
-	ENOTSOCK     Errno = 88
-	EADDRINUSE   Errno = 98
+	ECHILD     Errno = 10
+	EAGAIN     Errno = 11
+	ENOMEM     Errno = 12
+	EACCES     Errno = 13
+	EFAULT     Errno = 14
+	EBUSY      Errno = 16
+	EEXIST     Errno = 17
+	ENOTDIR    Errno = 20
+	EINVAL     Errno = 22
+	EMFILE     Errno = 24
+	ESPIPE     Errno = 29
+	EPIPE      Errno = 32
+	ENOSYS     Errno = 38
+	ENOTSOCK   Errno = 88
+	EADDRINUSE Errno = 98
+	// ECONNRESET: connection reset by peer. Like EIO, only fault injection
+	// produces it here — the loopback stack itself reports closes as EOF
+	// or EPIPE.
+	ECONNRESET   Errno = 104
 	ECONNREFUSED Errno = 111
 )
 
 var errnoNames = map[Errno]string{
 	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH", EINTR: "EINTR",
-	ECHILD: "ECHILD", EBADF: "EBADF", EAGAIN: "EAGAIN",
+	EIO: "EIO", ECHILD: "ECHILD", EBADF: "EBADF", EAGAIN: "EAGAIN",
 	ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EBUSY: "EBUSY",
 	EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EINVAL: "EINVAL", EMFILE: "EMFILE",
 	ESPIPE: "ESPIPE", EPIPE: "EPIPE", ENOSYS: "ENOSYS", ENOTSOCK: "ENOTSOCK",
-	EADDRINUSE: "EADDRINUSE", ECONNREFUSED: "ECONNREFUSED",
+	EADDRINUSE: "EADDRINUSE", ECONNRESET: "ECONNRESET",
+	ECONNREFUSED: "ECONNREFUSED",
 }
 
 // Error implements the error interface so Errno values can travel as errors.
@@ -200,6 +209,13 @@ type Ret struct {
 	// delivery a replicable event — the slaves consume the master's
 	// delivery schedule instead of racing their own (DESIGN.md §2.5).
 	Sig uint32
+	// Inj marks injected faults (bitmask of InjLatency/InjError/
+	// InjTimeout/InjShort, see fault.go). The KERNEL sets it when a fault
+	// plan fires on the master's execution; because it rides the
+	// replicated record (trace wire format v4), slaves and replays
+	// observe the identical fault, and telemetry counts injections
+	// without re-deciding them.
+	Inj uint8
 }
 
 // Ok reports whether the call succeeded.

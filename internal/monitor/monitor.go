@@ -918,9 +918,17 @@ func (m *Monitor) slaveResult(proc *kernel.Proc, call kernel.Call, rec *Record, 
 	return rec.Ret // replicated master (or traced) result
 }
 
-// execute runs the call against the kernel for the given process.
+// execute runs the call against the kernel for the given process. Injected
+// faults surface here exactly once per fault (the kernel only sets Inj in
+// the master's execution of a replicated call; slaves consume the record),
+// so this is where telemetry counts them — one predicted-false branch on
+// clean calls.
 func (m *Monitor) execute(proc *kernel.Proc, call kernel.Call) kernel.Ret {
-	return m.kern.Do(proc, call)
+	ret := m.kern.Do(proc, call)
+	if ret.Inj != 0 && m.tel != nil {
+		m.tel.Faults.Count(ret.Inj)
+	}
+	return ret
 }
 
 // nextRecord returns the master's record for slave v's thread tid,

@@ -16,12 +16,14 @@ import (
 // that exist:
 //
 //	u32 Nr | 6×u64 Args | u64 Ret.Val | u64 Ret.Val2 | u32 Ret.Err |
-//	u32 Ret.Sig | u32 len(Ret.Data) | Ret.Data | u64 Ts | u8 flags |
-//	u32 plen | payload
+//	u32 Ret.Sig | u8 Ret.Inj | u32 len(Ret.Data) | Ret.Data | u64 Ts |
+//	u8 flags | u32 plen | payload
 //
 // Ret.Sig entered the layout with trace.Version 3 (the signal delivered at
 // this record's syscall boundary; replaying it is what makes recorded
-// signal schedules deterministic offline).
+// signal schedules deterministic offline). Ret.Inj entered with
+// trace.Version 4: the fault-injection marker, so a replay reproduces
+// injected faults from the record instead of re-rolling them.
 const (
 	wireFlagOrdered = 1 << 0
 	wireFlagExit    = 1 << 1
@@ -30,7 +32,7 @@ const (
 // GobEncode implements gob.GobEncoder.
 func (r Record) GobEncode() ([]byte, error) {
 	pay := r.Payload()
-	buf := make([]byte, 0, 4+48+8+8+4+4+len(r.Ret.Data)+8+1+4+len(pay))
+	buf := make([]byte, 0, 4+48+8+8+4+4+1+4+len(r.Ret.Data)+8+1+4+len(pay))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Nr))
 	for _, a := range r.Args {
 		buf = binary.LittleEndian.AppendUint64(buf, a)
@@ -39,6 +41,7 @@ func (r Record) GobEncode() ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint64(buf, r.Ret.Val2)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Ret.Err))
 	buf = binary.LittleEndian.AppendUint32(buf, r.Ret.Sig)
+	buf = append(buf, r.Ret.Inj)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Ret.Data)))
 	buf = append(buf, r.Ret.Data...)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Ts)
@@ -67,6 +70,7 @@ func (r *Record) GobDecode(buf []byte) error {
 	r.Ret.Val2 = d.u64()
 	r.Ret.Err = kernel.Errno(d.u32())
 	r.Ret.Sig = d.u32()
+	r.Ret.Inj = d.u8()
 	if data := d.bytes(); len(data) > 0 {
 		r.Ret.Data = append([]byte(nil), data...)
 	}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"repro/internal/kernel"
+)
+
+// Fault-injection counters: how many chaos-plane faults actually fired in
+// this session, by class. The monitor bumps them on the master path when a
+// record comes back with Ret.Inj bits set — one branch and at most four
+// atomic adds on calls that were already slowed by a fault, zero cost on
+// clean calls. The fleet sums members' counters in its Snapshot and the
+// admin plane renders them on /metrics and /statusz.
+type Faults struct {
+	latency  atomic.Uint64
+	errors   atomic.Uint64
+	timeouts atomic.Uint64
+	shorts   atomic.Uint64
+}
+
+// Count records one injected-fault marker (a kernel Inj bitmask).
+func (f *Faults) Count(inj uint8) {
+	if inj&kernel.InjLatency != 0 {
+		f.latency.Add(1)
+	}
+	if inj&kernel.InjError != 0 {
+		f.errors.Add(1)
+	}
+	if inj&kernel.InjTimeout != 0 {
+		f.timeouts.Add(1)
+	}
+	if inj&kernel.InjShort != 0 {
+		f.shorts.Add(1)
+	}
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (f *Faults) Snapshot() FaultSnapshot {
+	return FaultSnapshot{
+		Latency:  f.latency.Load(),
+		Errors:   f.errors.Load(),
+		Timeouts: f.timeouts.Load(),
+		Shorts:   f.shorts.Load(),
+	}
+}
+
+// FaultSnapshot is the plain-value view of Faults, mergeable across fleet
+// members.
+type FaultSnapshot struct {
+	Latency  uint64 `json:"latency"`
+	Errors   uint64 `json:"errors"`
+	Timeouts uint64 `json:"timeouts"`
+	Shorts   uint64 `json:"shorts"`
+}
+
+// Merge adds o into s (counter addition commutes, like Matrix.Merge).
+func (s *FaultSnapshot) Merge(o FaultSnapshot) {
+	s.Latency += o.Latency
+	s.Errors += o.Errors
+	s.Timeouts += o.Timeouts
+	s.Shorts += o.Shorts
+}
+
+// Total is the sum over fault classes.
+func (s FaultSnapshot) Total() uint64 {
+	return s.Latency + s.Errors + s.Timeouts + s.Shorts
+}

@@ -7,6 +7,9 @@ package telemetry
 type Recorder struct {
 	Matrix  *Matrix
 	Flights []*Flight
+	// Faults counts chaos-plane injections (see faults.go); always
+	// present, all-zero unless a fault plan is installed.
+	Faults Faults
 }
 
 // New builds a Recorder for nvariants with the default flight depth.

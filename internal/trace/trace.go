@@ -21,7 +21,10 @@ import (
 // (PayloadLen/Inline/Spill) instead of a single Data slice.
 // Version 3: Record carries Ret.Sig — the signal delivered at the
 // record's syscall boundary — so recorded signal schedules replay.
-const Version = 3
+// Version 4: Record carries Ret.Inj — the fault-injection marker — so a
+// session recorded under a chaos plan replays its injected faults
+// byte-identically instead of re-rolling them.
+const Version = 4
 
 // Trace is one recorded execution.
 type Trace struct {
