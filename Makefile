@@ -19,7 +19,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench records the perf trajectory into BENCH_7.json (see scripts/bench.sh
+# bench records the perf trajectory into BENCH_8.json (see scripts/bench.sh
 # and the README's Performance section for how to read it — compare
 # interleaved medians, not single sequential runs).
 bench:

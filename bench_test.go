@@ -187,12 +187,17 @@ func BenchmarkNginxThroughput(b *testing.B) {
 var fleetPools = []int{1, 4, 16}
 
 // startBenchFleet builds a warm fleet of `pool` webserver sessions in the
-// given serving mode ("" = thread pool, "evented", "prefork").
+// given serving mode ("" = thread pool, "evented", "prefork",
+// "prefork-mt" = 2 worker processes x 4 accept threads each).
 func startBenchFleet(b *testing.B, pool int, vulnerable bool, mode string) *fleet.Fleet {
 	b.Helper()
 	cfg := webserver.Config{Port: 8080, PoolThreads: 4, InstrumentCustomSync: true,
 		Vulnerable: vulnerable, PageSize: 1024,
-		Evented: mode == "evented", Prefork: mode == "prefork", Workers: 4}
+		Evented: mode == "evented",
+		Prefork: mode == "prefork" || mode == "prefork-mt", Workers: 4}
+	if mode == "prefork-mt" {
+		cfg.Workers, cfg.WorkerThreads = 2, 4
+	}
 	f, err := fleet.New(webserver.FleetConfig(cfg, core.Options{
 		Variants: 2, Agent: agent.WallOfClocks, ASLR: true, DCL: true, Seed: 5, MaxThreads: 64,
 	}, pool))
@@ -350,11 +355,10 @@ func BenchmarkPollServer(b *testing.B) {
 // the added cost is the fork-time bookkeeping, which is off the serving
 // path.
 func BenchmarkPreforkServer(b *testing.B) {
-	for _, pool := range []int{1, 4} {
-		pool := pool
-		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+	run := func(name, mode string, pool int) {
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
-			f := startBenchFleet(b, pool, false, "prefork")
+			f := startBenchFleet(b, pool, false, mode)
 			defer f.Close()
 			b.ResetTimer()
 			start := time.Now()
@@ -368,6 +372,76 @@ func BenchmarkPreforkServer(b *testing.B) {
 			b.ReportMetric(float64(s.Latency.Quantile(0.5)), "p50-ns")
 			b.ReportMetric(float64(s.Latency.Quantile(0.99)), "p99-ns")
 		})
+	}
+	for _, pool := range []int{1, 4} {
+		run(fmt.Sprintf("pool-%d", pool), "prefork", pool)
+	}
+	// The multi-threaded-worker cell: same 8-way accept concurrency as
+	// pool-1 (2 processes x 4 threads vs 4 processes x 1), isolating the
+	// cost of intra-process thread accounting on the accept path.
+	run("pool-1-workers-2x4", "prefork-mt", 1)
+}
+
+// BenchmarkHotRestart measures the epoch-based zero-downtime reload: each
+// op is one fleet-wide SIGHUP sweep on a loaded prefork session — fork a
+// freshly re-randomized worker generation, take over the listener, drain
+// the old epoch. ns/op is the signal-to-new-epoch-live latency; the
+// "drops" metric counts client requests that failed during the restarts
+// and must stay 0 (that is the zero-downtime claim).
+func BenchmarkHotRestart(b *testing.B) {
+	cfg := webserver.Config{Port: 8080, PageSize: 1024, InstrumentCustomSync: true,
+		Prefork: true, Workers: 2, WorkerThreads: 2}
+	// Tids are never recycled, so budget every generation this run will
+	// ever fork (b.N reloads + the initial epoch, with headroom).
+	f, err := fleet.New(webserver.FleetConfig(cfg, core.Options{
+		Variants: 2, Agent: agent.WallOfClocks, ASLR: true, DCL: true, Seed: 5,
+		MaxThreads: (b.N+2)*cfg.Workers*cfg.WorkerThreads*2 + 16,
+	}, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	var drops, good atomic.Uint64
+	stop := make(chan struct{})
+	var loadWG sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		loadWG.Add(1)
+		go func() {
+			defer loadWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := f.Do([]byte("GET /")); err != nil {
+					drops.Add(1)
+				} else {
+					good.Add(1)
+				}
+			}
+		}()
+	}
+	// Warm: first page served before the clock starts.
+	if _, err := f.Do([]byte("GET /")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := f.Reload(); n != 1 {
+			b.Fatalf("reload %d accepted by %d members, want 1", i, n)
+		}
+		for f.Snapshot().Members[0].Epoch < i+1 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	loadWG.Wait()
+	b.ReportMetric(float64(drops.Load()), "drops")
+	b.ReportMetric(float64(good.Load())/float64(b.N), "req-per-reload")
+	if drops.Load() != 0 {
+		b.Fatalf("%d requests dropped across %d hot restarts, want 0", drops.Load(), b.N)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	mvee-serve -pool 8 -dispatch least -policy sensitive
 //	mvee-serve -pool 4 -evented -attacks 1           # event-driven (poll) serving mode
 //	mvee-serve -pool 2 -prefork -worker-procs 4      # multi-process (fork) serving mode
+//	mvee-serve -prefork -worker-threads 4 -reloads 3 # multi-threaded workers, 3 hot restarts under load
 //	mvee-serve -pool 4 -admin 127.0.0.1:9090         # live /metrics, /statusz, pprof
 //	mvee-serve -admin :9090 -linger 60s              # stay up after the load for scraping
 package main
@@ -51,6 +52,8 @@ func main() {
 	evented := flag.Bool("evented", false, "event-driven serving: one thread per session multiplexing connections via poll")
 	prefork := flag.Bool("prefork", false, "multi-process serving: the parent forks worker processes sharing the listener, reaping and re-forking them on death")
 	workerProcs := flag.Int("worker-procs", 4, "prefork worker processes per session")
+	workerThreads := flag.Int("worker-threads", 1, "accept threads per prefork worker process")
+	reloads := flag.Int("reloads", 0, "zero-downtime hot restarts (SIGHUP sweeps) spaced through the load (prefork mode)")
 	pageSize := flag.Int("page", 4096, "static page size served")
 	seed := flag.Int64("seed", 2028, "base diversity seed")
 	attacks := flag.Int("attacks", 0, "exploit payloads injected mid-run (forces -vulnerable)")
@@ -86,10 +89,20 @@ func main() {
 		Evented:              *evented,
 		Prefork:              *prefork,
 		Workers:              *workerProcs,
+		WorkerThreads:        *workerThreads,
+	}
+	// Tids are never recycled, so a prefork session must budget for every
+	// generation it will ever fork: each hot restart spends another
+	// worker-procs x worker-threads tids (plus the readiness plumbing).
+	maxThreads := 64
+	if *prefork {
+		if need := (*reloads + 2) * (*workerProcs) * (*workerThreads) * 2; need > maxThreads {
+			maxThreads = need
+		}
 	}
 	sess := core.Options{
 		Variants: *variants, Agent: kind, Policy: policy,
-		ASLR: true, DCL: true, Seed: *seed, MaxThreads: 64,
+		ASLR: true, DCL: true, Seed: *seed, MaxThreads: maxThreads,
 		TimeScale: *timeScale,
 	}
 	plan, err := chaos.Parse(*inject)
@@ -176,6 +189,20 @@ func main() {
 			}
 		}()
 	}
+	// Hot restarts, spaced through the run: each sweep SIGHUPs every healthy
+	// member, whose prefork parent drains the old worker generation into a
+	// freshly re-randomized one without dropping a request.
+	if *reloads > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < *reloads; i++ {
+				time.Sleep(10 * time.Millisecond)
+				n := f.Reload()
+				fmt.Printf("hot restart %d/%d signalled to %d member(s)\n", i+1, *reloads, n)
+			}
+		}()
+	}
 	wg.Wait()
 
 	fmt.Println()
@@ -205,12 +232,13 @@ func main() {
 		}
 	}
 	fmt.Println("\n== pool members ==")
-	for _, m := range f.Members() {
+	for _, m := range f.Snapshot().Members {
 		state := "healthy"
 		if !m.Healthy {
 			state = "down"
 		}
-		fmt.Printf("slot %d: gen %d seed %-12d %-7s served %d\n", m.Slot, m.Gen, m.Seed, state, m.Served)
+		fmt.Printf("slot %d: gen %d seed %-12d epoch %d/%-12d %-7s served %d\n",
+			m.Slot, m.Gen, m.Seed, m.Epoch, m.EpochSeed, state, m.Served)
 	}
 
 	if *linger > 0 {

@@ -4,6 +4,7 @@
 //	/metrics       Prometheus text format, no external dependencies
 //	/statusz       human-readable fleet health, process tables, quarantine log
 //	/api/snapshot  the full fleet.Snapshot as JSON (what mvee-top consumes)
+//	/reload        POST: fleet-wide zero-downtime hot restart (SIGHUP sweep)
 //	/debug/pprof/  the standard Go profiler endpoints
 //
 // Everything renders from one fleet.Snapshot per request, so a scrape
@@ -36,6 +37,7 @@ func New(f *fleet.Fleet) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/api/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/reload", s.handleReload)
 	// Explicit pprof routes: the package's init only registers on
 	// http.DefaultServeMux, which a library must not depend on.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -69,6 +71,20 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// handleReload triggers a fleet-wide hot restart: SIGHUP to every healthy
+// member's root process (see fleet.Reload). POST only — it mutates serving
+// state, and an idle GET from a crawler or a dashboard prefetcher must not
+// cycle worker generations.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	n := s.fleet.Reload()
+	fmt.Fprintf(w, "reload signalled to %d member(s)\n", n)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {

@@ -28,6 +28,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("mvee_divergences_total", "Sessions quarantined because their variants diverged.", snap.Stats.Divergences)
 	counter("mvee_crashes_total", "Sessions quarantined because the program crashed.", snap.Stats.Crashes)
 	counter("mvee_sessions_recycled_total", "Replacement sessions spawned.", snap.Stats.Recycled)
+	counter("mvee_reloads_total", "Hot-restart sweeps triggered through the fleet.", snap.Stats.Reloads)
 	gauge("mvee_members_healthy", "Members currently accepting dispatch.", float64(snap.Stats.Healthy))
 	gauge("mvee_uptime_seconds", "Fleet uptime.", snap.Stats.Uptime.Seconds())
 
@@ -88,6 +89,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			h = 1
 		}
 		fmt.Fprintf(&b, "mvee_member_healthy{slot=\"%d\"} %d\n", m.Slot, h)
+	}
+	fmt.Fprintf(&b, "# HELP mvee_worker_epoch The member program's live worker generation (hot-restart epoch).\n# TYPE mvee_worker_epoch gauge\n")
+	for _, m := range snap.Members {
+		fmt.Fprintf(&b, "mvee_worker_epoch{slot=\"%d\"} %d\n", m.Slot, m.Epoch)
 	}
 	fmt.Fprintf(&b, "# HELP mvee_member_served_total Requests served by the slot's current session.\n# TYPE mvee_member_served_total counter\n")
 	for _, m := range snap.Members {

@@ -26,11 +26,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		if !m.Healthy {
 			state = "down"
 		}
-		fmt.Fprintf(&b, "slot %d gen %d seed %d: %s, inflight %d, served %d, syscalls %d\n",
-			m.Slot, m.Gen, m.Seed, state, m.Inflight, m.Served, m.Syscalls)
+		fmt.Fprintf(&b, "slot %d gen %d seed %d epoch %d/%d: %s, inflight %d, served %d, syscalls %d\n",
+			m.Slot, m.Gen, m.Seed, m.Epoch, m.EpochSeed, state, m.Inflight, m.Served, m.Syscalls)
 		for _, p := range m.Procs {
-			fmt.Fprintf(&b, "  pid %-4d vpid %-3d parent %-3d %-8s fds %d\n",
-				p.Pid, p.Vpid, p.Parent, p.State, p.OpenFDs)
+			fmt.Fprintf(&b, "  pid %-4d vpid %-3d parent %-3d %-8s threads %d fds %d\n",
+				p.Pid, p.Vpid, p.Parent, p.State, p.Threads, p.OpenFDs)
 		}
 	}
 

@@ -330,7 +330,9 @@ func (s *Session) Start() {
 		}
 		for _, vs := range s.vars {
 			vs.wg.Add(1)
-			t := &Thread{ID: 0, sess: s, vs: vs, proc: vs.proc, sigs: newSigTable()}
+			t := &Thread{ID: 0, sess: s, vs: vs, proc: vs.proc,
+				sigs: newSigTable(), ps: &procState{}}
+			t.ps.wg.Add(1)
 			go t.run(s.prog.Main)
 		}
 		go s.collect()
@@ -392,6 +394,17 @@ func (s *Session) Run() *Result {
 // Kill aborts the session from outside (e.g. test timeouts).
 func (s *Session) Kill() { s.mon.Kill(nil) }
 
+// Signal posts signo to the session's root process from outside the guest —
+// the host-side kill(2), and the admin plane's reload trigger. Delivery
+// happens at the next monitored syscall boundary reached by any thread of
+// the root process, identically in every variant: only the master's pending
+// state is consulted (the master stamps Ret.Sig), and slaves learn of the
+// delivery from the replicated record. It reports whether the signal was
+// accepted (false for an invalid signo or an already-dead root).
+func (s *Session) Signal(signo int) bool {
+	return s.vars[0].proc.Post(signo)
+}
+
 // Run is the convenience one-shot API.
 func Run(opts Options, prog Program) *Result {
 	return NewSession(opts, prog).Run()
@@ -415,6 +428,10 @@ type Thread struct {
 	// thread of one process within one variant (fork children get a
 	// copy, like Linux inherits dispositions).
 	sigs *sigTable
+	// ps is the join state of this thread's process in this variant,
+	// shared by every sibling vthread (Spawn inherits it; Fork starts a
+	// fresh one).
+	ps *procState
 	// leader marks the initial thread of a forked process: its return
 	// (or a terminating signal) ends the process, so the trampoline
 	// issues the implicit SysExit.
@@ -465,23 +482,46 @@ func (st *sigTable) handler(signo int) func(*Thread, int) {
 // the trampoline, which performs the kernel exit.
 type procExit struct{ status int }
 
+// threadKill is the control-flow panic that unwinds ONE thread because its
+// process entered exit-group: a sibling exited the process (Thread.Exit, a
+// terminating signal, or the leader returning) and this thread observed the
+// pseudo-signal kernel.SigExitGroup at its next syscall boundary. The
+// trampoline recovers it and issues the thread-exit syscall; the last
+// sibling out completes the kernel-side zombie transition.
+type threadKill struct{}
+
+// procState is the per-(variant, process) join state: a WaitGroup counting
+// the process's live vthread trampolines. ProcHandle.Join waits on it, so
+// joining a forked child means waiting for the WHOLE process — every
+// spawned sibling included — to unwind, not just the initial thread.
+// (Add-while-waited is safe: a thread only spawns while holding its own +1,
+// so the counter cannot touch zero before the process is really gone.)
+type procState struct{ wg sync.WaitGroup }
+
 // run is the vthread trampoline: it executes fn and recovers the session's
 // control-flow panics (kill, stop, process exit) so that teardown is quiet.
 func (t *Thread) run(fn func(*Thread)) {
 	defer t.vs.wg.Done()
+	defer t.ps.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
 			switch r {
 			case monitor.ErrKilled, agent.ErrStopped, ring.ErrStopped, ErrVariantKilled:
 				return // session teardown; exit quietly
 			default:
-				if pe, ok := r.(procExit); ok {
+				switch rv := r.(type) {
+				case procExit:
 					// Process termination (Thread.Exit, or a terminating
 					// signal delivered at a syscall boundary): perform the
 					// kernel exit and the thread-exit rendezvous. Both are
 					// monitored events at a deterministic position, so
 					// master and slaves unwind at the same point.
-					t.finishProc(pe.status)
+					t.finishProc(rv.status)
+					return
+				case threadKill:
+					// Exit-group: a sibling ended the process; this thread
+					// retires itself without touching the exit status.
+					t.finishThread()
 					return
 				}
 				// A genuine program panic: record it, tear the session
@@ -500,8 +540,14 @@ func (t *Thread) run(fn func(*Thread)) {
 	if t.leader {
 		// The initial thread of a forked process returning IS the process
 		// exiting: zombie + SIGCHLD + waitpid wake, all inside the
-		// replicated stream.
+		// replicated stream. Sibling threads still running observe the
+		// exit-group at their next syscall boundary and unwind.
 		t.syscall(kernel.SysExit, 0)
+	} else {
+		// Any other thread returning retires just itself — uniform for
+		// spawned threads and the variant root's initial thread (whose
+		// process, like init, never exits from inside).
+		t.syscall(kernel.SysThreadExit)
 	}
 	t.sess.mon.ThreadExit(t.vs.id, t.ID)
 }
@@ -517,16 +563,38 @@ func (t *Thread) finishProc(status int) {
 		case nil, monitor.ErrKilled, agent.ErrStopped, ring.ErrStopped, ErrVariantKilled:
 			return
 		}
-		if _, ok := r.(procExit); ok {
-			// A second terminating signal delivered at the exit boundary:
-			// the process is already dying, so the repeat is moot — and
-			// re-panicking here would escape the trampoline's recover and
-			// crash the embedder.
+		switch r.(type) {
+		case procExit, threadKill:
+			// A second terminating signal (or the exit-group marker)
+			// delivered at the exit boundary: the process is already dying,
+			// so the repeat is moot — and re-panicking here would escape
+			// the trampoline's recover and crash the embedder.
 			return
 		}
 		panic(r)
 	}()
 	t.syscall(kernel.SysExit, uint64(status))
+	t.sess.mon.ThreadExit(t.vs.id, t.ID)
+}
+
+// finishThread is finishProc for a thread retired by exit-group: it issues
+// the thread-exit syscall (the last sibling's completes the process's
+// zombie transition kernel-side) and the monitor rendezvous, swallowing
+// session-teardown panics like finishProc does.
+func (t *Thread) finishThread() {
+	defer func() {
+		r := recover()
+		switch r {
+		case nil, monitor.ErrKilled, agent.ErrStopped, ring.ErrStopped, ErrVariantKilled:
+			return
+		}
+		switch r.(type) {
+		case procExit, threadKill:
+			return
+		}
+		panic(r)
+	}()
+	t.syscall(kernel.SysThreadExit)
 	t.sess.mon.ThreadExit(t.vs.id, t.ID)
 }
 
@@ -548,6 +616,12 @@ func (t *Thread) Syscall(nr kernel.Sysno, args [6]uint64, data []byte) kernel.Re
 // run on the interrupted thread and may make syscalls — those nest into
 // the replicated stream at the same position in every variant.
 func (t *Thread) deliver(signo int) {
+	if signo == kernel.SigExitGroup {
+		// Not a real signal: the kernel's exit-group marker, stamped at
+		// this boundary because a sibling ended the process. No handler
+		// can exist for it (it is outside the signal space); unwind.
+		panic(threadKill{})
+	}
 	if h := t.sigs.handler(signo); h != nil {
 		h(t, signo)
 		return
@@ -576,18 +650,27 @@ func (t *Thread) IsMaster() bool { return t.Variant() == 0 }
 // Variants returns the number of variants in the session.
 func (t *Thread) Variants() int { return t.sess.opts.Variants }
 
-// Spawn starts fn as a new vthread in this variant. The thread id is
-// allocated by the ordered clone syscall, so the spawned threads correspond
-// across variants. It returns a handle for joining.
+// Spawn starts fn as a new vthread of the calling thread's PROCESS — the
+// variant root or any fork descendant. The thread id is allocated by the
+// ordered clone syscall, so the spawned threads correspond across variants.
+// It returns a handle for joining.
+//
+// Spawn returns nil when the tree's thread-id space is exhausted (tids are
+// never recycled, and the monitor's per-tid rings are sized MaxThreads):
+// the clone syscall fails with EAGAIN at the same ordered position in every
+// variant, so the degradation is itself deterministic — a worker that
+// cannot grow its pool keeps serving with the threads it has instead of
+// diverging or dying.
 func (t *Thread) Spawn(fn func(*Thread)) *ThreadHandle {
-	ret := t.syscall(kernel.SysClone)
-	tid := int(ret.Val)
-	if tid >= t.sess.opts.MaxThreads {
-		panic(fmt.Sprintf("core: thread id %d exceeds MaxThreads %d", tid, t.sess.opts.MaxThreads))
+	ret := t.syscall(kernel.SysClone, uint64(t.sess.opts.MaxThreads))
+	if !ret.Ok() {
+		return nil
 	}
-	child := &Thread{ID: tid, sess: t.sess, vs: t.vs, proc: t.proc, sigs: t.sigs}
+	tid := int(ret.Val)
+	child := &Thread{ID: tid, sess: t.sess, vs: t.vs, proc: t.proc, sigs: t.sigs, ps: t.ps}
 	h := &ThreadHandle{Tid: tid, done: make(chan struct{})}
 	t.vs.wg.Add(1)
+	t.ps.wg.Add(1)
 	go func() {
 		defer close(h.done)
 		child.run(fn)
@@ -615,14 +698,17 @@ type ProcHandle struct {
 	// the value to pass to Kill and Waitpid.
 	Pid int
 	// Tid is the child's initial thread id.
-	Tid  int
-	done chan struct{}
+	Tid int
+	ps  *procState
 }
 
-// Join blocks until the child's initial thread has unwound in this
-// variant. It is a scheduling convenience for tests; the guest-visible way
-// to synchronize with a child's death is Waitpid.
-func (h *ProcHandle) Join() { <-h.done }
+// Join blocks until EVERY thread of the child process has unwound in this
+// variant — the initial thread and all its Spawn siblings, through their
+// kernel exits, so the process is fully torn down (zombie or reaped, no
+// thread still mid-syscall) when Join returns. It is a scheduling
+// convenience for tests; the guest-visible way to synchronize with a
+// child's death is Waitpid.
+func (h *ProcHandle) Join() { h.ps.wg.Wait() }
 
 // Fork creates a child PROCESS running fn as its initial thread: a fresh
 // kernel process sharing this thread's open file descriptions (so a
@@ -630,15 +716,20 @@ func (h *ProcHandle) Join() { <-h.done }
 // the prefork server shape), inheriting the signal dispositions and
 // blocked mask, with its own pid. The pid and the child's thread id are
 // allocated inside the ordered fork syscall, so they are identical across
-// variants. fn returning ends the process (implicit exit status 0);
-// Thread.Exit ends it early.
+// variants. The child is a full process: fn may Spawn further threads. fn
+// returning ends the WHOLE process (implicit exit status 0, exit-group
+// unwinding any still-running siblings at their next syscall boundary);
+// Thread.Exit ends it early the same way.
 //
 // Fork returns nil when the tree's thread-id space is exhausted (tids are
 // never recycled, and the monitor's per-tid rings are sized MaxThreads):
 // the kernel-side child is exited immediately — identically in every
 // variant, since the failing tid is itself deterministic — so the parent's
 // next waitpid reaps it with status 0 and a long-lived re-forking server
-// degrades to a smaller pool instead of dying.
+// degrades to a smaller pool instead of dying. Exhaustion hit later, by a
+// Spawn inside the child, surfaces as that Spawn returning nil (EAGAIN at
+// the same ordered position in every variant) — same clean, deterministic
+// degradation, one level down.
 func (t *Thread) Fork(fn func(*Thread)) *ProcHandle {
 	ret := t.syscall(kernel.SysFork)
 	if !ret.Ok() {
@@ -656,14 +747,13 @@ func (t *Thread) Fork(fn func(*Thread)) *ProcHandle {
 		t.sess.kern.Do(childProc, kernel.Call{Nr: kernel.SysExit})
 		return nil
 	}
+	ps := &procState{}
+	ps.wg.Add(1)
 	child := &Thread{ID: tid, sess: t.sess, vs: t.vs,
-		proc: childProc, sigs: t.sigs.clone(), leader: true}
-	h := &ProcHandle{Pid: pid, Tid: tid, done: make(chan struct{})}
+		proc: childProc, sigs: t.sigs.clone(), ps: ps, leader: true}
+	h := &ProcHandle{Pid: pid, Tid: tid, ps: ps}
 	t.vs.wg.Add(1)
-	go func() {
-		defer close(h.done)
-		child.run(fn)
-	}()
+	go child.run(fn)
 	return h
 }
 

@@ -439,3 +439,340 @@ func TestRecordReplaySignalSchedule(t *testing.T) {
 		t.Fatalf("replay diverged: %v", rep.Divergence)
 	}
 }
+
+// --- Multi-threaded forked processes ---------------------------------------
+//
+// Forked children are full processes: Spawn works inside them, tids come
+// from the same per-variant space (so allocation is deterministic across
+// variants), exit-group unwinds sibling threads at their next syscall
+// boundary, and ProcHandle.Join waits for the whole teardown.
+
+func TestSpawnInForkedChild(t *testing.T) {
+	// A forked child grows a thread pool and every thread's syscalls are
+	// monitored like the root's. Each thread writes a per-tid file, the
+	// leader joins them and exits cleanly.
+	kern := kernel.New()
+	var status int
+	prog := Program{Name: "fork-then-spawn", Main: func(th *Thread) {
+		h := th.Fork(func(c *Thread) {
+			var sibs []*ThreadHandle
+			for i := 0; i < 3; i++ {
+				s := c.Spawn(func(s *Thread) {
+					fd := s.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly},
+						[]byte(fmt.Sprintf("/thread-%d", s.ID))).Val
+					s.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte("ran"))
+					s.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+				})
+				if s == nil {
+					t.Error("Spawn in forked child returned nil with tid space to spare")
+					return
+				}
+				sibs = append(sibs, s)
+			}
+			for _, s := range sibs {
+				s.Join()
+			}
+			c.Exit(0)
+		})
+		var st int
+		for {
+			var errno kernel.Errno
+			_, st, errno = th.Wait()
+			if errno != kernel.EINTR {
+				break
+			}
+		}
+		if th.IsMaster() {
+			status = st
+		}
+		_ = h
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, Kernel: kern, MaxThreads: 16}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("multi-threaded child diverged: %v", res.Divergence)
+	}
+	if status != 0 {
+		t.Fatalf("child status = %d, want 0", status)
+	}
+	// The fork leader drew tid 1 from the tree-wide space; its spawns take
+	// 2, 3, 4 — deterministically, because clone is an ordered call.
+	for tid := 2; tid <= 4; tid++ {
+		if data, ok := kern.ReadFile(fmt.Sprintf("/thread-%d", tid)); !ok || string(data) != "ran" {
+			t.Fatalf("thread %d left no trace (%q, %v) — tid allocation not deterministic?", tid, data, ok)
+		}
+	}
+}
+
+func TestSpawnExhaustionInForkedChildDegradesIdentically(t *testing.T) {
+	// Tid exhaustion inside a forked child is a clean, deterministic
+	// degrade: Spawn returns nil at the same ordered position in every
+	// variant (the clone's EAGAIN is a replicated result, not a host
+	// resource race), and the child keeps running with the threads it got.
+	// The spawned count rides the compared exit status, so a variant that
+	// degraded at a different point would diverge rather than pass.
+	prog := Program{Name: "spawn-exhaustion", Main: func(th *Thread) {
+		h := th.Fork(func(c *Thread) {
+			spawned := 0
+			var sibs []*ThreadHandle
+			for i := 0; i < 8; i++ {
+				s := c.Spawn(func(s *Thread) {
+					s.Syscall(kernel.SysGetpid, [6]uint64{}, nil)
+				})
+				if s == nil {
+					break
+				}
+				spawned++
+				sibs = append(sibs, s)
+			}
+			// Exhaustion is sticky: the space never shrinks back.
+			if c.Spawn(func(*Thread) {}) != nil {
+				c.Exit(99)
+			}
+			for _, s := range sibs {
+				s.Join()
+			}
+			c.Exit(spawned)
+		})
+		var st int
+		for {
+			var errno kernel.Errno
+			_, st, errno = th.Wait()
+			if errno != kernel.EINTR {
+				break
+			}
+		}
+		// MaxThreads 5: the fork leader drew tid 1, spawns take 2, 3, 4 —
+		// then the space hits the limit and clone returns EAGAIN.
+		if st != 3 {
+			t.Errorf("child spawned %d threads before exhaustion, want 3", st)
+		}
+		_ = h
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, MaxThreads: 5}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("exhaustion degrade diverged: %v", res.Divergence)
+	}
+}
+
+func TestProcHandleJoinWaitsForFullTeardown(t *testing.T) {
+	// Join's contract: when it returns, EVERY thread of the child — the
+	// leader and all Spawn siblings — has unwound through its kernel exit.
+	// The siblings here park in an infinite sleep loop, so the only way
+	// they die is the leader-return exit-group; Join returning while any
+	// of them was still mid-unwind would show live threads below.
+	kern := kernel.New()
+	var threads int
+	state := "missing"
+	prog := Program{Name: "join-teardown", Main: func(th *Thread) {
+		h := th.Fork(func(c *Thread) {
+			for i := 0; i < 3; i++ {
+				c.Spawn(func(s *Thread) {
+					fd := s.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly},
+						[]byte(fmt.Sprintf("/sib-%d", s.ID))).Val
+					s.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte("up"))
+					s.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+					for {
+						s.Syscall(kernel.SysNanosleep, [6]uint64{uint64(1e5)}, nil)
+					}
+				})
+			}
+			// Leader return = whole-process exit: the exit-group reaches
+			// every parked sibling at its next sleep boundary.
+		})
+		h.Join()
+		// Single variant: the snapshot below is exactly this variant's
+		// process table at the instant Join returned.
+		for _, p := range kern.Snapshot() {
+			if p.Vpid == h.Pid {
+				threads, state = p.Threads, p.State
+			}
+		}
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 1, Kernel: kern, MaxThreads: 16}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("diverged: %v", res.Divergence)
+	}
+	if threads != 0 || state != "zombie" {
+		t.Fatalf("at Join return the child had %d live threads in state %q, want 0/zombie (Join returned early)", threads, state)
+	}
+	// The siblings really started before dying: their startup writes are
+	// sequenced before the parked sleeps.
+	for tid := 2; tid <= 4; tid++ {
+		if _, ok := kern.ReadFile(fmt.Sprintf("/sib-%d", tid)); !ok {
+			t.Fatalf("sibling tid %d never started", tid)
+		}
+	}
+}
+
+func TestSigtermToMultithreadedWorkerUnwindsSiblings(t *testing.T) {
+	// The satellite acceptance: SIGTERM with default disposition against a
+	// 4-thread process terminates the WHOLE process — the delivery thread
+	// dies at its boundary and the exit-group pseudo-signal unwinds every
+	// parked sibling at its next syscall boundary, identically in both
+	// variants. Afterwards nothing of the child remains: reaped, no
+	// zombies, no threads.
+	kern := kernel.New()
+	var status int
+	prog := Program{Name: "sigterm-multithreaded", Main: func(th *Thread) {
+		child := th.Fork(func(c *Thread) {
+			for i := 0; i < 3; i++ {
+				c.Spawn(func(s *Thread) {
+					for {
+						s.Syscall(kernel.SysNanosleep, [6]uint64{uint64(1e6)}, nil)
+					}
+				})
+			}
+			for {
+				c.Syscall(kernel.SysNanosleep, [6]uint64{uint64(1e6)}, nil)
+			}
+		})
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(2e6)}, nil)
+		th.Kill(child.Pid, kernel.SIGTERM)
+		var st int
+		for {
+			var errno kernel.Errno
+			_, st, errno = th.Wait()
+			if errno != kernel.EINTR {
+				break
+			}
+		}
+		if th.IsMaster() {
+			status = st
+		}
+		if _, _, errno := th.Wait(); errno != kernel.ECHILD {
+			t.Errorf("wait after reap: %v, want ECHILD", errno)
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, Kernel: kern, MaxThreads: 16}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("multi-threaded SIGTERM diverged: %v", res.Divergence)
+	}
+	if status != 128+kernel.SIGTERM {
+		t.Fatalf("status = %d, want %d", status, 128+kernel.SIGTERM)
+	}
+	// Only the two variant roots survive: the child and all four of its
+	// threads are gone from both variants' tables.
+	if n := kern.ProcCount(); n != 2 {
+		t.Fatalf("%d processes left, want the 2 roots", n)
+	}
+}
+
+func TestSignalIntoMultithreadedProcEINTRsOneThreadIdentically(t *testing.T) {
+	// Four threads of one forked process park in blocking reads on four
+	// separate pipes; a single SIGUSR1 EINTRs exactly ONE of them — and
+	// which one is the master's choice, replicated to the slave through the
+	// stamped Ret.Sig, so the "/eintr-<tid>" marker the interrupted thread
+	// writes is a compared event that would diverge if the variants
+	// disagreed on the delivery thread.
+	kern := kernel.New()
+	prog := Program{Name: "mt-eintr", Main: func(th *Thread) {
+		var rfd, wfd [4]uint64
+		for i := range rfd {
+			pr := th.Syscall(kernel.SysPipe2, [6]uint64{}, nil)
+			rfd[i], wfd[i] = pr.Val, pr.Val2
+		}
+		child := th.Fork(func(c *Thread) {
+			c.Sigaction(kernel.SIGUSR1, func(*Thread, int) {})
+			park := func(s *Thread, fd uint64) {
+				for {
+					r := s.Syscall(kernel.SysRead, [6]uint64{fd, 4}, nil)
+					if r.Err == kernel.EINTR {
+						mfd := s.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly},
+							[]byte(fmt.Sprintf("/eintr-%d", s.ID))).Val
+						s.Syscall(kernel.SysWrite, [6]uint64{mfd}, []byte("interrupted"))
+						s.Syscall(kernel.SysClose, [6]uint64{mfd}, nil)
+						continue
+					}
+					return
+				}
+			}
+			var sibs []*ThreadHandle
+			for i := 1; i < 4; i++ {
+				fd := rfd[i]
+				sibs = append(sibs, c.Spawn(func(s *Thread) { park(s, fd) }))
+			}
+			park(c, rfd[0])
+			for _, s := range sibs {
+				s.Join()
+			}
+			c.Exit(0)
+		})
+		// All four threads are committed to their reads before the pipes
+		// hold any bytes, so the signal can only land as an EINTR.
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(2e6)}, nil)
+		th.Kill(child.Pid, kernel.SIGUSR1)
+		for i := range wfd {
+			th.Syscall(kernel.SysWrite, [6]uint64{wfd[i]}, []byte("go"))
+		}
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, Kernel: kern, MaxThreads: 16}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("multi-threaded EINTR diverged: %v", res.Divergence)
+	}
+	// Exactly one of the four threads (tids 1..4) observed the interrupt.
+	marked := 0
+	for tid := 1; tid <= 4; tid++ {
+		if _, ok := kern.ReadFile(fmt.Sprintf("/eintr-%d", tid)); ok {
+			marked++
+		}
+	}
+	if marked != 1 {
+		t.Fatalf("%d threads observed EINTR, want exactly 1", marked)
+	}
+}
+
+func TestSignalHandlerRunsOnDeterministicThread(t *testing.T) {
+	// Process-directed signal into a 4-thread worker: the handler runs on
+	// whichever thread's syscall boundary the master stamped — and the
+	// handler records that thread's tid through a compared write, so both
+	// variants provably agree on the delivery thread.
+	kern := kernel.New()
+	prog := Program{Name: "mt-handler-tid", Main: func(th *Thread) {
+		child := th.Fork(func(c *Thread) {
+			c.Sigaction(kernel.SIGUSR1, func(h *Thread, _ int) {
+				fd := h.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly}, []byte("/sigtid")).Val
+				h.Syscall(kernel.SysWrite, [6]uint64{fd}, []byte(fmt.Sprintf("tid=%d", h.ID)))
+				h.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+			})
+			spin := func(s *Thread) {
+				for i := 0; i < 12; i++ {
+					s.Syscall(kernel.SysNanosleep, [6]uint64{uint64(1e6)}, nil)
+				}
+			}
+			var sibs []*ThreadHandle
+			for i := 0; i < 3; i++ {
+				sibs = append(sibs, c.Spawn(spin))
+			}
+			spin(c)
+			for _, s := range sibs {
+				s.Join()
+			}
+			c.Exit(0)
+		})
+		th.Syscall(kernel.SysNanosleep, [6]uint64{uint64(3e6)}, nil)
+		th.Kill(child.Pid, kernel.SIGUSR1)
+		for {
+			if _, _, errno := th.Wait(); errno != kernel.EINTR {
+				break
+			}
+		}
+	}}
+	res := runWithTimeout(t, Options{Variants: 2, Agent: agent.WallOfClocks, Kernel: kern, MaxThreads: 16}, prog)
+	if res.Divergence != nil {
+		t.Fatalf("handler-thread determinism diverged: %v", res.Divergence)
+	}
+	data, ok := kern.ReadFile("/sigtid")
+	if !ok || !strings.HasPrefix(string(data), "tid=") {
+		t.Fatalf("handler never recorded its thread: %q %v", data, ok)
+	}
+}

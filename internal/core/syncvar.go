@@ -95,6 +95,16 @@ func (t *Thread) DataAddr(size uint64) uint64 {
 	return t.vs.space.AllocData(size)
 }
 
+// RefreshLayout re-randomizes this variant's layout cursors from seed (see
+// variant.Space.EpochShift) — the hook a hot-restarting server calls before
+// forking a new worker generation, so the new workers' code lands at fresh
+// addresses and gadget addresses leaked from the old generation die with
+// it. Guest code must call it at the same program position in every variant
+// (it is local state, not a monitored syscall).
+func (t *Thread) RefreshLayout(seed int64) {
+	t.vs.space.EpochShift(seed)
+}
+
 // FutexWait blocks until a FutexWake on v, provided v still holds val
 // (sys_futex FUTEX_WAIT). Futexes are per variant and unordered — the
 // agents already order all the sync ops around them (§4.1, footnote 5).

@@ -1,0 +1,30 @@
+package fleet
+
+import "fmt"
+
+// The epoch-file contract between a hot-restarting guest program and its
+// host-side observers. A program that supports zero-downtime reload (the
+// prefork webserver) publishes its live worker generation by writing
+// EpochFile inside its simulated kernel; the fleet snapshot reads it back
+// through Kernel.ReadFile and surfaces it per member, which is how
+// /statusz and /metrics show which generation each member is serving with
+// — without the observer ever entering the guest.
+
+// EpochFile is the guest path where the live generation is published.
+const EpochFile = "/run/epoch"
+
+// FormatEpochState renders the EpochFile payload.
+func FormatEpochState(epoch int, seed int64, workers int) []byte {
+	return []byte(fmt.Sprintf("epoch=%d seed=%d workers=%d\n", epoch, seed, workers))
+}
+
+// ParseEpochState parses an EpochFile payload. ok is false for anything
+// FormatEpochState would not have produced.
+func ParseEpochState(b []byte) (epoch int, seed int64, workers int, ok bool) {
+	var e, w int
+	var s int64
+	if n, err := fmt.Sscanf(string(b), "epoch=%d seed=%d workers=%d", &e, &s, &w); err != nil || n != 3 {
+		return 0, 0, 0, false
+	}
+	return e, s, w, true
+}

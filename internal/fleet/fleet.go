@@ -211,6 +211,7 @@ type Fleet struct {
 	served   atomic.Uint64
 	errors   atomic.Uint64
 	rejected atomic.Uint64
+	reloads  atomic.Uint64
 }
 
 // latencyShard is one gateway worker's latency histogram. Recording is
@@ -418,6 +419,7 @@ type Stats struct {
 	Divergences uint64 // sessions quarantined because their variants diverged
 	Crashes     uint64 // sessions quarantined because the program panicked
 	Recycled    uint64 // replacement sessions spawned
+	Reloads     uint64 // hot-restart sweeps triggered via Reload
 	Healthy     int    // members currently accepting dispatch
 	Uptime      time.Duration
 	// Latency pools every gateway worker's histogram (see
@@ -441,6 +443,7 @@ func (f *Fleet) Stats() Stats {
 		Divergences: f.divergences.Load(),
 		Crashes:     f.crashes.Load(),
 		Recycled:    f.recycled.Load(),
+		Reloads:     f.reloads.Load(),
 		Uptime:      time.Since(f.start),
 	}
 	for i := range f.shards {
@@ -455,6 +458,30 @@ func (f *Fleet) Stats() Stats {
 	}
 	f.mu.RUnlock()
 	return s
+}
+
+// Reload triggers a zero-downtime hot restart in every healthy member: it
+// posts SIGHUP to the member program's root process — the prefork parent's
+// reload trigger, which starts a new diversity-refreshed worker generation
+// and drains the old one without dropping a request. It returns how many
+// members accepted the signal. Like an operator's kill -HUP, the sweep is
+// only graceful for programs that handle SIGHUP; a member program with the
+// default disposition terminates instead.
+func (f *Fleet) Reload() int {
+	f.mu.RLock()
+	slots := append([]*member(nil), f.slots...)
+	f.mu.RUnlock()
+	n := 0
+	for _, m := range slots {
+		if m == nil || !m.healthy.Load() {
+			continue
+		}
+		if m.sess.Signal(kernel.SIGHUP) {
+			n++
+		}
+	}
+	f.reloads.Add(1)
+	return n
 }
 
 // Close drains the fleet: no new requests are accepted, queued requests

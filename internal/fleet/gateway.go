@@ -246,6 +246,7 @@ func StatsTable(s Stats) string {
 	t.Add("divergences quarantined", fmt.Sprintf("%d", s.Divergences))
 	t.Add("crashes quarantined", fmt.Sprintf("%d", s.Crashes))
 	t.Add("sessions recycled", fmt.Sprintf("%d", s.Recycled))
+	t.Add("hot restarts", fmt.Sprintf("%d", s.Reloads))
 	t.Add("healthy members", fmt.Sprintf("%d", s.Healthy))
 	t.Add("uptime", s.Uptime.Round(time.Millisecond).String())
 	t.Add("throughput", fmt.Sprintf("%.0f req/s", s.Throughput()))

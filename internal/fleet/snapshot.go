@@ -15,6 +15,12 @@ import (
 // per-variant flight tails.
 type MemberSnapshot struct {
 	MemberInfo
+	// Epoch and EpochSeed are the member program's live worker generation
+	// and its diversity-refresh seed, parsed from the epoch file the
+	// prefork server publishes inside its kernel (EpochFile).
+	// Both stay zero for programs that do not publish one.
+	Epoch     int   `json:"epoch,omitempty"`
+	EpochSeed int64 `json:"epoch_seed,omitempty"`
 	// Syscalls is the master variant's monitored syscall count so far.
 	Syscalls uint64 `json:"syscalls"`
 	// Procs is the member kernel's process table.
@@ -70,6 +76,11 @@ func (f *Fleet) Snapshot() Snapshot {
 			},
 			Syscalls: m.sess.Monitor().Syscalls(0),
 			Procs:    m.sess.Kernel().Snapshot(),
+		}
+		if b, ok := m.sess.Kernel().ReadFile(EpochFile); ok {
+			if e, seed, _, valid := ParseEpochState(b); valid {
+				ms.Epoch, ms.EpochSeed = e, seed
+			}
 		}
 		if tel := m.sess.Telemetry(); tel != nil {
 			ms.Flight = m.sess.Monitor().FlightTail()

@@ -25,6 +25,7 @@ func TestStatsTableGolden(t *testing.T) {
 		Divergences: 2,
 		Crashes:     1,
 		Recycled:    3,
+		Reloads:     5,
 		Healthy:     4,
 		Uptime:      2 * time.Second,
 		Latency:     lat,
@@ -37,6 +38,7 @@ func TestStatsTableGolden(t *testing.T) {
 		"divergences quarantined  2         \n" +
 		"crashes quarantined      1         \n" +
 		"sessions recycled        3         \n" +
+		"hot restarts             5         \n" +
 		"healthy members          4         \n" +
 		"uptime                   2s        \n" +
 		"throughput               500 req/s \n" +
@@ -53,7 +55,7 @@ func TestStatsTableGolden(t *testing.T) {
 	// Belt and braces independent of exact quantile arithmetic: every
 	// metric label renders.
 	for _, label := range []string{"served", "errors", "rejected", "divergences", "crashes",
-		"recycled", "healthy", "uptime", "throughput",
+		"recycled", "hot restarts", "healthy", "uptime", "throughput",
 		"latency samples", "latency mean", "latency p50", "latency p90", "latency p99", "latency max"} {
 		if !strings.Contains(got, label) {
 			t.Errorf("StatsTable lacks %q", label)

@@ -257,7 +257,7 @@ func (k *Kernel) Connect(port uint16) (ClientConn, Errno) {
 	cc := ClientConn{c: c, toGen: c.toServer.generation(), fromGen: c.fromServer.generation()}
 	k.track(c.toServer)
 	k.track(c.fromServer)
-	if errno := l.enqueue(c); errno != OK {
+	if errno := k.enqueueChasing(l, c, port); errno != OK {
 		// Close both pipes so they recycle: a refused connect (full
 		// backlog under overload) must not pin its pipes on the interrupt
 		// list for the session's lifetime.
@@ -266,6 +266,26 @@ func (k *Kernel) Connect(port uint16) (ClientConn, Errno) {
 		return ClientConn{}, errno
 	}
 	return cc, OK
+}
+
+// enqueueChasing enqueues cn on l, chasing the port's current listener if a
+// hot-restart handoff (doListen takeover) swapped it between the caller's
+// lookup and the enqueue: the old listener refuses (closed), but the
+// connection was never dropped by the guest, so it belongs in the
+// successor's backlog. The loop terminates because a re-looked-up listener
+// that still refuses is only replaced by a DIFFERENT successor; seeing the
+// same (or no) listener twice means the refusal is real.
+func (k *Kernel) enqueueChasing(l *listener, cn conn, port uint16) Errno {
+	errno := l.enqueue(cn)
+	for errno == ECONNREFUSED {
+		nl, ok := k.net.lookup(port)
+		if !ok || nl == l {
+			break
+		}
+		l = nl
+		errno = l.enqueue(cn)
+	}
+	return errno
 }
 
 // ClientConn is the client-side view of a loopback connection, used by
@@ -383,10 +403,9 @@ func (k *Kernel) dispatch(p *Proc, c Call) Ret {
 	case SysMunmap:
 		return retErr(p.AS.Munmap(c.Args[0], c.Args[1]))
 	case SysClone:
-		// The tid is allocated here, inside the monitor's ordered
-		// critical section, so corresponding threads get identical tids
-		// in every variant.
-		return Ret{Val: uint64(p.NextTid())}
+		return k.doClone(p, c)
+	case SysThreadExit:
+		return k.doThreadExit(p)
 	case SysMprotect:
 		if !p.AS.Mapped(c.Args[0]) {
 			return Ret{Err: ENOMEM}
@@ -746,6 +765,15 @@ func (k *Kernel) doFtruncate(p *Proc, c Call) Ret {
 // doListen binds a fresh listener on the requested port and replaces the
 // placeholder socket object behind the descriptor. Bind and listen are
 // collapsed into one call; the monitor still sees both syscalls.
+//
+// Args[3] != 0 requests a TAKEOVER (the hot-restart handoff, SO_REUSEPORT
+// in spirit): instead of failing EADDRINUSE, the new listener atomically
+// displaces the one currently bound at the port. The displaced listener is
+// closed — its parked accepts wake, drain whatever its backlog still holds,
+// and then see EINVAL, which is how an old worker epoch learns to stop
+// accepting and exit once in-flight requests finish. Backlog entries no old
+// worker gets to are migrated into the new listener, so no connection is
+// dropped across the swap.
 func (k *Kernel) doListen(p *Proc, c Call) Ret {
 	if c.Nr == SysBind {
 		return Ret{} // recorded for ordering; listen does the work
@@ -756,13 +784,32 @@ func (k *Kernel) doListen(p *Proc, c Call) Ret {
 	if backlog <= 0 {
 		backlog = 128
 	}
+	takeover := c.Args[3] != 0
 	ref, errno := p.lookupFD(fd)
 	if errno != OK {
 		return Ret{Err: errno}
 	}
 	l := newListener(k, port, backlog)
 	k.track(l)
-	if errno := k.net.bind(port, l); errno != OK {
+	if takeover {
+		if old := k.net.rebind(port, l); old != nil {
+			// Close first (stops new enqueues and wakes the old epoch's
+			// parked accepts), then migrate what the old workers don't
+			// drain themselves — both sides pop under the old listener's
+			// lock, so every pending connection is served exactly once.
+			old.close()
+			for {
+				cn, errno := old.accept(nil)
+				if errno != OK {
+					break
+				}
+				if l.enqueue(cn) != OK {
+					cn.toServer.interrupt()
+					cn.fromServer.interrupt()
+				}
+			}
+		}
+	} else if errno := k.net.bind(port, l); errno != OK {
 		k.abortListener(l) // nothing can have enqueued; just untrack
 		return Ret{Err: errno}
 	}
@@ -851,7 +898,7 @@ func (k *Kernel) doConnect(p *Proc, c Call) Ret {
 	cn := conn{toServer: k.getPipe(), fromServer: k.getPipe()}
 	k.track(cn.toServer)
 	k.track(cn.fromServer)
-	if errno := l.enqueue(cn); errno != OK {
+	if errno := k.enqueueChasing(l, cn, port); errno != OK {
 		// See Connect: refused connects must release their pipes.
 		cn.toServer.interrupt()
 		cn.fromServer.interrupt()

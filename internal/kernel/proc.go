@@ -177,6 +177,12 @@ type Proc struct {
 	// the master: the child frees itself at its own (later) local exit.
 	autoReap bool
 
+	// threads counts the process's LIVE threads, guarded by Kernel.treeMu:
+	// 1 at creation (the initial thread), +1 per successful clone, -1 per
+	// SysThreadExit/SysExit. The zombie transition happens when the count
+	// reaches zero with the exit-group flag raised (see doExit).
+	threads int
+
 	// tids allocates thread ids tree-wide (see tidSpace).
 	tids *tidSpace
 
@@ -191,23 +197,38 @@ type Proc struct {
 	// sigPark parks nanosleep; kill wakes it. (Other blocking sites park
 	// on their object's cond or the kernel poll wait set.)
 	sigPark futex.Parker
-	// sigIntr is the precomputed interrupt predicate (== signalPending as
-	// a method value, bound once so blocking call sites don't allocate a
-	// closure per call).
+	// sigIntr is the precomputed interrupt predicate (== interrupted as a
+	// method value, bound once so blocking call sites don't allocate a
+	// closure per call): deliverable signal or exit-group in progress.
 	sigIntr func() bool
+	// exitGroup is raised (inside the ordered SysExit) by the first thread
+	// to exit the process; sibling threads observe it at their next
+	// syscall boundary (BoundarySig) or blocking-op wakeup (interrupted)
+	// and unwind.
+	exitGroup atomic.Bool
 }
 
 // NewProc creates a root process with an empty descriptor table
 // (descriptors 0-2 are reserved, as stdin/stdout/stderr would be), the
 // given address space, and a fresh pid namespace in which it is pid 1.
 func NewProc(pid int, as *AddressSpace) *Proc {
-	p := &Proc{Pid: pid, AS: as, vpid: 1}
+	p := &Proc{Pid: pid, AS: as, vpid: 1, threads: 1}
 	p.fdt.init()
 	p.ns = &pidNamespace{nextVpid: 2, byVpid: map[int]*Proc{1: p}}
 	p.tids = &tidSpace{next: 1}
 	p.sigIgnored.Store(defaultIgnored)
-	p.sigIntr = p.signalPending
+	p.sigIntr = p.interrupted
 	return p
+}
+
+// Threads reports p's live thread count (for tests and the admin plane).
+func (p *Proc) Threads() int {
+	if p.kern == nil {
+		return p.threads
+	}
+	p.kern.treeMu.Lock()
+	defer p.kern.treeMu.Unlock()
+	return p.threads
 }
 
 // Vpid returns the guest-visible process id: 1 for a variant's root

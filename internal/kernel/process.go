@@ -44,11 +44,24 @@ type tidSpace struct {
 }
 
 func (ts *tidSpace) take() int {
+	tid, _ := ts.takeLimited(0)
+	return tid
+}
+
+// takeLimited allocates the next tid unless limit is nonzero and the space
+// is exhausted (tids are never recycled — the monitor's per-tid rings are
+// sized MaxThreads, which is the limit callers pass). Exhaustion is itself
+// deterministic: allocation happens inside ordered sections, so the same
+// clone of every variant is the one that fails.
+func (ts *tidSpace) takeLimited(limit int) (int, bool) {
 	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if limit > 0 && ts.next >= limit {
+		return 0, false
+	}
 	tid := ts.next
 	ts.next++
-	ts.mu.Unlock()
-	return tid
+	return tid, true
 }
 
 // Parent returns the pid of p's parent process, or 0 for a root process.
@@ -138,21 +151,95 @@ func (k *Kernel) doFork(parent *Proc) Ret {
 	return Ret{Val: uint64(child.vpid), Val2: uint64(tid)}
 }
 
-// doExit implements SysExit for a process: close every descriptor (shared
-// descriptions decrement; the last reference releases the object, so a
-// worker's exit never closes the listener its siblings still accept on),
-// turn the process into a zombie carrying Args[0] as its status, post
-// SIGCHLD to the parent, and wake waiters. A process with no parent (the
-// root, or an orphan) is reaped immediately — there is nobody to wait for
-// it. Exit is idempotent: a second call on a dead process is a no-op.
+// doClone implements SysClone: allocate the new thread's tid from the
+// tree-wide space and count the thread against the calling process. Both
+// happen inside the monitor's ordered critical section, so corresponding
+// threads get identical tids in every variant. Args[0] (optional, 0 = no
+// limit) caps the tid space at the session's MaxThreads: exhaustion returns
+// EAGAIN instead of allocating a tid the monitor has no ring for, and —
+// because the failing clone occupies the same position in every variant's
+// ordered stream — the degradation is identical across variants.
+func (k *Kernel) doClone(p *Proc, c Call) Ret {
+	tid, ok := p.tids.takeLimited(int(c.Args[0]))
+	if !ok {
+		return Ret{Err: EAGAIN}
+	}
+	k.treeMu.Lock()
+	p.threads++
+	k.treeMu.Unlock()
+	return Ret{Val: uint64(tid)}
+}
+
+// doExit implements SysExit for a process — in two phases now that forked
+// processes can be multi-threaded. The FIRST exiting thread raises the
+// exit-group flag, records the status, and kicks every blocking site its
+// siblings could be parked in: each sibling observes SigExitGroup at its
+// next syscall boundary (or EINTRs out of a blocked op and then observes
+// it) and unwinds through SysThreadExit. The LAST thread out — whichever
+// of SysExit/SysThreadExit drops the live count to zero — performs the
+// actual teardown (finishExit): descriptors close, the process turns
+// zombie, SIGCHLD posts. Exit is idempotent: a call on a dead process is a
+// no-op, and a second thread calling SysExit while the group is already
+// exiting just retires itself.
 func (k *Kernel) doExit(p *Proc, c Call) Ret {
 	k.treeMu.Lock()
 	if p.state != procRunning {
 		k.treeMu.Unlock()
 		return Ret{}
 	}
+	first := !p.exitGroup.Load()
+	if first {
+		p.exitGroup.Store(true)
+		p.status = int(c.Args[0])
+	}
+	p.threads--
+	last := p.threads <= 0
+	k.treeMu.Unlock()
+
+	if first && !last {
+		// Interrupt siblings parked in blocking kernel ops so the
+		// exit-group reaches them: they wake, their op returns EINTR, and
+		// the boundary hands them SigExitGroup.
+		k.signalKick(p)
+	}
+	if last {
+		k.finishExit(p)
+	}
+	return Ret{}
+}
+
+// doThreadExit implements SysThreadExit: retire one thread. If the process
+// is mid exit-group and this was the last live thread, complete the zombie
+// transition.
+func (k *Kernel) doThreadExit(p *Proc) Ret {
+	k.treeMu.Lock()
+	if p.state != procRunning {
+		k.treeMu.Unlock()
+		return Ret{}
+	}
+	p.threads--
+	last := p.threads <= 0 && p.exitGroup.Load()
+	k.treeMu.Unlock()
+	if last {
+		k.finishExit(p)
+	}
+	return Ret{}
+}
+
+// finishExit is the second phase of process exit, run by the last thread
+// out: close every descriptor (shared descriptions decrement; the last
+// reference releases the object, so a worker's exit never closes the
+// listener its siblings still accept on), turn the process into a zombie
+// carrying the recorded status, post SIGCHLD to the parent, and wake
+// waiters. A process with no parent (the root, or an orphan) is reaped
+// immediately — there is nobody to wait for it.
+func (k *Kernel) finishExit(p *Proc) {
+	k.treeMu.Lock()
+	if p.state != procRunning {
+		k.treeMu.Unlock()
+		return
+	}
 	p.state = procZombie
-	p.status = int(c.Args[0])
 	k.treeMu.Unlock()
 
 	// Close descriptors outside treeMu (closing may release pipes, which
@@ -185,7 +272,6 @@ func (k *Kernel) doExit(p *Proc, c Call) Ret {
 			}
 		}
 	}
-	return Ret{}
 }
 
 // closeAllFDs releases every live descriptor of p (process exit).
@@ -245,7 +331,7 @@ func (k *Kernel) doWaitpid(p *Proc, c Call) Ret {
 		if !matched {
 			return Ret{Err: ECHILD}
 		}
-		if p.signalPending() {
+		if p.interrupted() {
 			return Ret{Err: EINTR}
 		}
 		// Session teardown also surfaces as EINTR: the caller's retry hits

@@ -27,6 +27,17 @@ const (
 	// maxSig bounds the signal number space (bits in the pending/blocked
 	// masks; signal 0 is the kill(2) existence probe and never pending).
 	maxSig = 31
+
+	// SigExitGroup is the pseudo-signal the monitor stamps on a thread's
+	// syscall boundary while its process is mid exit-group: the first
+	// thread to exit set the flag, and every sibling observes it at its
+	// next boundary and unwinds (core panics the thread out and issues
+	// SysThreadExit). It deliberately lives OUTSIDE the real signal space
+	// (> maxSig): it cannot be sent, blocked, ignored, or caught, and a
+	// slave's AckSignal of it is a no-op by construction (sigBit returns
+	// 0) — the slave's own exit-group flag is raised by its per-variant
+	// execution of the same ordered exit.
+	SigExitGroup = maxSig + 1
 )
 
 // Signal dispositions, as stored by SysSigaction's Args[1].
@@ -82,10 +93,16 @@ func (p *Proc) deliverableMask() uint64 {
 	return p.sigPending.Load() &^ p.sigBlocked.Load() &^ p.sigIgnored.Load()
 }
 
-// signalPending is the interrupt predicate blocking kernel ops poll (via
-// Proc.sigIntr): true when a deliverable signal is pending, meaning the
-// op must unwind with EINTR so the boundary can deliver it.
+// signalPending is true when a deliverable signal is pending, meaning a
+// blocked op must unwind with EINTR so the boundary can deliver it.
 func (p *Proc) signalPending() bool { return p.deliverableMask() != 0 }
+
+// interrupted is the interrupt predicate blocking kernel ops poll (via
+// Proc.sigIntr): a deliverable signal OR an exit-group in progress. The
+// latter is what lets the first exiting thread of a multi-threaded process
+// yank its siblings out of parked reads/accepts — they return EINTR and the
+// boundary hands them SigExitGroup.
+func (p *Proc) interrupted() bool { return p.exitGroup.Load() || p.signalPending() }
 
 // sendSignal posts signo to p. A signal the process currently ignores is
 // discarded at send time (matching the usual Linux shortcut); SIGKILL can
@@ -100,6 +117,22 @@ func (p *Proc) sendSignal(signo int) bool {
 		p.sigPending.Or(bit)
 	}
 	p.sigMu.Unlock()
+	return true
+}
+
+// Post delivers signo to p from OUTSIDE the MVEE — the operator surface
+// behind the fleet's hot-reload trigger. Callers post to the MASTER
+// variant's process only (core.Session.Signal): the master observes the
+// signal at its next syscall boundary and the delivery then rides the
+// replicated record stream into every variant, exactly like an in-guest
+// kill. Returns false for an out-of-range signo.
+func (p *Proc) Post(signo int) bool {
+	if !p.sendSignal(signo) {
+		return false
+	}
+	if p.kern != nil {
+		p.kern.signalKick(p)
+	}
 	return true
 }
 
@@ -124,6 +157,19 @@ func (p *Proc) TakeSignal() uint32 {
 	p.sigPending.And(^sigBit(signo))
 	p.sigMu.Unlock()
 	return uint32(signo)
+}
+
+// BoundarySig is the monitor's per-boundary delivery probe: an exit-group
+// in progress outranks every ordinary signal (the thread is already dead
+// from the process's point of view; Linux discards its pending set), so the
+// flag is checked first. The no-signal fast path is one extra atomic load
+// on top of TakeSignal's three and stays allocation-free — it sits on the
+// replication hot path.
+func (p *Proc) BoundarySig() uint32 {
+	if p.exitGroup.Load() {
+		return SigExitGroup
+	}
+	return p.TakeSignal()
 }
 
 // AckSignal consumes signo from p's pending set without delivering it

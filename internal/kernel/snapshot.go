@@ -12,8 +12,11 @@ type ProcInfo struct {
 	Vpid int `json:"vpid"`
 	// Parent is the guest-visible parent pid, 0 for a variant's root.
 	Parent int `json:"parent,omitempty"`
-	// State is "running", "zombie", or "reaped".
+	// State is "running", "exiting" (exit-group in progress, sibling
+	// threads still unwinding), "zombie", or "reaped".
 	State string `json:"state"`
+	// Threads counts live threads (0 once the process exited).
+	Threads int `json:"threads,omitempty"`
 	// OpenFDs counts live descriptors.
 	OpenFDs int `json:"open_fds"`
 }
@@ -48,7 +51,12 @@ func (k *Kernel) Snapshot() []ProcInfo {
 	out := make([]ProcInfo, len(procs))
 	k.treeMu.Lock()
 	for i, p := range procs {
-		out[i] = ProcInfo{Pid: p.Pid, Vpid: p.vpid, Parent: p.Parent(), State: procStateName(p.state)}
+		state := procStateName(p.state)
+		if p.state == procRunning && p.exitGroup.Load() {
+			state = "exiting"
+		}
+		out[i] = ProcInfo{Pid: p.Pid, Vpid: p.vpid, Parent: p.Parent(),
+			State: state, Threads: max(p.threads, 0)}
 	}
 	k.treeMu.Unlock()
 	for i, p := range procs {

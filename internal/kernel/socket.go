@@ -275,6 +275,19 @@ func (ns *netStack) bind(port uint16, l *listener) Errno {
 	return OK
 }
 
+// rebind atomically replaces the listener bound at port with l and returns
+// the displaced one (nil if the port was free) — the hot-restart handoff: a
+// connect that looked the old listener up before the swap and enqueues
+// after it is refused and re-chases the port (see doConnect), so no
+// connection is dropped across the swap.
+func (ns *netStack) rebind(port uint16, l *listener) *listener {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	old := ns.listeners[port]
+	ns.listeners[port] = l
+	return old
+}
+
 func (ns *netStack) lookup(port uint16) (*listener, bool) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()

@@ -78,6 +78,12 @@ const (
 	// Args[0] is the how (SigBlock/SigUnblock/SigSetmask), Args[1] the
 	// bit mask; Val returns the previous mask.
 	SysSigprocmask
+	// SysThreadExit retires ONE thread of a process without ending the
+	// process — the kernel-side half of a vthread unwinding now that
+	// forked children can be multi-threaded. The last thread of a process
+	// already in exit-group completes the zombie transition. Appended to
+	// the enum (trace wire format), like everything after SysMVEEAware.
+	SysThreadExit
 	sysnoMax
 )
 
@@ -99,6 +105,7 @@ var sysnoNames = map[Sysno]string{
 	SysFutex: "futex", SysPoll: "poll", SysMVEEAware: "mvee_aware",
 	SysFork: "fork", SysWaitpid: "waitpid", SysKill: "kill",
 	SysSigaction: "sigaction", SysSigprocmask: "sigprocmask",
+	SysThreadExit: "thread_exit",
 }
 
 // String implements fmt.Stringer.

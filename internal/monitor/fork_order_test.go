@@ -1,0 +1,116 @@
+package monitor_test
+
+// The cross-layer determinism regression for multi-threaded forked
+// processes: concurrent Spawn and Fork from racing threads must hand out
+// IDENTICAL pids and tids in every variant. Both allocators draw inside
+// ordered syscalls (fork, clone), so the monitor's ticket order — not host
+// goroutine scheduling — decides the i-th allocation, and the compared
+// write payloads below (which embed the drawn ids) prove every variant
+// agreed on all of them.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+func runSession(t *testing.T, opts core.Options, prog core.Program) *core.Result {
+	t.Helper()
+	s := core.NewSession(opts, prog)
+	done := make(chan *core.Result, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(60 * time.Second):
+		s.Kill()
+		t.Fatalf("%s: session deadlocked", prog.Name)
+		return nil
+	}
+}
+
+func TestInterleavedForkAndSpawnAllocationIsDeterministic(t *testing.T) {
+	// The root spawns two racing threads; each forks a child, and each
+	// child spawns a worker thread. Which fork wins the ordered section
+	// varies run to run (host scheduling), but WITHIN a run every variant
+	// sees the same winner — the drawn pid/tid values ride compared write
+	// payloads, so any disagreement is a divergence, not a silent skew.
+	for round := 0; round < 5; round++ {
+		kern := kernel.New()
+		prog := core.Program{Name: "fork-spawn-interleave", Main: func(th *core.Thread) {
+			racer := func(tag string) func(*core.Thread) {
+				return func(s *core.Thread) {
+					h := s.Fork(func(c *core.Thread) {
+						w := c.Spawn(func(w *core.Thread) {
+							w.Syscall(kernel.SysGetpid, [6]uint64{}, nil)
+						})
+						if w == nil {
+							c.Exit(9)
+						}
+						w.Join()
+						// The compared payload: this child's pid and its
+						// worker's tid, as THIS variant drew them.
+						fd := c.Syscall(kernel.SysOpen, [6]uint64{kernel.OCreat | kernel.OWronly},
+							[]byte("/alloc-"+tag)).Val
+						c.Syscall(kernel.SysWrite, [6]uint64{fd},
+							[]byte(fmt.Sprintf("pid=%d wtid=%d", c.Getpid(), w.Tid)))
+						c.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+						c.Exit(0)
+					})
+					if h == nil {
+						t.Error("fork degraded with tid space to spare")
+					}
+				}
+			}
+			a := th.Spawn(racer("a"))
+			b := th.Spawn(racer("b"))
+			a.Join()
+			b.Join()
+			for reaped := 0; reaped < 2; {
+				if _, st, errno := th.Wait(); errno == kernel.OK {
+					if st != 0 {
+						t.Errorf("child status %d, want 0", st)
+					}
+					reaped++
+				} else if errno != kernel.EINTR {
+					t.Errorf("wait: %v", errno)
+					break
+				}
+			}
+		}}
+		res := runSession(t, core.Options{
+			Variants: 3, Agent: agent.WallOfClocks, ASLR: true, DCL: true,
+			Seed: int64(100 + round), MaxThreads: 16, Kernel: kern,
+		}, prog)
+		if res.Divergence != nil {
+			t.Fatalf("round %d: interleaved fork/spawn diverged: %v", round, res.Divergence)
+		}
+		// Both children recorded an allocation; the two forks drew the two
+		// deterministic pids in SOME order, and all four auxiliary tids
+		// (two racers, two workers) are distinct.
+		seen := map[string]bool{}
+		for _, tag := range []string{"a", "b"} {
+			data, ok := kern.ReadFile("/alloc-" + tag)
+			if !ok {
+				t.Fatalf("round %d: racer %s left no allocation record", round, tag)
+			}
+			var pid, wtid int
+			if _, err := fmt.Sscanf(string(data), "pid=%d wtid=%d", &pid, &wtid); err != nil {
+				t.Fatalf("round %d: bad record %q: %v", round, data, err)
+			}
+			if pid != 2 && pid != 3 {
+				t.Fatalf("round %d: racer %s drew pid %d, want 2 or 3", round, tag, pid)
+			}
+			for _, k := range []string{fmt.Sprintf("pid%d", pid), fmt.Sprintf("tid%d", wtid)} {
+				if seen[k] {
+					t.Fatalf("round %d: duplicate allocation %s (records: %q)", round, k, data)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}

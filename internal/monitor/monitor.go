@@ -798,11 +798,11 @@ func (m *Monitor) masterCall(tid int, proc *kernel.Proc, call kernel.Call, cls c
 		}
 		rec.Ts = t
 		rec.Ret = m.execute(proc, call)
-		if call.Nr != kernel.SysExit {
-			// No delivery at the exit boundary: the process is gone and
+		if call.Nr != kernel.SysExit && call.Nr != kernel.SysThreadExit {
+			// No delivery at the exit boundaries: the thread is gone and
 			// Linux discards its pending signals. (Delivering here would
 			// also re-terminate a process already inside its exit path.)
-			rec.Ret.Sig = proc.TakeSignal()
+			rec.Ret.Sig = proc.BoundarySig()
 		}
 		m.clocks[0].Tick()
 		m.clockParks[0].Wake()
@@ -816,7 +816,7 @@ func (m *Monitor) masterCall(tid int, proc *kernel.Proc, call kernel.Call, cls c
 	// because the kernel may never return (§4.1 Limitations). It is still
 	// executed by the master only and replicated positionally.
 	rec.Ret = m.execute(proc, call)
-	rec.Ret.Sig = proc.TakeSignal()
+	rec.Ret.Sig = proc.BoundarySig()
 	if m.publish {
 		m.publishRecord(tid, &rec, call.Data)
 	}

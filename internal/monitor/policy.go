@@ -87,7 +87,7 @@ func classify(nr kernel.Sysno) class {
 		// the returned child pids and initial tids deterministic: the i-th
 		// ordered fork of every variant draws the same ids.
 		return class{monitored: true, ordered: true, perVariant: true, sensitive: true}
-	case kernel.SysExit:
+	case kernel.SysExit, kernel.SysThreadExit:
 		// Process exit is ordered so that exit/kill/waitpid interleavings
 		// replay identically: a master that observed ESRCH because the
 		// target died first must see its slaves observe the same.
@@ -156,7 +156,7 @@ func argMask(nr kernel.Sysno) uint8 {
 		// the call's inputs.
 		return 0
 	case kernel.SysKill, kernel.SysWaitpid, kernel.SysSigaction,
-		kernel.SysSigprocmask, kernel.SysExit:
+		kernel.SysSigprocmask, kernel.SysExit, kernel.SysThreadExit:
 		// Full comparison, stated explicitly rather than via the default:
 		// pid/signo/disposition/mask/exit-status arguments are plain values
 		// that must be identical across variants — a variant signalling a

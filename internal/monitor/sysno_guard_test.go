@@ -66,6 +66,8 @@ func TestSysnoSurfaceIsComplete(t *testing.T) {
 		kernel.SysSigaction:  {"sigaction", class{monitored: true, ordered: true, perVariant: true, sensitive: true}, all},
 		kernel.SysSigprocmask: {"sigprocmask",
 			class{monitored: true, ordered: true, perVariant: true, sensitive: true}, all},
+		kernel.SysThreadExit: {"thread_exit",
+			class{monitored: true, ordered: true, perVariant: true}, all},
 	}
 
 	n := 0

@@ -109,6 +109,23 @@ func (s *Space) AllocCode(n uint64) uint64 {
 	return s.codeBase + s.codeNext.Add(n) - n
 }
 
+// EpochShift re-randomizes the variant's ALLOCATION CURSORS from seed: the
+// diversity-refresh half of a hot restart. Future AllocCode/AllocData
+// results jump by a seed-derived, variant-salted stride, so code addresses
+// harvested against one worker generation (a leaked gadget pointer) are
+// dead in the next — without touching the bases, which concurrent
+// allocating threads read locklessly, and without breaking DCL: the
+// cumulative shift stays ≤ 2 MiB per epoch, far inside a variant's 64 GiB
+// code slab. Addresses already handed out keep their meaning.
+func (s *Space) EpochShift(seed int64) {
+	h := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(s.ID+1)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	// Strides are alignment-preserving (16 for code, 8 for data) and
+	// non-zero, so an epoch always moves the layout.
+	s.codeNext.Add((h%(1<<20))&^15 + 16)
+	s.dataNext.Add(((h>>20)%(1<<20))&^7 + 8)
+}
+
 // CodeOverlaps reports whether the code regions of two spaces overlap; with
 // DCL enabled this must always be false.
 func CodeOverlaps(a, b *Space, span uint64) bool {

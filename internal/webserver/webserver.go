@@ -54,6 +54,12 @@ type Config struct {
 	Prefork bool
 	// Workers is the prefork worker-process count (nginx worker_processes).
 	Workers int
+	// WorkerThreads is the number of accept-loop threads per prefork
+	// worker process (1 = the classic single-threaded worker). Forked
+	// children are full processes, so each worker grows its own thread
+	// pool; connection→thread assignment stays deterministic because it
+	// rides the replicated accept stream.
+	WorkerThreads int
 }
 
 func (c *Config) fill() {
@@ -68,6 +74,9 @@ func (c *Config) fill() {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.WorkerThreads <= 0 {
+		c.WorkerThreads = 1
 	}
 }
 
