@@ -171,30 +171,62 @@ func BenchmarkTable3Analysis(b *testing.B) {
 // 8 connections x 100 requests per measurement — long enough that the
 // sustained serving path, not session warmup, dominates the mvee-req/s
 // metric. On shared hosts compare interleaved medians (see BENCH_2.json's
-// method note); absolute numbers drift with the box.
+// method note); absolute numbers drift with the box. records/req is the
+// master's monitored-record count per served response — the replication
+// bill the batching + zero-copy work cuts toward the native line.
 func BenchmarkNginxThroughput(b *testing.B) {
 	b.ReportAllocs()
-	var native, mv, overhead float64
+	var native, mv, overhead, recs float64
 	for i := 0; i < b.N; i++ {
-		native, mv, overhead = bench.Nginx(2, 8, 100)
+		native, mv, overhead, recs = bench.NginxCell(2, 8, 100, false, true)
 	}
 	b.ReportMetric(native, "native-req/s")
 	b.ReportMetric(mv, "mvee-req/s")
 	b.ReportMetric(overhead*100, "overhead-%")
+	b.ReportMetric(recs, "records/req")
+}
+
+// BenchmarkEventedKeepAlive is the §5.5 cell closest to production nginx:
+// the evented (single-thread poll) serving mode under keep-alive load,
+// where one wakeup's worth of ready connections is replicated as ONE
+// multi-record batch. The batch=off cell is the A-B control — identical
+// traffic, every recv replicated as its own record — so the delta between
+// the two cells is the cross-core handoff cost the batching removes.
+// records/req must stay below 4 on the batch=on cell (recv + sendfile +
+// amortized poll); that is the acceptance gate for the replication bill.
+func BenchmarkEventedKeepAlive(b *testing.B) {
+	for _, batch := range []bool{true, false} {
+		batch := batch
+		b.Run("batch="+onOff(batch), func(b *testing.B) {
+			b.ReportAllocs()
+			var native, mv, overhead, recs float64
+			for i := 0; i < b.N; i++ {
+				native, mv, overhead, recs = bench.NginxCell(2, 8, 100, true, batch)
+			}
+			b.ReportMetric(native, "native-req/s")
+			b.ReportMetric(mv, "mvee-req/s")
+			b.ReportMetric(overhead*100, "overhead-%")
+			b.ReportMetric(recs, "records/req")
+			if batch && recs >= 4 {
+				b.Fatalf("replication bill: %.2f records/req on the keep-alive static page, want < 4", recs)
+			}
+		})
+	}
 }
 
 // fleetPools are the pool sizes the fleet benchmarks sweep.
 var fleetPools = []int{1, 4, 16}
 
 // startBenchFleet builds a warm fleet of `pool` webserver sessions in the
-// given serving mode ("" = thread pool, "evented", "prefork",
-// "prefork-mt" = 2 worker processes x 4 accept threads each).
+// given serving mode ("" = thread pool, "evented", "evented-nobatch",
+// "prefork", "prefork-mt" = 2 worker processes x 4 accept threads each).
 func startBenchFleet(b *testing.B, pool int, vulnerable bool, mode string) *fleet.Fleet {
 	b.Helper()
 	cfg := webserver.Config{Port: 8080, PoolThreads: 4, InstrumentCustomSync: true,
 		Vulnerable: vulnerable, PageSize: 1024,
-		Evented: mode == "evented",
-		Prefork: mode == "prefork" || mode == "prefork-mt", Workers: 4}
+		Evented:        mode == "evented" || mode == "evented-nobatch",
+		NoBatchWakeups: mode == "evented-nobatch",
+		Prefork:        mode == "prefork" || mode == "prefork-mt", Workers: 4}
 	if mode == "prefork-mt" {
 		cfg.Workers, cfg.WorkerThreads = 2, 4
 	}
@@ -324,11 +356,10 @@ func BenchmarkFleetDivergenceChurn(b *testing.B) {
 // trade-off under the MVEE; req/s and the latency quantiles are directly
 // comparable cells.
 func BenchmarkPollServer(b *testing.B) {
-	for _, pool := range []int{1, 4} {
-		pool := pool
-		b.Run(fmt.Sprintf("pool-%d", pool), func(b *testing.B) {
+	run := func(name, mode string, pool int) {
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
-			f := startBenchFleet(b, pool, false, "evented")
+			f := startBenchFleet(b, pool, false, mode)
 			defer f.Close()
 			b.ResetTimer()
 			start := time.Now()
@@ -343,6 +374,14 @@ func BenchmarkPollServer(b *testing.B) {
 			b.ReportMetric(float64(s.Latency.Quantile(0.99)), "p99-ns")
 		})
 	}
+	for _, pool := range []int{1, 4} {
+		run(fmt.Sprintf("pool-%d", pool), "evented", pool)
+	}
+	// The A-B control: identical single-session evented serving with the
+	// poll-wakeup batching disabled, so every ready recv pays its own
+	// replication handoff. Comparing this cell to pool-1 isolates what the
+	// multi-record batch buys on the gateway's request mix.
+	run("pool-1-nobatch", "evented-nobatch", 1)
 }
 
 // BenchmarkPreforkServer measures the multi-process serving mode through
@@ -834,9 +873,13 @@ func BenchmarkLaggingSlaveWait(b *testing.B) {
 // BenchmarkConnectPath measures the serving path's per-connection kernel
 // cost outside the MVEE machinery: connect, one request/response exchange
 // against a raw-kernel echo server, close. The pooled connection objects
-// (pipes with retained buffers, recycled socket endpoints) are what keep
-// allocs/op low here; before pooling every cycle paid for two pipes, two
-// conds, a socket endpoint, and fresh stream buffers.
+// (pipes with retained buffers, recycled socket endpoints) and the
+// server's reusable recv buffer (Call.Buf: the kernel copies the request
+// into caller memory instead of allocating an exact-sized result) are
+// what hold this at 0 allocs/op — the CI bench-smoke gate enforces it.
+// Before pooling every cycle paid for two pipes, two conds, a socket
+// endpoint, and fresh stream buffers; before Call.Buf it still paid one
+// allocation per recv.
 func BenchmarkConnectPath(b *testing.B) {
 	b.ReportAllocs()
 	k := kernel.New()
@@ -851,12 +894,13 @@ func BenchmarkConnectPath(b *testing.B) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		scratch := make([]byte, 4096)
 		for {
 			c := k.Do(p, kernel.Call{Nr: kernel.SysAccept, Args: [6]uint64{sfd.Val}})
 			if !c.Ok() {
 				return
 			}
-			msg := k.Do(p, kernel.Call{Nr: kernel.SysRecv, Args: [6]uint64{c.Val, 4096}})
+			msg := k.Do(p, kernel.Call{Nr: kernel.SysRecv, Args: [6]uint64{c.Val, 4096}, Buf: scratch})
 			if msg.Ok() && len(msg.Data) > 0 {
 				k.Do(p, kernel.Call{Nr: kernel.SysSend, Args: [6]uint64{c.Val}, Data: msg.Data})
 			}

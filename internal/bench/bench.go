@@ -261,10 +261,24 @@ func Table3(kind analysis.PointsToKind) (*stats.Table, []*analysis.Report) {
 
 // Nginx measures the §5.5 server: native and MVEE throughput plus the
 // overhead, using the loopback load generator (the paper's worst case:
-// 48% overhead on loopback).
+// 48% overhead on loopback). Thread-pool serving mode.
 func Nginx(variants, conns, requests int) (native, mveeTput float64, overhead float64) {
-	run := func(nv int, kind agent.Kind, port uint16) float64 {
-		cfg := webserver.Config{Port: port, PoolThreads: 8, InstrumentCustomSync: true}
+	native, mveeTput, overhead, _ = NginxCell(variants, conns, requests, false, true)
+	return native, mveeTput, overhead
+}
+
+// NginxCell runs one §5.5 throughput cell — thread-pool or evented serving,
+// poll-wakeup batching on or off — and additionally returns recsPerReq: the
+// monitored syscall records the MVEE's master spent per served response.
+// That quotient is the replication bill of one request (accept + recv +
+// response transfer + close, plus the amortized poll traffic in evented
+// mode); the batching and zero-copy work exists to push it toward the
+// native line, and the static-page keep-alive workload must keep it
+// below 4.
+func NginxCell(variants, conns, requests int, evented, batching bool) (native, mveeTput, overhead, recsPerReq float64) {
+	run := func(nv int, kind agent.Kind, port uint16) (float64, float64) {
+		cfg := webserver.Config{Port: port, PoolThreads: 8, InstrumentCustomSync: true,
+			Evented: evented, NoBatchWakeups: !batching}
 		s := core.NewSession(core.Options{
 			Variants: nv, Agent: kind, ASLR: true, DCL: true, Seed: 5, MaxThreads: 64,
 		}, webserver.Program(cfg))
@@ -281,15 +295,19 @@ func Nginx(variants, conns, requests int) (native, mveeTput float64, overhead fl
 		}
 		res := webserver.GenerateLoad(s.Kernel(), port, conns, requests)
 		s.Kernel().CloseListener(port)
-		<-done
-		return res.Throughput()
+		r := <-done
+		perReq := 0.0
+		if res.Responses > 0 {
+			perReq = float64(r.Syscalls) / float64(res.Responses)
+		}
+		return res.Throughput(), perReq
 	}
-	native = run(1, agent.None, 9090)
-	mveeTput = run(variants, agent.WallOfClocks, 9091)
+	native, _ = run(1, agent.None, 9090)
+	mveeTput, recsPerReq = run(variants, agent.WallOfClocks, 9091)
 	if native > 0 {
 		overhead = 1 - mveeTput/native
 	}
-	return native, mveeTput, overhead
+	return native, mveeTput, overhead, recsPerReq
 }
 
 func short(k agent.Kind) string {

@@ -611,6 +611,41 @@ func (t *Thread) Syscall(nr kernel.Sysno, args [6]uint64, data []byte) kernel.Re
 	return ret
 }
 
+// SyscallInto is Syscall with a caller-provided destination buffer for
+// input-replicating calls (read/recv): the master's kernel execution fills
+// buf directly, slaves copy the replicated record's bytes into their own
+// buf, and Ret.Data aliases buf's prefix. This is how a serving loop
+// recycles ONE scratch buffer across requests instead of paying the
+// exact-sized allocation the bufferless path makes per call.
+func (t *Thread) SyscallInto(nr kernel.Sysno, args [6]uint64, buf []byte) kernel.Ret {
+	ret := t.sess.mon.InvokeOn(t.vs.id, t.ID, t.proc, kernel.Call{Nr: nr, Args: args, Buf: buf})
+	if ret.Sig != 0 {
+		t.deliver(int(ret.Sig))
+	}
+	return ret
+}
+
+// SyscallBatch traps into the monitor with a RUN of calls replicated as
+// one multi-record (monitor.InvokeBatchOn): one cross-core publication per
+// batch instead of one per call. rets must be len(calls); rets[i] receives
+// call i's result. Only replicated calls batch (recv/send/poll-style I/O);
+// a batch containing anything else transparently falls back to the
+// per-call path inside the monitor. The batch is ONE signal-delivery
+// boundary: a signal landing mid-batch is stamped on the last record and
+// delivered here after every result is in.
+func (t *Thread) SyscallBatch(calls []kernel.Call, rets []kernel.Ret) {
+	t.sess.mon.InvokeBatchOn(t.vs.id, t.ID, t.proc, calls, rets)
+	// A true batch stamps at most the last record's Sig; the fallback path
+	// may stamp several. Deliver them in record order either way — the
+	// positions are replicated, so every variant runs the same handlers at
+	// the same boundaries.
+	for i := range rets {
+		if rets[i].Sig != 0 {
+			t.deliver(int(rets[i].Sig))
+		}
+	}
+}
+
 // deliver runs the handler for a signal popped at a syscall boundary, or
 // applies the default action (terminate) when none is registered. Handlers
 // run on the interrupted thread and may make syscalls — those nest into

@@ -456,6 +456,10 @@ func (k *Kernel) dispatch(p *Proc, c Call) Ret {
 		return k.doClose(p, c)
 	case SysPoll:
 		return k.doPoll(p, c)
+	case SysWritev:
+		return k.doWritev(p, c)
+	case SysSendfile:
+		return k.doSendfile(p, c)
 	default:
 		return Ret{Err: ENOSYS}
 	}
@@ -538,6 +542,21 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 		if ref.stale() {
 			return Ret{Err: EBADF}
 		}
+		// When the caller supplied a destination buffer (Call.Buf), fill it
+		// in place and alias the result — the allocation-free receive path.
+		if c.Buf != nil {
+			if br, ok := ref.obj.(bufReader); ok {
+				dst := c.Buf
+				if count < len(dst) {
+					dst = dst[:count]
+				}
+				n, errno := br.readInto(dst, p.sigIntr)
+				if errno != OK {
+					return Ret{Err: errno}
+				}
+				return Ret{Val: uint64(n), Data: dst[:n]}
+			}
+		}
 		data, errno := ar.readAvailable(count, p.sigIntr)
 		if errno != OK {
 			return Ret{Err: errno}
@@ -594,6 +613,13 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 // hook.
 type availableReader interface {
 	readAvailable(max int, intr func() bool) ([]byte, Errno)
+}
+
+// bufReader is implemented by stream objects that can fill a caller-owned
+// destination buffer with the pending bytes — the Call.Buf receive path,
+// which makes a steady-state serving loop's recv allocation-free.
+type bufReader interface {
+	readInto(dst []byte, intr func() bool) (int, Errno)
 }
 
 // streamWriter is implemented by stream objects whose writes can block on

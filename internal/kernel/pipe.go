@@ -112,6 +112,9 @@ func (r *readEnd) read(b []byte, _ int64) (int, Errno) { return r.p.read(r.gen, 
 func (r *readEnd) readAvailable(max int, intr func() bool) ([]byte, Errno) {
 	return r.p.readAvailable(r.gen, max, intr)
 }
+func (r *readEnd) readInto(dst []byte, intr func() bool) (int, Errno) {
+	return r.p.read(r.gen, dst, intr)
+}
 func (r *readEnd) write([]byte, int64) (int, Errno) { return 0, EBADF }
 func (r *readEnd) size() (int64, Errno)             { return 0, ESPIPE }
 func (r *readEnd) close() Errno                     { r.p.closeRead(r.gen); return OK }
@@ -123,6 +126,9 @@ func (w *writeEnd) read([]byte, int64) (int, Errno)      { return 0, EBADF }
 func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(w.gen, b, nil) }
 func (w *writeEnd) writeIntr(b []byte, intr func() bool) (int, Errno) {
 	return w.p.write(w.gen, b, intr)
+}
+func (w *writeEnd) sendFromFile(ino *inode, off int64, n int, intr func() bool) (int, Errno) {
+	return w.p.writeFromFile(w.gen, ino, off, n, intr)
 }
 func (w *writeEnd) size() (int64, Errno) { return 0, ESPIPE }
 func (w *writeEnd) close() Errno         { w.p.closeWrite(w.gen); return OK }
@@ -375,6 +381,93 @@ func (p *pipe) write(gen uint64, b []byte, intr func() bool) (int, Errno) {
 	// One poll wake per write, outside the lock (readers polling PollIn
 	// are ready): per-chunk wakes under p.mu would stampede every poller
 	// in the kernel straight into the lock the writer still holds.
+	p.hdr.pollWake()
+	return written, OK
+}
+
+// writeFromFile is sendfile's sink half: it fills the pipe buffer straight
+// from the inode, so the file bytes are copied exactly once (inode → pipe)
+// and never materialize in a guest- or monitor-visible buffer. Blocking,
+// EPIPE/EBADF, short-count-on-progress, EINTR-only-on-zero-progress, and
+// poll-wake placement all mirror write() — this IS a write as far as the
+// stream's semantics are concerned; only the source of the bytes differs.
+// The inode's read lock is taken per copied chunk (inside readAt), never
+// held while sleeping for pipe space.
+func (p *pipe) writeFromFile(gen uint64, ino *inode, off int64, total int, intr func() bool) (int, Errno) {
+	p.mu.Lock()
+	if !p.checkGenLocked(gen) {
+		p.mu.Unlock()
+		return 0, EBADF
+	}
+	written := 0
+	for written < total {
+		if p.readClosed {
+			rel := p.releaseDueLocked()
+			p.mu.Unlock()
+			if written > 0 {
+				p.hdr.pollWake()
+			}
+			if rel {
+				p.hdr.kern.releasePipe(p)
+			}
+			return written, EPIPE
+		}
+		if p.writeClosed {
+			rel := p.releaseDueLocked()
+			p.mu.Unlock()
+			if written > 0 {
+				p.hdr.pollWake()
+			}
+			if rel {
+				p.hdr.kern.releasePipe(p)
+			}
+			return written, EBADF
+		}
+		space := pipeBufSize - p.unread()
+		if space == 0 {
+			if intr != nil && intr() {
+				p.mu.Unlock()
+				if written > 0 {
+					p.hdr.pollWake()
+					return written, OK
+				}
+				return 0, EINTR
+			}
+			// Announce buffered progress before sleeping — same
+			// writer/poller deadlock avoidance as write().
+			if written > 0 {
+				p.hdr.pollWake()
+			}
+			p.waitLocked()
+			continue
+		}
+		chunk := total - written
+		if chunk > space {
+			chunk = space
+		}
+		// Compact before growing, like write(); then extend the buffer and
+		// let the inode copy directly into the new tail.
+		if p.r > 0 && len(p.buf)+chunk > cap(p.buf) {
+			n := copy(p.buf, p.buf[p.r:])
+			p.buf = p.buf[:n]
+			p.r = 0
+		}
+		old := len(p.buf)
+		if cap(p.buf) < old+chunk {
+			grown := make([]byte, old, old+chunk)
+			copy(grown, p.buf)
+			p.buf = grown
+		}
+		p.buf = p.buf[:old+chunk]
+		n := ino.readAt(p.buf[old:], off+int64(written))
+		p.buf = p.buf[:old+n]
+		if n == 0 {
+			break // file ended early (shrank under us): short count
+		}
+		written += n
+		p.cond.Broadcast() // wake readers
+	}
+	p.mu.Unlock()
 	p.hdr.pollWake()
 	return written, OK
 }

@@ -90,6 +90,14 @@ func (s *socketObj) readAvailable(max int, intr func() bool) ([]byte, Errno) {
 	return rx.readAvailable(s.rxGen.Load(), max, intr)
 }
 
+func (s *socketObj) readInto(dst []byte, intr func() bool) (int, Errno) {
+	rx := s.rx.Load()
+	if rx == nil {
+		return 0, EINVAL
+	}
+	return rx.read(s.rxGen.Load(), dst, intr)
+}
+
 func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
 	tx := s.tx.Load()
 	if tx == nil {
@@ -104,6 +112,13 @@ func (s *socketObj) writeIntr(b []byte, intr func() bool) (int, Errno) {
 		return 0, EINVAL
 	}
 	return tx.write(s.txGen.Load(), b, intr)
+}
+func (s *socketObj) sendFromFile(ino *inode, off int64, n int, intr func() bool) (int, Errno) {
+	tx := s.tx.Load()
+	if tx == nil {
+		return 0, EINVAL
+	}
+	return tx.writeFromFile(s.txGen.Load(), ino, off, n, intr)
 }
 func (s *socketObj) size() (int64, Errno) { return 0, ESPIPE }
 func (s *socketObj) seekable() bool       { return false }

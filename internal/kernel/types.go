@@ -84,8 +84,32 @@ const (
 	// already in exit-group completes the zombie transition. Appended to
 	// the enum (trace wire format), like everything after SysMVEEAware.
 	SysThreadExit
+	// SysWritev is the vectored gather-write (writev(2)): Args[0] is the
+	// fd, Args[1] the iovec count, and Data carries the iovec wire format
+	// (see EncodeIovec) — per-segment u32 lengths followed by the
+	// concatenated segment bytes. One replicated record covers what would
+	// otherwise be one write record per segment (a static page's header +
+	// body). Appended to the enum (trace wire format, Version 5).
+	SysWritev
+	// SysSendfile transfers Args[3] bytes from the seekable in-fd Args[1]
+	// to the stream out-fd Args[0], file→socket, without the bytes ever
+	// entering the guest: the kernel copies straight from the inode into
+	// the destination pipe buffer, and the replicated record carries only
+	// the byte count — the zero-copy serving path. Args[2] is the file
+	// offset, or SendfileCurOffset to use-and-advance the shared
+	// open-file-description offset under its lock (visible across dup'd
+	// and fork-inherited descriptors, like Linux f_pos). Appended to the
+	// enum (trace wire format, Version 5).
+	SysSendfile
 	sysnoMax
 )
+
+// SendfileCurOffset, passed as SysSendfile's Args[2], selects the shared
+// open-file-description offset: the transfer starts at the description's
+// current offset and advances it by the bytes sent, under the description
+// lock — so fork'd workers sendfiling from one inherited descriptor carve
+// up the file without overlap.
+const SendfileCurOffset = ^uint64(0)
 
 // SysnoMax is the exclusive upper bound of the Sysno enum. Guard tests
 // iterate [SysOpen, SysnoMax) to prove every simulated syscall has a name,
@@ -105,7 +129,7 @@ var sysnoNames = map[Sysno]string{
 	SysFutex: "futex", SysPoll: "poll", SysMVEEAware: "mvee_aware",
 	SysFork: "fork", SysWaitpid: "waitpid", SysKill: "kill",
 	SysSigaction: "sigaction", SysSigprocmask: "sigprocmask",
-	SysThreadExit: "thread_exit",
+	SysThreadExit: "thread_exit", SysWritev: "writev", SysSendfile: "sendfile",
 }
 
 // String implements fmt.Stringer.
@@ -202,6 +226,17 @@ type Call struct {
 	Nr   Sysno
 	Args [6]uint64
 	Data []byte // payload for write/send/…
+	// Buf, when non-nil on read/recv, is the caller's destination buffer:
+	// the kernel copies the pending bytes into it and Ret.Data aliases
+	// Buf's prefix, so a steady-state receive loop allocates nothing. Buf
+	// is VARIANT-LOCAL state, like the address a real recv(2) writes
+	// through: it is never compared, never published, and never encoded
+	// into traces. Under the monitor each variant must own its Buf (the
+	// master's result bytes are copied into a stable record payload before
+	// publication, and each slave copies them back out into its own Buf),
+	// and guests must supply Buf uniformly across variants — SPMD guest
+	// code does so by construction.
+	Buf []byte
 }
 
 // Ret is the kernel's (or the monitor's replicated) reply to a Call.

@@ -1,0 +1,142 @@
+package kernel
+
+import "encoding/binary"
+
+// Vectored and zero-copy transfer syscalls (writev, sendfile). Both exist
+// to shrink the number of monitored records a served request costs: writev
+// folds a header+body pair into one gather-write record, and sendfile moves
+// file bytes straight into the destination stream's buffer so the page
+// never rides a record payload at all.
+
+// iovLenSize is the wire size of one iovec length prefix.
+const iovLenSize = 4
+
+// EncodeIovec appends the writev wire format for segs to dst and returns
+// the extended slice: one little-endian u32 length per segment, followed by
+// the segments' bytes concatenated. The caller passes the result as
+// Call.Data with Args[1] = len(segs). Guests serving a constant response
+// encode it once and reuse the buffer.
+func EncodeIovec(dst []byte, segs ...[]byte) []byte {
+	for _, s := range segs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	}
+	for _, s := range segs {
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// decodeIovec validates the iovec wire format against the declared segment
+// count and returns the flat payload (the concatenated segment bytes). The
+// segment lengths must sum exactly to the remaining bytes — a trailing gap
+// or overhang is EINVAL, not silence.
+func decodeIovec(data []byte, cnt int) ([]byte, Errno) {
+	if cnt < 0 || len(data) < cnt*iovLenSize {
+		return nil, EINVAL
+	}
+	sum := 0
+	for i := 0; i < cnt; i++ {
+		sum += int(binary.LittleEndian.Uint32(data[i*iovLenSize:]))
+	}
+	payload := data[cnt*iovLenSize:]
+	if sum != len(payload) {
+		return nil, EINVAL
+	}
+	return payload, OK
+}
+
+// doWritev implements SysWritev: Args[0] fd, Args[1] iovec count, Data the
+// iovec wire format. The segments are contiguous on the wire, so once the
+// vector is validated the transfer is a single gather-write of the flat
+// payload — through the same stream/seekable paths (and the same
+// EINTR/short-count semantics) as SysWrite. Val is the payload bytes
+// written, excluding the length prefixes.
+func (k *Kernel) doWritev(p *Proc, c Call) Ret {
+	payload, errno := decodeIovec(c.Data, int(c.Args[1]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	return k.doWrite(p, Call{Nr: SysWrite, Args: c.Args, Data: payload})
+}
+
+// fileSender is implemented by stream objects that can pull bytes straight
+// out of an inode into their own buffer — the zero-copy half of sendfile:
+// the file bytes are copied exactly once (inode → pipe buffer), never
+// through a guest-visible intermediate.
+type fileSender interface {
+	sendFromFile(ino *inode, off int64, n int, intr func() bool) (int, Errno)
+}
+
+// doSendfile implements SysSendfile: transfer Args[3] bytes of the regular
+// file Args[1] into the stream Args[0], starting at file offset Args[2] —
+// or, when Args[2] is SendfileCurOffset, at the in-fd's open-file-
+// description offset, which is then advanced by the bytes sent UNDER THE
+// DESCRIPTION LOCK. The lock is held across the transfer, serializing
+// concurrent current-offset senders on the same description exactly like
+// Linux serializes f_pos — which is what makes fork'd workers sharing one
+// inherited descriptor carve the file into disjoint ranges. An explicit
+// offset leaves the description offset untouched (Linux sendfile(2) with a
+// non-NULL offset pointer). Val is the byte count actually sent; a transfer
+// interrupted after partial progress returns the short count with no error,
+// and EINTR only on zero progress, like every stream write here.
+func (k *Kernel) doSendfile(p *Proc, c Call) Ret {
+	outRef, errno := p.lookupFD(int(c.Args[0]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	inRef, errno := p.lookupFD(int(c.Args[1]))
+	if errno != OK {
+		return Ret{Err: errno}
+	}
+	snd, ok := outRef.obj.(fileSender)
+	if !ok {
+		return Ret{Err: EINVAL} // out-fd must be a stream (pipe/socket)
+	}
+	if outRef.stale() {
+		return Ret{Err: EBADF}
+	}
+	f, ok := inRef.obj.(*fileObj)
+	if !ok {
+		return Ret{Err: EINVAL} // in-fd must be a regular file
+	}
+	if inRef.accessMode() == OWronly {
+		return Ret{Err: EBADF}
+	}
+	count := int(c.Args[3])
+	if count < 0 {
+		return Ret{Err: EINVAL}
+	}
+	clamp := func(off int64) int {
+		if rem := f.ino.size() - off; rem < int64(count) {
+			return int(max(rem, 0))
+		}
+		return count
+	}
+	if c.Args[2] != SendfileCurOffset {
+		off := int64(c.Args[2])
+		n, werrno := snd.sendFromFile(f.ino, off, clamp(off), p.sigIntr)
+		if n == 0 && werrno != OK {
+			return Ret{Err: werrno}
+		}
+		return Ret{Val: uint64(n)}
+	}
+	// Shared-offset commit: read-and-advance the description offset under
+	// its lock, with the generation check that turns a sendfile racing the
+	// descriptor's close into EBADF. Holding e.mu across the (possibly
+	// blocking) stream write serializes f_pos movement, so two workers'
+	// current-offset sendfiles never overlap ranges.
+	e := inRef.ent
+	e.mu.Lock()
+	if e.gen.Load() != inRef.gen {
+		e.mu.Unlock()
+		return Ret{Err: EBADF}
+	}
+	off := e.offset
+	n, werrno := snd.sendFromFile(f.ino, off, clamp(off), p.sigIntr)
+	e.offset = off + int64(n)
+	e.mu.Unlock()
+	if n == 0 && werrno != OK {
+		return Ret{Err: werrno}
+	}
+	return Ret{Val: uint64(n)}
+}

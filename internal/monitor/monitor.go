@@ -274,6 +274,18 @@ type Monitor struct {
 	// no live producer).
 	arenas  []spillArena
 	darenas [][]spillArena
+	// outArenas[tid] recycles the master's OUTPUT payloads for calls made
+	// with a caller-owned destination buffer (kernel.Call.Buf): the result
+	// bytes alias the master guest's reusable buffer, which the guest will
+	// overwrite on its next receive, so they must be copied into stable
+	// slot-lifetime storage before publication. Same recycling soundness
+	// condition (and nil-means-fresh-allocation fallback) as arenas.
+	outArenas []spillArena
+	// brecs[tid] is the master's record scratch for batched invocations
+	// (InvokeBatchOn): records are built across the whole batch before
+	// publication, so they cannot live on the stack of a per-call helper.
+	// Only thread tid's master goroutine touches its slot.
+	brecs [][]Record
 
 	// publish is true when master records have at least one consumer
 	// (live slaves or the capture tape).
@@ -366,7 +378,9 @@ func New(kern *kernel.Kernel, procs []*kernel.Proc, cfg Config) *Monitor {
 	// replay publishes nothing live.
 	if m.publish && !cfg.Capture && !m.replay {
 		m.arenas = make([]spillArena, cfg.MaxThreads)
+		m.outArenas = make([]spillArena, cfg.MaxThreads)
 	}
+	m.brecs = make([][]Record, cfg.MaxThreads)
 	if m.replay {
 		m.prefillReplay(cfg.Replay)
 	}
@@ -806,22 +820,27 @@ func (m *Monitor) masterCall(tid int, proc *kernel.Proc, call kernel.Call, cls c
 		}
 		m.clocks[0].Tick()
 		m.clockParks[0].Wake()
+		// Capture the master's return BEFORE publication: stabilization may
+		// repoint the published record's Ret.Data at an arena copy, while
+		// the master's own caller keeps the alias into its Call.Buf.
+		ret := rec.Ret
 		if m.publish {
-			m.publishRecord(tid, &rec, call.Data)
+			m.publishRecord(tid, &rec, call.Data, call.Buf != nil && len(rec.Ret.Data) > 0)
 		}
 		m.flightAppend(0, tid, &rec, call.Data)
-		return rec.Ret
+		return ret
 	}
 	// Blocking call: may not be wrapped in the ordering critical section
 	// because the kernel may never return (§4.1 Limitations). It is still
 	// executed by the master only and replicated positionally.
 	rec.Ret = m.execute(proc, call)
 	rec.Ret.Sig = proc.BoundarySig()
+	ret := rec.Ret
 	if m.publish {
-		m.publishRecord(tid, &rec, call.Data)
+		m.publishRecord(tid, &rec, call.Data, call.Buf != nil && len(rec.Ret.Data) > 0)
 	}
 	m.flightAppend(0, tid, &rec, call.Data)
-	return rec.Ret
+	return ret
 }
 
 // publishRecord appends rec (with the call's input payload) to thread tid's
@@ -829,21 +848,44 @@ func (m *Monitor) masterCall(tid int, proc *kernel.Proc, call kernel.Call, cls c
 // copying, rather than aliasing the caller's buffer, is what makes the
 // record immutable the moment it is published. Large payloads go through
 // the per-thread arena (or a fresh allocation when recycling is unsound;
-// see Monitor.arenas).
-func (m *Monitor) publishRecord(tid int, rec *Record, payload []byte) {
+// see Monitor.arenas). stabilize marks a record whose Ret.Data aliases the
+// caller's reusable destination buffer (Call.Buf): such output must be
+// copied into slot-lifetime storage before the record becomes visible, or
+// the master guest's next receive overwrites bytes the slaves haven't
+// consumed yet.
+func (m *Monitor) publishRecord(tid int, rec *Record, payload []byte, stabilize bool) {
 	r := m.ring(tid)
-	if len(payload) <= InlinePayload {
+	if !stabilize && len(payload) <= InlinePayload {
 		rec.storeInline(payload)
 		r.Append(*rec)
 		return
 	}
 	seq := r.Reserve()
-	var arena *spillArena
-	if m.arenas != nil {
-		arena = &m.arenas[tid]
+	if len(payload) <= InlinePayload {
+		rec.storeInline(payload)
+	} else {
+		var arena *spillArena
+		if m.arenas != nil {
+			arena = &m.arenas[tid]
+		}
+		rec.storeSpill(payload, arena, r.Cap(), seq)
 	}
-	rec.storeSpill(payload, arena, r.Cap(), seq)
+	if stabilize {
+		m.stabilizeOut(tid, rec, r.Cap(), seq)
+	}
 	r.Publish(seq, *rec)
+}
+
+// stabilizeOut repoints rec.Ret.Data at a stable copy backed by the
+// output arena slot for seq (reusable exactly when ring slot seq is — the
+// caller Reserved it), or a fresh allocation when arenas are off (capture
+// retains records indefinitely).
+func (m *Monitor) stabilizeOut(tid int, rec *Record, rcap int, seq uint64) {
+	if m.outArenas != nil {
+		rec.Ret.Data = m.outArenas[tid].put(rcap, seq, rec.Ret.Data)
+		return
+	}
+	rec.Ret.Data = append([]byte(nil), rec.Ret.Data...)
 }
 
 // slaveCall validates thread tid's call against the master's record,
@@ -890,6 +932,14 @@ func (m *Monitor) slaveCall(v, tid int, proc *kernel.Proc, call kernel.Call, cls
 	} else {
 		ret = m.slaveResult(proc, call, rec, cls)
 	}
+	// Copy a replicated output payload into the slave's own destination
+	// buffer (Call.Buf): the record's bytes may live in a recycled arena
+	// slot that is only valid until this thread advances past the record,
+	// and each variant must own its result the way the master owns its.
+	if call.Buf != nil && !cls.perVariant && len(ret.Data) > 0 {
+		n := copy(call.Buf, ret.Data)
+		ret.Data = call.Buf[:n]
+	}
 	// Enact the master's signal-delivery schedule: the record says a
 	// signal landed at this boundary, so consume the slave's own pending
 	// bit (set by its per-variant execution of the same ordered kill) and
@@ -916,6 +966,238 @@ func (m *Monitor) slaveResult(proc *kernel.Proc, call kernel.Call, rec *Record, 
 		return m.execute(proc, call)
 	}
 	return rec.Ret // replicated master (or traced) result
+}
+
+// InvokeBatchOn performs a RUN of system calls on behalf of thread tid of
+// variant v as one replicated multi-record: the master executes all of
+// them and publishes the records in one ring operation (one reservation,
+// one wake — one cross-core handoff per batch instead of one per call),
+// and the slaves consume them through the same batched peek the run-ahead
+// protocol already uses. This is the poll-wakeup amortization path: a poll
+// that woke with K ready connections drains all K receives as one batch.
+//
+// Eligibility is exactly the REPLICATED set (monitored, replicated, not
+// per-variant): replicated calls execute only in the master, so deferring
+// their publication to the end of the batch changes nothing the slaves can
+// observe except the grouping. Per-variant calls (fork, mmap, exit) have
+// slave-side effects that later batch members could depend on, and
+// unmonitored calls never reach the rendezvous — a batch containing either
+// falls back to the per-call path, preserving semantics over speed.
+//
+// Signal delivery happens ONCE per batch, at its end: the batch is one
+// syscall boundary, so a signal that lands mid-batch is stamped on the
+// last record (and delivered by the caller after the batch returns),
+// keeping the master's delivery schedule positional and replicable.
+//
+// rets must be the same length as calls; rets[i] receives call i's result.
+func (m *Monitor) InvokeBatchOn(v, tid int, proc *kernel.Proc, calls []kernel.Call, rets []kernel.Ret) {
+	m.checkKilled()
+	for i := range calls {
+		cls := classify(calls[i].Nr)
+		if calls[i].Nr == kernel.SysMVEEAware || !cls.monitored || !cls.replicated || cls.perVariant {
+			for j := range calls {
+				rets[j] = m.InvokeOn(v, tid, proc, calls[j])
+			}
+			return
+		}
+	}
+	m.syscalls[v].n.Add(uint64(len(calls)))
+	if tel := m.tel; tel != nil {
+		// Count every call in the matrix; skip the latency sampling
+		// brackets — a batch's per-call latency is not separable.
+		for i := range calls {
+			tel.Matrix.Inc(v, tid, calls[i].Nr)
+		}
+	}
+	if m.replay || v != 0 {
+		sv := v
+		if m.replay {
+			sv = 1 // the replayed variant consumes the trace like a slave
+		}
+		m.slaveBatch(sv, tid, proc, calls, rets)
+		return
+	}
+	m.masterBatch(tid, proc, calls, rets)
+}
+
+// batchRecs returns thread tid's master-side record scratch, grown to n.
+func (m *Monitor) batchRecs(tid, n int) []Record {
+	if cap(m.brecs[tid]) < n {
+		m.brecs[tid] = make([]Record, n)
+	}
+	return m.brecs[tid][:n]
+}
+
+// masterBatch is masterCall over a batch: per call, the digest rendezvous
+// and the ordered-section stamp+execute happen exactly as in the singular
+// path (the ordering clock still ticks once per call — batching changes
+// record TRANSPORT, not the total order, which is what keeps a batched
+// trace identical to the sequential one) — but publication is deferred and
+// done in one ring operation at the end.
+func (m *Monitor) masterBatch(tid int, proc *kernel.Proc, calls []kernel.Call, rets []kernel.Ret) {
+	recs := m.batchRecs(tid, len(calls))
+	for i := range calls {
+		call := &calls[i]
+		cls := classify(call.Nr)
+		if m.cfg.Variants > 1 && m.lockstepped(cls) {
+			m.awaitDigests(tid, *call, cls, false)
+		}
+		rec := &recs[i]
+		*rec = Record{Nr: call.Nr, Args: call.Args, Ordered: cls.ordered}
+		if cls.ordered {
+			t := m.tickets.Take()
+			for spins := 0; m.clocks[0].Now() < t; spins++ {
+				m.checkKilled()
+				if ring.ParkDue(spins) {
+					g := m.clockParks[0].Prepare()
+					if m.clocks[0].Now() >= t || m.killed.Load() {
+						m.clockParks[0].Cancel()
+						continue
+					}
+					m.clockParks[0].Park(g)
+					continue
+				}
+				relax(spins)
+			}
+			rec.Ts = t
+			rec.Ret = m.execute(proc, *call)
+			m.clocks[0].Tick()
+			m.clockParks[0].Wake()
+		} else {
+			rec.Ret = m.execute(proc, *call)
+		}
+		rets[i] = rec.Ret
+	}
+	// One delivery point per batch (see InvokeBatchOn): stamp the batch's
+	// boundary signal on the LAST record. Exit syscalls are per-variant and
+	// therefore never batched, so no exit-boundary exception applies here.
+	if sig := proc.BoundarySig(); sig != 0 {
+		recs[len(recs)-1].Ret.Sig = sig
+		rets[len(rets)-1].Sig = sig
+	}
+	if m.publish {
+		m.publishBatch(tid, recs, calls)
+	}
+	for i := range recs {
+		m.flightAppend(0, tid, &recs[i], calls[i].Data)
+	}
+}
+
+// batchChunk caps how many records one publishBatch ring operation covers;
+// larger batches are split (and further clamped to the ring's capacity, so
+// ReserveN never over-reserves on a small test-sized ring).
+const batchChunk = 64
+
+// publishBatch publishes a batch of executed records to thread tid's ring
+// in one producer operation per chunk. The fast path — every payload
+// inline, no output stabilization needed — is a straight AppendBatch; a
+// chunk with spilled payloads or Buf-aliased outputs reserves its whole
+// sequence run at once (one fetch-add + one back-pressure wait, same cost
+// shape) and places each record's storage before publishing front-to-back.
+func (m *Monitor) publishBatch(tid int, recs []Record, calls []kernel.Call) {
+	r := m.ring(tid)
+	for len(recs) > 0 {
+		n := len(recs)
+		if n > batchChunk {
+			n = batchChunk
+		}
+		if n > r.Cap() {
+			n = r.Cap()
+		}
+		chunk, cc := recs[:n], calls[:n]
+		plain := true
+		for i := range chunk {
+			if len(cc[i].Data) > InlinePayload || (cc[i].Buf != nil && len(chunk[i].Ret.Data) > 0) {
+				plain = false
+				break
+			}
+		}
+		if plain {
+			for i := range chunk {
+				chunk[i].storeInline(cc[i].Data)
+			}
+			r.AppendBatch(chunk)
+		} else {
+			first := r.ReserveN(n)
+			for i := range chunk {
+				seq := first + uint64(i)
+				rec := &chunk[i]
+				if len(cc[i].Data) <= InlinePayload {
+					rec.storeInline(cc[i].Data)
+				} else {
+					var arena *spillArena
+					if m.arenas != nil {
+						arena = &m.arenas[tid]
+					}
+					rec.storeSpill(cc[i].Data, arena, r.Cap(), seq)
+				}
+				if cc[i].Buf != nil && len(rec.Ret.Data) > 0 {
+					m.stabilizeOut(tid, rec, r.Cap(), seq)
+				}
+				r.Publish(seq, *rec)
+			}
+		}
+		recs, calls = recs[n:], calls[n:]
+	}
+}
+
+// slaveBatch is slaveCall over a batch. The one protocol difference from
+// looping slaveCall: under lockstep, EVERY digest is submitted before ANY
+// record is consumed. The master publishes the batch only after executing
+// all of it, so a slave that submitted digest i only after consuming
+// record i-1 would deadlock against a master waiting for digest i before
+// executing the batch. Submitting up front is safe — digests are consumed
+// positionally from a per-thread inbox, so the master still validates
+// digest i against its call i.
+func (m *Monitor) slaveBatch(v, tid int, proc *kernel.Proc, calls []kernel.Call, rets []kernel.Ret) {
+	if !m.replay {
+		for i := range calls {
+			if m.lockstepped(classify(calls[i].Nr)) {
+				m.submitDigest(v, tid, calls[i], false)
+			}
+		}
+	}
+	for i := range calls {
+		call := &calls[i]
+		cls := classify(call.Nr)
+		rec := m.nextRecord(v, tid)
+		if d := m.compare(v, tid, *call, rec, cls); d != nil {
+			m.Kill(d)
+			panic(ErrKilled)
+		}
+		ret := rec.Ret // batches are replicated-only: no per-variant re-execution
+		if rec.Ordered {
+			for spins := 0; m.clocks[v].Now() < rec.Ts; spins++ {
+				m.checkKilled()
+				if ring.ParkDue(spins) {
+					g := m.clockParks[v].Prepare()
+					if m.clocks[v].Now() >= rec.Ts || m.killed.Load() {
+						m.clockParks[v].Cancel()
+						continue
+					}
+					m.clockParks[v].Park(g)
+					continue
+				}
+				relax(spins)
+			}
+			m.clocks[v].Tick()
+			m.clockParks[v].Wake()
+		}
+		if call.Buf != nil && len(ret.Data) > 0 {
+			n := copy(call.Buf, ret.Data)
+			ret.Data = call.Buf[:n]
+		}
+		if rec.Ret.Sig != 0 {
+			proc.AckSignal(rec.Ret.Sig)
+			ret.Sig = rec.Ret.Sig
+		}
+		if call.Nr == kernel.SysWaitpid && rec.Ret.Err == kernel.OK {
+			m.kern.ApplySlaveWait(proc, int(rec.Ret.Val))
+		}
+		m.flightAppend(v, tid, rec, call.Data)
+		m.advance(v, tid)
+		rets[i] = ret
+	}
 }
 
 // execute runs the call against the kernel for the given process. Injected

@@ -121,7 +121,14 @@ func classify(nr kernel.Sysno) class {
 		// different descriptor set — the evented server's entire control
 		// flow — is as divergent as one writing different bytes.
 		return class{monitored: true, replicated: true, blocking: true}
-	case kernel.SysWrite, kernel.SysSend, kernel.SysPwrite:
+	case kernel.SysWrite, kernel.SysSend, kernel.SysPwrite,
+		kernel.SysWritev, kernel.SysSendfile:
+		// The vectored/zero-copy transfers are writes: ordered, replicated,
+		// and compared under every policy. For writev the iovec count rides
+		// Args[1] and the segment-boundary prefixes ride the Data payload,
+		// so both participate in divergence detection; for sendfile the page
+		// bytes never reach the monitor at all — the compared surface is the
+		// (out_fd, in_fd, offset, count) argument tuple.
 		return class{monitored: true, ordered: true, replicated: true, sensitive: true}
 	case kernel.SysOpen, kernel.SysUnlink, kernel.SysFtruncate,
 		kernel.SysSocket, kernel.SysBind, kernel.SysListen, kernel.SysConnect,

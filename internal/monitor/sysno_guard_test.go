@@ -68,6 +68,11 @@ func TestSysnoSurfaceIsComplete(t *testing.T) {
 			class{monitored: true, ordered: true, perVariant: true, sensitive: true}, all},
 		kernel.SysThreadExit: {"thread_exit",
 			class{monitored: true, ordered: true, perVariant: true}, all},
+		// The vectored/zero-copy transfers are writes: ordered, replicated,
+		// sensitive, with every argument compared (writev's iovec count in
+		// Args[1]; sendfile's fd pair, offset, and byte count).
+		kernel.SysWritev:   {"writev", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
+		kernel.SysSendfile: {"sendfile", class{monitored: true, ordered: true, replicated: true, sensitive: true}, all},
 	}
 
 	n := 0

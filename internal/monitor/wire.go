@@ -24,6 +24,11 @@ import (
 // signal schedules deterministic offline). Ret.Inj entered with
 // trace.Version 4: the fault-injection marker, so a replay reproduces
 // injected faults from the record instead of re-rolling them.
+// trace.Version 5 changed no layout: it appended SysWritev/SysSendfile to
+// the Sysno enum, whose values travel in the Nr word below. Batched
+// publication (InvokeBatchOn) also adds nothing here — a batch is a
+// transport grouping, not a record property, so batched and sequential
+// sessions produce byte-identical traces.
 const (
 	wireFlagOrdered = 1 << 0
 	wireFlagExit    = 1 << 1

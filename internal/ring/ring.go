@@ -187,6 +187,22 @@ func (l *Log[T]) Reserve() uint64 {
 	return seq
 }
 
+// ReserveN reserves n consecutive sequence numbers in one producer
+// fetch-add and returns the first: the batch counterpart of Reserve, for a
+// producer placing several values into slot-lifetime storage before
+// publishing them (front-to-back, via Publish) as one multi-record. Like
+// AppendBatch's chunks, the single awaitSpace on the LAST reserved slot
+// covers the whole run. n must not exceed the ring's capacity — callers
+// chunk larger batches.
+func (l *Log[T]) ReserveN(n int) uint64 {
+	if n > len(l.slots) {
+		panic("ring: ReserveN larger than ring capacity")
+	}
+	seq := l.prod.Add(uint64(n)) - uint64(n)
+	l.awaitSpace(seq + uint64(n) - 1)
+	return seq
+}
+
 // Publish completes an append started with Reserve.
 func (l *Log[T]) Publish(seq uint64, v T) {
 	s := &l.slots[seq&l.mask]

@@ -24,7 +24,11 @@ import (
 // Version 4: Record carries Ret.Inj — the fault-injection marker — so a
 // session recorded under a chaos plan replays its injected faults
 // byte-identically instead of re-rolling them.
-const Version = 4
+// Version 5: two Sysno values appended — SysWritev and SysSendfile (the
+// vectored/zero-copy transfer calls). The record layout is unchanged; the
+// bump exists because Sysno values ARE the wire format, and a v4 reader
+// would render the new numbers as unknown syscalls.
+const Version = 5
 
 // Trace is one recorded execution.
 type Trace struct {

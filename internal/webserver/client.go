@@ -29,7 +29,24 @@ func (r LoadResult) Throughput() float64 {
 // GenerateLoad plays the wrk role: conns concurrent connections each issue
 // requestsPerConn GET requests for the static page and read the responses.
 // It runs outside the MVEE, against the session kernel.
+//
+// Connections are KEEP-ALIVE: each worker holds one open connection and
+// reuses it across requests, reconnecting transparently when the server
+// turns out to have closed it (the thread-pool and prefork modes close per
+// request; the evented mode keeps the connection). Responses are framed by
+// a single read — correct for any response the kernel delivers in one
+// chunk; use GenerateLoadSized when the expected response is larger.
 func GenerateLoad(k *kernel.Kernel, port uint16, conns, requestsPerConn int) LoadResult {
+	return GenerateLoadSized(k, port, conns, requestsPerConn, 0)
+}
+
+// GenerateLoadSized is GenerateLoad with explicit response framing: expect
+// is the exact response size in bytes, and each request reads until that
+// many bytes arrived — which is what keeps request/response pairing sound
+// on a keep-alive connection when a response spans several reads (a page
+// larger than the kernel's 64 KiB pipe buffer necessarily does). expect=0
+// keeps the single-read framing.
+func GenerateLoadSized(k *kernel.Kernel, port uint16, conns, requestsPerConn, expect int) LoadResult {
 	start := time.Now()
 	var mu sync.Mutex
 	res := LoadResult{}
@@ -44,25 +61,51 @@ func GenerateLoad(k *kernel.Kernel, port uint16, conns, requestsPerConn int) Loa
 			defer wg.Done()
 			local := LoadResult{}
 			buf := make([]byte, 8192)
+			var cc kernel.ClientConn
+			open := false
 			for r := 0; r < requestsPerConn; r++ {
-				cc, errno := k.Connect(port)
-				if errno != kernel.OK {
-					local.Errors++
-					continue
-				}
 				local.Requests++
-				if _, err := cc.Write(request); err != nil {
-					local.Errors++
-					cc.Close()
-					continue
+				got, ok := 0, false
+				// Two attempts: a write error or an immediate EOF on a kept
+				// connection means the server closed it between requests —
+				// an ordinary keep-alive race, retried once on a fresh
+				// connection rather than counted as a failure.
+				for attempt := 0; attempt < 2 && !ok; attempt++ {
+					if !open {
+						c, errno := k.Connect(port)
+						if errno != kernel.OK {
+							break
+						}
+						cc, open = c, true
+					}
+					if _, err := cc.Write(request); err != nil {
+						cc.Close()
+						open = false
+						continue
+					}
+					got = 0
+					for {
+						n, err := cc.Read(buf)
+						if err != nil || n == 0 {
+							cc.Close()
+							open = false
+							break
+						}
+						got += n
+						if expect <= 0 || got >= expect {
+							ok = true
+							break
+						}
+					}
 				}
-				n, err := cc.Read(buf)
-				if err != nil || n == 0 {
-					local.Errors++
-				} else {
+				if ok {
 					local.Responses++
-					local.Bytes += n
+					local.Bytes += got
+				} else {
+					local.Errors++
 				}
+			}
+			if open {
 				cc.Close()
 			}
 			mu.Lock()

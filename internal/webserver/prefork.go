@@ -1,7 +1,7 @@
 package webserver
 
 import (
-	"strings"
+	"bytes"
 
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -65,13 +65,16 @@ const (
 func epochSeed(epoch int) int64 { return int64(epoch)*104729 + 1 }
 
 func runPreforkServer(t *core.Thread, cfg Config) {
-	page := strings.Repeat("x", cfg.PageSize)
-	response := []byte("HTTP/1.1 200 OK\r\n\r\n" + page)
-	// Computed BEFORE the forks: workers inherit the parent's (variant-
-	// local) handler address, exactly like a real prefork server's workers
-	// inherit the parent's code layout. Re-derived per epoch after
-	// RefreshLayout, which is the whole point of the diversity refresh.
-	handlerPtr := t.CodeAddr(64)
+	// Built BEFORE the forks: workers inherit the parent's (variant-local)
+	// handler address — exactly like a real prefork server's workers
+	// inherit the parent's code layout — AND the parent's open page-file
+	// descriptor (fork copies the table over the shared description), so
+	// every worker serves with zero-copy sendfile at explicit offsets.
+	// The handler address is re-derived per epoch after RefreshLayout,
+	// which is the whole point of the diversity refresh; the page file is
+	// epoch-invariant.
+	srv := newPageSrv(t, cfg)
+	handlerPtr := srv.handlerPtr
 
 	sfd := t.Syscall(kernel.SysSocket, [6]uint64{}, nil).Val
 	t.Syscall(kernel.SysBind, [6]uint64{sfd, uint64(cfg.Port)}, nil)
@@ -91,8 +94,12 @@ func runPreforkServer(t *core.Thread, cfg Config) {
 	active := make(map[int]int)      // epoch → live worker count
 
 	forkWorker := func(e int, fd, hp, readyR, readyW uint64) {
+		// Each fork captures its own pageSrv COPY with the epoch's handler
+		// address baked in: the parent mutates nothing a live worker reads.
+		ws := *srv
+		ws.handlerPtr = hp
 		h := t.Fork(func(w *core.Thread) {
-			preforkWorker(w, cfg, fd, response, hp, e, readyR, readyW)
+			preforkWorker(w, &ws, fd, e, readyR, readyW)
 		})
 		if h != nil { // nil: tid space exhausted — serve with fewer workers
 			workerEpoch[h.Pid] = e
@@ -203,12 +210,12 @@ func runPreforkServer(t *core.Thread, cfg Config) {
 // every variant), signals readiness, serves, and — once the listener dies —
 // joins its siblings so every in-flight request finishes before the
 // process exits.
-func preforkWorker(w *core.Thread, cfg Config, sfd uint64, response []byte,
-	handlerPtr uint64, myEpoch int, readyR, readyW uint64) {
+func preforkWorker(w *core.Thread, srv *pageSrv, sfd uint64,
+	myEpoch int, readyR, readyW uint64) {
 	var sibs []*core.ThreadHandle
-	for i := 1; i < cfg.WorkerThreads; i++ {
+	for i := 1; i < srv.cfg.WorkerThreads; i++ {
 		h := w.Spawn(func(tt *core.Thread) {
-			workerAcceptLoop(tt, cfg, sfd, response, handlerPtr)
+			workerAcceptLoop(tt, srv, sfd)
 		})
 		if h == nil {
 			break
@@ -225,7 +232,7 @@ func preforkWorker(w *core.Thread, cfg Config, sfd uint64, response []byte,
 		w.Syscall(kernel.SysClose, [6]uint64{readyR}, nil)
 		w.Syscall(kernel.SysClose, [6]uint64{readyW}, nil)
 	}
-	workerAcceptLoop(w, cfg, sfd, response, handlerPtr)
+	workerAcceptLoop(w, srv, sfd)
 	for _, h := range sibs {
 		h.Join()
 	}
@@ -265,12 +272,15 @@ func readPublishedEpoch(w *core.Thread) (int, bool) {
 // means this generation's listener died (shutdown, or a hot restart's
 // takeover) and the loop returns with its in-flight request already
 // finished.
-func workerAcceptLoop(w *core.Thread, cfg Config, sfd uint64, response []byte, handlerPtr uint64) {
+func workerAcceptLoop(w *core.Thread, srv *pageSrv, sfd uint64) {
 	// Per-thread request counter: prefork's answer to the thread-pool
 	// mode's custom-lock-protected global — no sharing, no lock, and the
 	// /count responses are deterministic because connection→thread
 	// assignment is part of the replicated accept stream.
 	var served uint32
+	// Per-thread scratch buffer: every request line lands here instead of
+	// in a fresh exact-sized allocation.
+	buf := make([]byte, recvBufSize)
 	for {
 		acc := w.Syscall(kernel.SysAccept, [6]uint64{sfd}, nil)
 		if acc.Err == kernel.EINTR {
@@ -282,7 +292,7 @@ func workerAcceptLoop(w *core.Thread, cfg Config, sfd uint64, response []byte, h
 		fd := acc.Val
 		var r kernel.Ret
 		for {
-			r = w.Syscall(kernel.SysRecv, [6]uint64{fd, 4096}, nil)
+			r = w.SyscallInto(kernel.SysRecv, [6]uint64{fd, recvBufSize}, buf)
 			if r.Err != kernel.EINTR {
 				break
 			}
@@ -291,17 +301,17 @@ func workerAcceptLoop(w *core.Thread, cfg Config, sfd uint64, response []byte, h
 			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
 			continue
 		}
-		line := string(r.Data)
+		line := r.Data
 		served++
 		switch {
-		case strings.HasPrefix(line, "GET /quit"):
+		case bytes.HasPrefix(line, []byte("GET /quit")):
 			// Orderly worker suicide: the parent reaps status 1 and forks
 			// a replacement. Exit-group unwinds any sibling threads at
 			// their next syscall boundary.
 			sendAll(w, fd, []byte("bye"))
 			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
 			w.Exit(quitExit)
-		case strings.HasPrefix(line, "GET /killme"):
+		case bytes.HasPrefix(line, []byte("GET /killme")):
 			// Signal-path worker death: the worker SIGTERMs itself. The
 			// kill syscall's own boundary delivers the (unhandled,
 			// terminating) signal, so the process exits with 128+SIGTERM
@@ -311,7 +321,7 @@ func workerAcceptLoop(w *core.Thread, cfg Config, sfd uint64, response []byte, h
 			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
 			w.Kill(w.Getpid(), kernel.SIGTERM)
 		default:
-			respond(w, cfg, fd, line, response, handlerPtr, served)
+			respond(w, srv, fd, line, served)
 			w.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
 		}
 	}

@@ -281,11 +281,15 @@ func awaitEpoch(t *testing.T, k *kernel.Kernel, want int) (seed int64) {
 
 // awaitQuiescence polls the kernel process table until exactly
 // variants × (parent + workers) running processes remain, with no zombies
-// and at most maxFDs descriptors per process — maxFDs is 1 (the listener
-// share) for an idle server, 2 while load runs (an in-flight connection
-// is legitimate). Anything above that is a leak from the epoch churn.
+// and at most maxFDs+1 descriptors per process — maxFDs is 1 (the
+// listener share) for an idle server, 2 while load runs (an in-flight
+// connection is legitimate), and every process additionally holds the
+// read-only page file its sendfile path serves from (the nginx
+// `sendfile on` open-file residency). Anything above that is a leak from
+// the epoch churn.
 func awaitQuiescence(t *testing.T, k *kernel.Kernel, wantRunning, maxFDs int) {
 	t.Helper()
+	maxFDs++ // the resident page-file descriptor
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		running, bad := 0, ""

@@ -12,9 +12,18 @@
 // code address. Because variants have disjoint code layouts, the corrupted
 // pointer is only meaningful in one variant; the divergent response write
 // is detected by the monitor before any output leaves the system.
+//
+// The serving path mirrors nginx's I/O strategy: the static page is
+// materialized as a FILE and served with zero-copy sendfile; multi-piece
+// responses gather their segments with one writev; and every mode recvs
+// into a reusable scratch buffer instead of allocating per request. The
+// evented mode additionally batches all of a poll wakeup's ready
+// connections into one replicated multi-record (core.Thread.SyscallBatch),
+// so a wakeup with K ready clients costs one cross-core handoff, not K.
 package webserver
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -44,6 +53,13 @@ type Config struct {
 	// every variant's event loop takes the same branches — and a variant
 	// polling a different fd set is divergence.
 	Evented bool
+	// NoBatchWakeups disables the evented mode's poll-wakeup batching:
+	// each ready connection's recv is then replicated as its own record,
+	// one cross-core handoff apiece, the way every call was delivered
+	// before batching existed. The zero value — batching ON — is the
+	// intended configuration; the switch is the A-B lever for
+	// scripts/bench.sh and the batching equivalence tests.
+	NoBatchWakeups bool
 	// Prefork selects the multi-PROCESS serving mode (nginx/Apache
 	// prefork): the parent binds the listener, forks Workers child
 	// processes that inherit (and accept on) the shared listening
@@ -79,6 +95,14 @@ func (c *Config) fill() {
 		c.WorkerThreads = 1
 	}
 }
+
+// recvBufSize is the per-connection request scratch buffer: requests are
+// one short line, so 4 KiB covers them with the same headroom nginx's
+// default client_header_buffer uses.
+const recvBufSize = 4096
+
+// responseHeader prefixes every static-page response.
+const responseHeader = "HTTP/1.1 200 OK\r\n\r\n"
 
 // uninstrumentedSpinLock is the nginx custom primitive WITHOUT agent
 // instrumentation: it spins on a plain Go atomic that the agents never see.
@@ -119,22 +143,70 @@ func Program(cfg Config) core.Program {
 	}}
 }
 
+// pageSrv is the serving context every mode shares: the prebuilt response,
+// its iovec encoding (header and page kept as separate gather segments for
+// the vectored fallback), and the response FILE the zero-copy default path
+// serves from. Built once per process, before traffic flows.
+type pageSrv struct {
+	cfg Config
+	// handlerPtr is the "function pointer" the vulnerability overwrites:
+	// it holds the variant-local code address of the page handler.
+	// Diversity (DCL) places it differently in every variant.
+	handlerPtr uint64
+	response   []byte // header + page: the full default-path response
+	iov        []byte // EncodeIovec(header, page): the writev fallback wire
+	iovcnt     uint64
+	pageFD     uint64 // read-only fd over the full response; 0 = unavailable
+}
+
+// newPageSrv builds the serving context. Every syscall it makes is
+// replicated and sits before the accept loop in program order, so all
+// variants agree on the resulting descriptor.
+func newPageSrv(t *core.Thread, cfg Config) *pageSrv {
+	header := []byte(responseHeader)
+	page := []byte(strings.Repeat("x", cfg.PageSize))
+	srv := &pageSrv{
+		cfg:        cfg,
+		handlerPtr: t.CodeAddr(64),
+		response:   append(append(make([]byte, 0, len(header)+len(page)), header...), page...),
+		iov:        kernel.EncodeIovec(nil, header, page),
+		iovcnt:     2,
+	}
+	srv.pageFD = setupPageFile(t, cfg.Port, srv.response)
+	return srv
+}
+
+// setupPageFile materializes the response as a regular file and reopens it
+// read-only, giving respond's default path a source descriptor for
+// zero-copy sendfile — the nginx `sendfile on` configuration. Returns 0
+// (never a valid descriptor here) when any step fails; respond then falls
+// back to writev/send and the server keeps serving.
+func setupPageFile(t *core.Thread, port uint16, response []byte) uint64 {
+	name := []byte(fmt.Sprintf("/srv/response-%d", port))
+	w := t.Syscall(kernel.SysOpen,
+		[6]uint64{kernel.OCreat | kernel.OWronly | kernel.OTrunc}, name)
+	if !w.Ok() {
+		return 0
+	}
+	wr := t.Syscall(kernel.SysWrite, [6]uint64{w.Val}, response)
+	t.Syscall(kernel.SysClose, [6]uint64{w.Val}, nil)
+	if !wr.Ok() || wr.Val != uint64(len(response)) {
+		return 0
+	}
+	r := t.Syscall(kernel.SysOpen, [6]uint64{kernel.ORdonly}, name)
+	if !r.Ok() {
+		return 0
+	}
+	return r.Val
+}
+
 // request is one queued connection.
 type request struct {
 	fd uint64
 }
 
 func runServer(t *core.Thread, cfg Config) {
-	page := strings.Repeat("x", cfg.PageSize)
-	// The static response is served on every default-path request; build
-	// it once instead of concatenating header+page per request in every
-	// variant.
-	response := []byte("HTTP/1.1 200 OK\r\n\r\n" + page)
-
-	// The "function pointer" the vulnerability overwrites: it holds the
-	// variant-local code address of the page handler. Diversity (DCL)
-	// places it differently in every variant.
-	handlerPtr := t.CodeAddr(64)
+	srv := newPageSrv(t, cfg)
 
 	// Shared request counter protected by nginx's *custom* primitive.
 	var reqCount uint32
@@ -179,6 +251,10 @@ func runServer(t *core.Thread, cfg Config) {
 	workers := make([]*core.ThreadHandle, cfg.PoolThreads)
 	for w := 0; w < cfg.PoolThreads; w++ {
 		workers[w] = t.Spawn(func(tt *core.Thread) {
+			// One request scratch buffer for this worker's lifetime: every
+			// recv lands in it (core.Thread.SyscallInto), so the serving
+			// path stops paying an exact-sized allocation per request.
+			buf := make([]byte, recvBufSize)
 			for {
 				qmu.Lock(tt)
 				for len(queue) == 0 && !closed {
@@ -191,7 +267,7 @@ func runServer(t *core.Thread, cfg Config) {
 				req := queue[0]
 				queue = queue[1:]
 				qmu.Unlock(tt)
-				handle(tt, cfg, req, response, handlerPtr, bumpCount)
+				handle(tt, srv, req, buf, bumpCount)
 			}
 		})
 	}
@@ -222,15 +298,16 @@ type instrumented struct{ l *synclib.SpinLock }
 func (i instrumented) Lock(t *core.Thread)   { i.l.Lock(t) }
 func (i instrumented) Unlock(t *core.Thread) { i.l.Unlock(t) }
 
-// handle serves one connection: reads the request line, dispatches.
-func handle(t *core.Thread, cfg Config, req request, response []byte, handlerPtr uint64,
+// handle serves one connection: reads the request line into the worker's
+// scratch buffer, dispatches.
+func handle(t *core.Thread, srv *pageSrv, req request, buf []byte,
 	bump func(*core.Thread) uint32) {
-	r := t.Syscall(kernel.SysRecv, [6]uint64{req.fd, 4096}, nil)
+	r := t.SyscallInto(kernel.SysRecv, [6]uint64{req.fd, recvBufSize}, buf)
 	if !r.Ok() || r.Val == 0 {
 		t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
 		return
 	}
-	line := string(r.Data)
+	line := r.Data // aliases buf; consumed before the next recv reuses it
 	// nginx touches its shared counters at several points while handling
 	// one request; model that with repeated bumps. Under the
 	// uninstrumented custom lock, the interleaving of these bumps across
@@ -240,7 +317,7 @@ func handle(t *core.Thread, cfg Config, req request, response []byte, handlerPtr
 		t.Yield()
 		n = bump(t)
 	}
-	respond(t, cfg, req.fd, line, response, handlerPtr, n)
+	respond(t, srv, req.fd, line, n)
 	t.Syscall(kernel.SysClose, [6]uint64{req.fd}, nil)
 }
 
@@ -261,12 +338,65 @@ func sendAll(t *core.Thread, fd uint64, p []byte) {
 	}
 }
 
+// sendVec issues ONE vectored write of the pre-encoded iovec; flat is the
+// same bytes in linear form, used to resume the rare short count (a signal
+// landing while the send was parked) with plain sends. Reports whether the
+// vectored call was accepted at all — EINVAL means writev is unavailable
+// for this destination and the caller falls back wholesale.
+func sendVec(t *core.Thread, fd uint64, iov []byte, iovcnt uint64, flat []byte) bool {
+	for {
+		r := t.Syscall(kernel.SysWritev, [6]uint64{fd, iovcnt}, iov)
+		if r.Err == kernel.EINTR {
+			continue
+		}
+		if r.Err == kernel.EINVAL {
+			return false
+		}
+		if !r.Ok() || r.Val == 0 {
+			return true // broken connection; nothing more to send
+		}
+		if int(r.Val) < len(flat) {
+			sendAll(t, fd, flat[r.Val:])
+		}
+		return true
+	}
+}
+
+// sendFile streams total bytes of the response file to the socket with
+// zero-copy sendfile, resuming short transfers at EXPLICIT offsets — never
+// the shared file offset, because prefork workers inherit ONE open
+// description of the page file across fork and must not serialize on its
+// cursor. Reports false when sendfile is unavailable for this descriptor
+// pair (EINVAL with no progress) so the caller can fall back; broken
+// connections report true (there is nothing left to send).
+func sendFile(t *core.Thread, fd, src uint64, total int) bool {
+	sent := uint64(0)
+	for sent < uint64(total) {
+		r := t.Syscall(kernel.SysSendfile,
+			[6]uint64{fd, src, sent, uint64(total) - sent}, nil)
+		if r.Err == kernel.EINTR {
+			continue
+		}
+		if r.Err == kernel.EINVAL && sent == 0 {
+			return false
+		}
+		if !r.Ok() || r.Val == 0 {
+			return true // broken connection
+		}
+		sent += r.Val
+	}
+	return true
+}
+
 // respond dispatches one parsed request line and sends the response. It is
-// shared by the thread-pool, evented, and prefork serving modes.
-func respond(t *core.Thread, cfg Config, fd uint64, line string, response []byte,
-	handlerPtr uint64, count uint32) {
+// shared by the thread-pool, evented, and prefork serving modes. The
+// default (static page) path is zero-copy: one sendfile from the response
+// file straight to the socket. /count gathers its two pieces — the static
+// label and the formatted counter — with one writev. Each path degrades to
+// the next (writev, then plain sends) if its syscall is unavailable.
+func respond(t *core.Thread, srv *pageSrv, fd uint64, line []byte, count uint32) {
 	switch {
-	case cfg.Vulnerable && strings.HasPrefix(line, "POST /upload"):
+	case srv.cfg.Vulnerable && bytes.HasPrefix(line, []byte("POST /upload")):
 		// CVE-2013-2028 model: a chunked-transfer stack overflow lets
 		// the attacker overwrite a return address / function pointer
 		// with a gadget address they computed for ONE concrete layout.
@@ -274,45 +404,67 @@ func respond(t *core.Thread, cfg Config, fd uint64, line string, response []byte
 		// attacker-supplied value and "calling" it: the response leaks
 		// whether the gadget matched this variant's layout.
 		var gadget uint64
-		fmt.Sscanf(line[len("POST /upload "):], "%x", &gadget)
+		fmt.Sscanf(string(line[len("POST /upload "):]), "%x", &gadget)
 		hijacked := gadget // overwritten pointer
 		// The "indirect call": executing the gadget succeeds only in
 		// the variant whose code layout the attacker targeted. The
 		// response encodes the outcome, so variants answer differently
 		// — which the monitor catches at the send.
 		var body string
-		if hijacked == handlerPtr {
-			body = fmt.Sprintf("PWNED leaked-code-ptr=%#x", handlerPtr)
+		if hijacked == srv.handlerPtr {
+			body = fmt.Sprintf("PWNED leaked-code-ptr=%#x", srv.handlerPtr)
 		} else {
 			body = "500 internal error"
 		}
 		t.Syscall(kernel.SysSend, [6]uint64{fd}, []byte(body))
-	case strings.HasPrefix(line, "GET /count"):
+	case bytes.HasPrefix(line, []byte("GET /count")):
 		// The request count depends on cross-thread ordering: with the
 		// custom lock uninstrumented, counts drift across variants and
 		// this response diverges. (The evented mode has a single thread,
-		// so its count is deterministic by construction.)
-		sendAll(t, fd, []byte(fmt.Sprintf("count=%d", count)))
+		// so its count is deterministic by construction.) The two pieces
+		// go out as one gathered writev — its payload is compared like
+		// any write, so drifted counts still trip the monitor.
+		flat := []byte(fmt.Sprintf("count=%d", count))
+		label := len("count=")
+		if !sendVec(t, fd, kernel.EncodeIovec(nil, flat[:label], flat[label:]), 2, flat) {
+			sendAll(t, fd, flat)
+		}
 	default:
-		sendAll(t, fd, response)
+		if srv.pageFD != 0 && sendFile(t, fd, srv.pageFD, len(srv.response)) {
+			return
+		}
+		if len(srv.iov) > 0 && sendVec(t, fd, srv.iov, srv.iovcnt, srv.response) {
+			return
+		}
+		sendAll(t, fd, srv.response)
 	}
+}
+
+// connState is one open evented-mode connection: its descriptor and its
+// request scratch buffer. Buffers are pooled across connections, so the
+// steady-state accept→serve→close cycle allocates nothing.
+type connState struct {
+	fd  uint64
+	buf []byte
 }
 
 // runEventedServer is the event-driven serving mode: one thread
 // multiplexes the listener and every open connection through SysPoll,
 // the way nginx's native event loop does — where the thread-pool mode
 // above burns one vthread per in-flight connection, this one serves N
-// connections with exactly one.
+// connections with exactly one. Connections are keep-alive: the CLIENT
+// ends one by closing, which arrives here as a recv EOF.
 //
 // Under the MVEE this exercises the poll replication path end to end:
 // the master's poll parks on the kernel's poll wait set (allocation-free)
 // until traffic arrives, its revents array is replicated to the slaves,
 // and every variant's loop takes identical branches because the accept
-// results (and therefore the polled fd sets) are replicated too.
+// results (and therefore the polled fd sets) are replicated too. With
+// batching on (the default), all of a wakeup's ready recvs travel as one
+// replicated multi-record — one ring reservation and one cross-core
+// handoff per WAKEUP instead of per connection.
 func runEventedServer(t *core.Thread, cfg Config) {
-	page := strings.Repeat("x", cfg.PageSize)
-	response := []byte("HTTP/1.1 200 OK\r\n\r\n" + page)
-	handlerPtr := t.CodeAddr(64)
+	srv := newPageSrv(t, cfg)
 
 	sfd := t.Syscall(kernel.SysSocket, [6]uint64{}, nil).Val
 	t.Syscall(kernel.SysBind, [6]uint64{sfd, uint64(cfg.Port)}, nil)
@@ -323,9 +475,32 @@ func runEventedServer(t *core.Thread, cfg Config) {
 	// Single-threaded state: no locks needed, and the /count responses are
 	// deterministic across variants by construction.
 	var reqCount uint32
-	conns := make([]uint64, 0, 64)
+	conns := make([]connState, 0, 64)
+	var spare [][]byte // recycled request buffers of closed connections
 	var pollBuf []byte
+	var ready []int
+	var calls []kernel.Call
+	var rets []kernel.Ret
 	probeBuf := make([]byte, kernel.PollFDSize)
+	batch := !cfg.NoBatchWakeups
+
+	takeBuf := func() []byte {
+		if n := len(spare); n > 0 {
+			b := spare[n-1]
+			spare = spare[:n-1]
+			return b
+		}
+		return make([]byte, recvBufSize)
+	}
+	// drop closes connection i and recycles its slot. Callers walk ready
+	// indices in DESCENDING order, so the remove-by-swap never moves an
+	// index a later iteration still needs.
+	drop := func(i int) {
+		t.Syscall(kernel.SysClose, [6]uint64{conns[i].fd}, nil)
+		spare = append(spare, conns[i].buf)
+		conns[i] = conns[len(conns)-1]
+		conns = conns[:len(conns)-1]
+	}
 
 serve:
 	for {
@@ -339,23 +514,50 @@ serve:
 		}
 		pollBuf = pollBuf[:need]
 		kernel.EncodePollFD(pollBuf, 0, int(sfd), kernel.PollIn)
-		for i, fd := range conns {
-			kernel.EncodePollFD(pollBuf, 1+i, int(fd), kernel.PollIn)
+		for i, c := range conns {
+			kernel.EncodePollFD(pollBuf, 1+i, int(c.fd), kernel.PollIn)
 		}
 		r := t.Syscall(kernel.SysPoll, [6]uint64{uint64(n), kernel.PollNoTimeout}, pollBuf)
 		if !r.Ok() {
 			break
 		}
-		// Serve ready connections first (back to front, so the
-		// remove-by-swap keeps untouched indices stable), then accept.
+		// Collect the wakeup's ready connections back to front (so the
+		// remove-by-swap in drop keeps untouched indices stable), then
+		// serve them — batched into one replicated multi-record when more
+		// than one is ready — and only then accept.
+		ready = ready[:0]
 		for i := len(conns) - 1; i >= 0; i-- {
-			if kernel.DecodeRevents(r.Data, 1+i) == 0 {
-				continue
+			if kernel.DecodeRevents(r.Data, 1+i) != 0 {
+				ready = append(ready, i)
 			}
-			fd := conns[i]
-			conns[i] = conns[len(conns)-1]
-			conns = conns[:len(conns)-1]
-			serveEvented(t, cfg, fd, response, handlerPtr, &reqCount)
+		}
+		if batch && len(ready) > 1 {
+			if cap(calls) < len(ready) {
+				calls = make([]kernel.Call, len(ready))
+				rets = make([]kernel.Ret, len(ready))
+			}
+			calls, rets = calls[:len(ready)], rets[:len(ready)]
+			for j, i := range ready {
+				calls[j] = kernel.Call{
+					Nr:   kernel.SysRecv,
+					Args: [6]uint64{conns[i].fd, recvBufSize},
+					Buf:  conns[i].buf,
+				}
+			}
+			t.SyscallBatch(calls, rets)
+			for j, i := range ready {
+				if !serveReady(t, srv, conns[i].fd, rets[j], &reqCount) {
+					drop(i)
+				}
+			}
+		} else {
+			for _, i := range ready {
+				rr := t.SyscallInto(kernel.SysRecv,
+					[6]uint64{conns[i].fd, recvBufSize}, conns[i].buf)
+				if !serveReady(t, srv, conns[i].fd, rr, &reqCount) {
+					drop(i)
+				}
+			}
 		}
 		lev := kernel.DecodeRevents(r.Data, 0)
 		if lev&(kernel.PollHup|kernel.PollErr|kernel.PollNval) != 0 {
@@ -370,7 +572,7 @@ serve:
 			if !acc.Ok() {
 				break serve
 			}
-			conns = append(conns, acc.Val)
+			conns = append(conns, connState{fd: acc.Val, buf: takeBuf()})
 			kernel.EncodePollFD(probeBuf, 0, int(sfd), kernel.PollIn)
 			pr := t.Syscall(kernel.SysPoll, [6]uint64{1, 0}, probeBuf)
 			if !pr.Ok() {
@@ -379,22 +581,21 @@ serve:
 			lev = kernel.DecodeRevents(pr.Data, 0)
 		}
 	}
-	for _, fd := range conns {
-		t.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+	for _, c := range conns {
+		t.Syscall(kernel.SysClose, [6]uint64{c.fd}, nil)
 	}
 }
 
-// serveEvented handles one ready connection: poll guaranteed the recv
-// will not block (data or EOF), so the event thread never stalls on a
-// slow client.
-func serveEvented(t *core.Thread, cfg Config, fd uint64, response []byte,
-	handlerPtr uint64, reqCount *uint32) {
-	r := t.Syscall(kernel.SysRecv, [6]uint64{fd, 4096}, nil)
+// serveReady consumes one poll-ready connection's recv result: poll
+// guaranteed the recv could not block (data or EOF), so the event thread
+// never stalls on a slow client. EOF or an error means the peer is done
+// with this keep-alive connection — the caller closes and recycles the
+// slot; otherwise the request is served and the connection stays polled.
+func serveReady(t *core.Thread, srv *pageSrv, fd uint64, r kernel.Ret, reqCount *uint32) bool {
 	if !r.Ok() || r.Val == 0 {
-		t.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
-		return
+		return false
 	}
 	*reqCount++
-	respond(t, cfg, fd, string(r.Data), response, handlerPtr, *reqCount)
-	t.Syscall(kernel.SysClose, [6]uint64{fd}, nil)
+	respond(t, srv, fd, r.Data, *reqCount)
+	return true
 }
