@@ -1,0 +1,25 @@
+package kernel
+
+import "testing"
+
+func TestSendfileNegativeOffset(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panicked: %v", r)
+		}
+	}()
+	k := NewKernel()
+	p := k.InitProc()
+	w := k.Syscall(p, Call{Nr: SysOpen, Args: [6]uint64{OCreat | OWronly}, Data: []byte("/f")})
+	k.Syscall(p, Call{Nr: SysWrite, Args: [6]uint64{w.Val}, Data: []byte("hello world")})
+	k.Syscall(p, Call{Nr: SysClose, Args: [6]uint64{w.Val}})
+	rfd := k.Syscall(p, Call{Nr: SysOpen, Args: [6]uint64{ORdonly}, Data: []byte("/f")}).Val
+	// a socketpair-ish stream: use a pipe
+	pr := k.Syscall(p, Call{Nr: SysPipe})
+	_ = pr
+	outfd := pr.Val // read end? need write end
+	_ = outfd
+	// Args[2] = ^uint64(0) - 99 → off = -100 (not SendfileCurOffset)
+	ret := k.Syscall(p, Call{Nr: SysSendfile, Args: [6]uint64{pr.Val2(), rfd, ^uint64(0) - 99, 5}})
+	t.Logf("ret=%+v", ret)
+}
