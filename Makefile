@@ -5,7 +5,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race bench bench-smoke vet
+.PHONY: build test race bench bench-smoke bugbench vet
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# bugbench runs the concurrency-bug corpus under the race detector: every
+# annotated entry (internal/bugbench) must reach its annotated verdict —
+# deadlock with the expected cycle, clean, or divergence — across 5 seeds,
+# and the armed detector must report nothing on real workload shapes.
+bugbench:
+	$(GO) test -race -count=1 ./internal/bugbench/
 
 # bench records the perf trajectory into BENCH_9.json (see scripts/bench.sh
 # and the README's Performance section for how to read it — compare
@@ -42,3 +49,5 @@ bench-smoke:
 	awk '{ print } /BenchmarkChaosOverhead/ && / allocs\/op/ { if ($$(NF-1) != 0) bad = 1 } END { exit bad }'
 	$(GO) test -run '^$$' -bench 'BenchmarkConnectPath' -benchmem -benchtime=2000x . | \
 	awk '{ print } /BenchmarkConnectPath/ && / allocs\/op/ { if ($$(NF-1) != 0) bad = 1 } END { exit bad }'
+	$(GO) test -run '^$$' -bench 'BenchmarkDeadlockDetectorOverhead' -benchmem -benchtime=2000x . | \
+	awk '{ print } /BenchmarkDeadlockDetectorOverhead/ && / allocs\/op/ { if ($$(NF-1) != 0) bad = 1 } END { exit bad }'

@@ -743,6 +743,86 @@ func onOff(b bool) string {
 	return "off"
 }
 
+// BenchmarkDeadlockDetectorOverhead prices core.Options.DetectDeadlocks on
+// the replication hot path: the same master+slave Invoke loop as
+// BenchmarkReplicationHotPath (strict policy, telemetry off), with the
+// master proc armed with a live BlockBoard — registered thread, watcher
+// goroutine running — exactly as a DetectDeadlocks session arms it. Armed
+// but idle (nothing ever parks, which is the steady state of a healthy
+// server), the detector must cost the hot path zero allocations; the
+// detector=off cells are the A-B control. CI gates the allocs/op column
+// at 0 (make bench-smoke).
+func BenchmarkDeadlockDetectorOverhead(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		for _, payload := range []int{0, 64} {
+			armed, payload := armed, payload
+			b.Run(fmt.Sprintf("detector=%s/payload-%d", onOff(armed), payload), func(b *testing.B) {
+				b.ReportAllocs()
+				k := kernel.New()
+				procs := []*kernel.Proc{
+					k.NewProc(0x1000_0000, 0x7000_0000),
+					k.NewProc(0x2000_0000, 0x7100_0000),
+				}
+				m := monitor.New(k, procs, monitor.Config{
+					MaxThreads: 2, RingCap: 1024, Policy: monitor.PolicyStrictLockstep,
+				})
+				if armed {
+					board := kernel.NewBlockBoard(2, func([]kernel.BlockedSite) {})
+					defer board.Close()
+					procs[0].SetBlockBoard(board)
+					board.ThreadStart(0)
+					defer board.ThreadExit(0)
+				}
+				data := make([]byte, payload)
+				for i := range data {
+					data[i] = byte(i)
+				}
+				setup := func(v int) uint64 {
+					fd := m.Invoke(v, 0, kernel.Call{
+						Nr:   kernel.SysOpen,
+						Args: [6]uint64{kernel.OCreat | kernel.ORdwr},
+						Data: []byte("/bench-deadlock"),
+					})
+					m.Invoke(v, 0, kernel.Call{
+						Nr: kernel.SysPwrite, Args: [6]uint64{fd.Val, 0},
+						Data: make([]byte, 64),
+					})
+					return fd.Val
+				}
+				loop := func(v int, fd uint64) {
+					for i := 0; i < b.N; i++ {
+						if payload == 0 {
+							m.Invoke(v, 0, kernel.Call{Nr: kernel.SysGetpid})
+						} else {
+							m.Invoke(v, 0, kernel.Call{
+								Nr: kernel.SysPwrite, Args: [6]uint64{fd, 0}, Data: data,
+							})
+						}
+					}
+				}
+				var slaveFd uint64
+				ready := make(chan struct{})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					slaveFd = setup(1)
+					close(ready)
+					loop(1, slaveFd)
+				}()
+				masterFd := setup(0)
+				<-ready
+				b.ResetTimer()
+				loop(0, masterFd)
+				<-done
+				b.StopTimer()
+				if d := m.Divergence(); d != nil {
+					b.Fatalf("diverged: %v", d)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTelemetryMatrix prices the bare telemetry primitives the
 // monitor adds to every replicated call, without the monitor around them:
 // the per-call atomic count (Inc into a thread-sharded bank), the same

@@ -81,6 +81,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	if strings.Contains(body, "mvee_divergences_total 0\n") == false {
 		t.Errorf("/metrics divergence counter not rendered as 0:\n%s", body)
 	}
+	if strings.Contains(body, "mvee_deadlocks_total 0\n") == false {
+		t.Errorf("/metrics deadlock counter not rendered as 0:\n%s", body)
+	}
 }
 
 func TestSnapshotEndpointRoundTrips(t *testing.T) {

@@ -26,6 +26,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("mvee_requests_errors_total", "Requests that failed (divergence kills included).", snap.Stats.Errors)
 	counter("mvee_requests_rejected_total", "Requests rejected by gateway backpressure.", snap.Stats.Rejected)
 	counter("mvee_divergences_total", "Sessions quarantined because their variants diverged.", snap.Stats.Divergences)
+	counter("mvee_deadlocks_total", "Sessions quarantined because the deadlock detector proved them wedged.", snap.Stats.Deadlocks)
 	counter("mvee_crashes_total", "Sessions quarantined because the program crashed.", snap.Stats.Crashes)
 	counter("mvee_sessions_recycled_total", "Replacement sessions spawned.", snap.Stats.Recycled)
 	counter("mvee_reloads_total", "Hot-restart sweeps triggered through the fleet.", snap.Stats.Reloads)

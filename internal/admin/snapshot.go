@@ -33,6 +33,7 @@ type Stats struct {
 	Errors        uint64  `json:"errors"`
 	Rejected      uint64  `json:"rejected"`
 	Divergences   uint64  `json:"divergences"`
+	Deadlocks     uint64  `json:"deadlocks"`
 	Crashes       uint64  `json:"crashes"`
 	Recycled      uint64  `json:"recycled"`
 	Healthy       int     `json:"healthy"`
@@ -51,7 +52,7 @@ type QuarantineInfo struct {
 	Slot     int                        `json:"slot"`
 	Gen      int                        `json:"gen"`
 	Seed     int64                      `json:"seed"`
-	Kind     string                     `json:"kind"` // "divergence" or "crash"
+	Kind     string                     `json:"kind"` // "divergence", "deadlock" or "crash"
 	Reason   string                     `json:"reason"`
 	Served   uint64                     `json:"served"`
 	Uptime   time.Duration              `json:"uptime_ns"`
@@ -75,6 +76,7 @@ func SnapshotJSON(s fleet.Snapshot) Snapshot {
 			Errors:        s.Stats.Errors,
 			Rejected:      s.Stats.Rejected,
 			Divergences:   s.Stats.Divergences,
+			Deadlocks:     s.Stats.Deadlocks,
 			Crashes:       s.Stats.Crashes,
 			Recycled:      s.Stats.Recycled,
 			Healthy:       s.Stats.Healthy,
@@ -97,9 +99,12 @@ func SnapshotJSON(s fleet.Snapshot) Snapshot {
 			Flight:   q.Flight,
 			When:     q.When,
 		}
-		if q.Divergence != nil {
+		switch {
+		case q.Divergence != nil:
 			qi.Kind, qi.Reason = "divergence", q.Divergence.Error()
-		} else {
+		case q.Deadlock != nil:
+			qi.Kind, qi.Reason = "deadlock", q.Deadlock.String()
+		default:
 			qi.Kind, qi.Reason = "crash", fmt.Sprint(q.Panic)
 		}
 		out.Quarantined = append(out.Quarantined, qi)

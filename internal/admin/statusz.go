@@ -52,9 +52,12 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "\n== quarantined sessions ==\n")
 		for i, q := range snap.Quarantined {
 			var reason string
-			if q.Divergence != nil {
+			switch {
+			case q.Divergence != nil:
 				reason = q.Divergence.Error()
-			} else {
+			case q.Deadlock != nil:
+				reason = q.Deadlock.String()
+			default:
 				reason = fmt.Sprintf("program crash: %v", q.Panic)
 			}
 			fmt.Fprintf(&b, "[%d] slot %d gen %d seed %d at %s\n    %s\n    served %d over %v (%d syscalls, %d sync ops)\n",

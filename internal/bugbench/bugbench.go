@@ -1,0 +1,205 @@
+// Package bugbench is the concurrency-bug corpus: known blocking-bug
+// shapes (double locking, lock-order inversion, lost wakeups, abandoned
+// barriers, pipe cycles, orphaned locks, leaked semaphores) reproduced as
+// guest programs over synclib's primitives, each annotated with the verdict
+// the MVEE must reach. The corpus is both the regression suite for the
+// deadlock detector (internal/kernel's BlockBoard + core's wait-for graph)
+// and a library of deterministic reproductions: every entry forces its bad
+// interleaving with explicit rendezvous, so the verdict is identical for
+// every seed and schedule — run-to-run, the same threads block at the same
+// sites.
+package bugbench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+)
+
+// Annotation is an entry's expected verdict, parsed from the compact
+// one-line form carried by each corpus entry:
+//
+//	expect=deadlock cycle=t1,t2 expect-divergence=none
+//
+// Keys:
+//
+//	expect             deadlock | clean | divergence (required)
+//	cycle              tN,tN,... — the sorted tid set of the wait-for cycle
+//	                   the detector must name. Omitted when the deadlock is
+//	                   not lock-shaped (the report's cycle must be empty).
+//	expect-divergence  none | any (default none): whether Result.Divergence
+//	                   may be set. Deadlocks and clean runs must NOT look
+//	                   like divergences — that cross-check is the point.
+type Annotation struct {
+	Expect     string
+	Cycle      []int
+	Divergence string
+}
+
+// ParseAnnotation parses the compact annotation form. The accepted grammar
+// round-trips: ParseAnnotation(a.String()) == a.
+func ParseAnnotation(s string) (Annotation, error) {
+	a := Annotation{Divergence: "none"}
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return a, fmt.Errorf("bugbench: clause %q is not key=value", f)
+		}
+		switch k {
+		case "expect":
+			switch v {
+			case "deadlock", "clean", "divergence":
+				a.Expect = v
+			default:
+				return a, fmt.Errorf("bugbench: unknown verdict %q", v)
+			}
+		case "cycle":
+			for _, part := range strings.Split(v, ",") {
+				num, found := strings.CutPrefix(part, "t")
+				if !found {
+					return a, fmt.Errorf("bugbench: cycle element %q lacks the t prefix", part)
+				}
+				tid, err := strconv.Atoi(num)
+				if err != nil || tid < 0 {
+					return a, fmt.Errorf("bugbench: bad cycle tid %q", part)
+				}
+				a.Cycle = append(a.Cycle, tid)
+			}
+			sort.Ints(a.Cycle)
+		case "expect-divergence":
+			switch v {
+			case "none", "any":
+				a.Divergence = v
+			default:
+				return a, fmt.Errorf("bugbench: expect-divergence must be none or any, got %q", v)
+			}
+		default:
+			return a, fmt.Errorf("bugbench: unknown key %q", k)
+		}
+	}
+	if a.Expect == "" {
+		return a, fmt.Errorf("bugbench: annotation %q lacks expect=", s)
+	}
+	return a, nil
+}
+
+// String renders the canonical form: expect first, cycle only when
+// non-empty, expect-divergence always last.
+func (a Annotation) String() string {
+	var sb strings.Builder
+	sb.WriteString("expect=")
+	sb.WriteString(a.Expect)
+	if len(a.Cycle) > 0 {
+		sb.WriteString(" cycle=")
+		for i, tid := range a.Cycle {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "t%d", tid)
+		}
+	}
+	sb.WriteString(" expect-divergence=")
+	if a.Divergence == "" {
+		sb.WriteString("none")
+	} else {
+		sb.WriteString(a.Divergence)
+	}
+	return sb.String()
+}
+
+// Entry is one corpus program plus its annotation.
+type Entry struct {
+	Name  string
+	Annot string
+	Main  func(*core.Thread)
+}
+
+// Verdict is what one run of an entry actually produced.
+type Verdict struct {
+	// Outcome is "deadlock", "divergence", "clean", "hang" (the watchdog
+	// killed a session that neither finished nor produced a report — always
+	// a bug), or "panic".
+	Outcome string
+	// Cycle is the detector's cycle (sorted tids) when Outcome=="deadlock".
+	Cycle []int
+	// Result is the full session result.
+	Result *core.Result
+}
+
+// Run executes one entry under the standard corpus configuration — two
+// variants, ASLR+DCL on, detector armed — and classifies the outcome. The
+// watchdog only fires on detector bugs; a working detector ends every
+// deadlock entry itself.
+func Run(e Entry, seed int64, timeout time.Duration) Verdict {
+	sess := core.NewSession(core.Options{
+		Variants:        2,
+		Agent:           agent.WallOfClocks,
+		ASLR:            true,
+		DCL:             true,
+		Seed:            seed,
+		MaxThreads:      16,
+		DetectDeadlocks: true,
+	}, core.Program{Name: "bugbench/" + e.Name, Main: e.Main})
+	var timedOut atomic.Bool
+	watchdog := time.AfterFunc(timeout, func() {
+		timedOut.Store(true)
+		sess.Kill()
+	})
+	res := sess.Run()
+	watchdog.Stop()
+	v := Verdict{Result: res}
+	switch {
+	case res.Panic != nil:
+		v.Outcome = "panic"
+	case res.Deadlock != nil:
+		v.Outcome = "deadlock"
+		v.Cycle = res.Deadlock.Cycle
+	case res.Divergence != nil:
+		v.Outcome = "divergence"
+	case timedOut.Load():
+		v.Outcome = "hang"
+	default:
+		v.Outcome = "clean"
+	}
+	return v
+}
+
+// Check runs e once with the given seed and compares the verdict against
+// the entry's annotation, returning a descriptive error on any mismatch.
+func Check(e Entry, seed int64) error {
+	ann, err := ParseAnnotation(e.Annot)
+	if err != nil {
+		return err
+	}
+	v := Run(e, seed, 30*time.Second)
+	if v.Outcome != ann.Expect {
+		return fmt.Errorf("%s seed=%d: verdict %q, annotation wants %q (result: deadlock=%v divergence=%v panic=%v)",
+			e.Name, seed, v.Outcome, ann.Expect, v.Result.Deadlock, v.Result.Divergence, v.Result.Panic)
+	}
+	if ann.Expect == "deadlock" && !equalInts(v.Cycle, ann.Cycle) {
+		return fmt.Errorf("%s seed=%d: cycle %v, annotation wants %v (report: %v)",
+			e.Name, seed, v.Cycle, ann.Cycle, v.Result.Deadlock)
+	}
+	if ann.Divergence == "none" && v.Result.Divergence != nil {
+		return fmt.Errorf("%s seed=%d: unexpected divergence %v", e.Name, seed, v.Result.Divergence)
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -127,14 +127,17 @@ func Parse(spec string) (*Plan, error) {
 					return nil, fmt.Errorf("chaos: bad error rate %q", val)
 				}
 				r.ErrorRate = rate
-				armed = true
+				// A zero rate injects nothing: it must not arm the rule,
+				// or String would drop the clause and render a plan with
+				// no fault clauses (which Parse rejects).
+				armed = armed || rate > 0
 			case "timeout":
 				rate, err := parseRate(val, hasVal)
 				if err != nil {
 					return nil, fmt.Errorf("chaos: bad timeout rate %q", val)
 				}
 				r.TimeoutRate = rate
-				armed = true
+				armed = armed || rate > 0
 			case "errno":
 				e, ok := injectableErrnos[strings.ToUpper(val)]
 				if !ok || !hasVal {
@@ -192,7 +195,14 @@ func (p *Plan) String() string {
 		if i > 0 {
 			b.WriteString("; ")
 		}
-		fmt.Fprintf(&b, "target=%s", r.Target)
+		name := r.Target.String()
+		if r.Target == kernel.FaultNone {
+			// FaultNone stringifies as "none" kernel-side, but the grammar
+			// spells the match-everything target "all" — keep String's
+			// output parseable.
+			name = "all"
+		}
+		fmt.Fprintf(&b, "target=%s", name)
 		if r.Port != 0 {
 			fmt.Fprintf(&b, ":%d", r.Port)
 		}

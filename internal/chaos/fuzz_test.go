@@ -1,0 +1,51 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// FuzzPlanGrammar fuzzes the plan grammar round trip: any spec Parse
+// accepts must render through String into a normalized form that (a)
+// parses again and (b) is a fixed point — String(Parse(String(p))) ==
+// String(p). The seed corpus is the README grammar table, one entry per
+// clause form plus the composed examples the docs show.
+func FuzzPlanGrammar(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"target=all error=1%",
+		"target=pipe short-reads",
+		"target=socket error=3% errno=ECONNRESET short-reads",
+		"target=listener latency=+2ms",
+		"target=listener:80 latency=+5ms error=3% errno=ECONNRESET short-reads seed=42",
+		"target=poll timeout=5%",
+		"target=sleep latency=+1ms",
+		"latency=+1.5ms short-writes",
+		"error=0.03 errno=EAGAIN",
+		"error=10% errno=EPIPE; timeout=0.25 seed=9",
+		"errno=EINTR timeout=100%",
+		"target=socket error=3% errno=ECONNRESET short-reads; target=listener latency=+2ms seed=7",
+		"short-reads short-writes",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil || p == nil {
+			// Rejected (or blank = injection disabled): nothing to round
+			// trip; the parser just must not panic, which reaching here
+			// proves.
+			return
+		}
+		s1 := p.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but normalized form %q rejected: %v", spec, s1, err)
+		}
+		if p2 == nil {
+			t.Fatalf("normalized form %q parsed to a nil plan", s1)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("String not a fixed point for %q:\n  first  %q\n  second %q", spec, s1, s2)
+		}
+	})
+}

@@ -78,6 +78,14 @@ type Options struct {
 	// variant; Variants, Agent and diversity options are taken from the
 	// session that produced the trace where relevant.
 	Replay *trace.Trace
+	// DetectDeadlocks arms the deadlock detector (internal/kernel's
+	// BlockBoard) on the master variant: when every live master thread is
+	// parked at an untimed internal blocking site, the session is killed
+	// and Result.Deadlock carries the wait-for snapshot. Detection runs on
+	// the master only — slaves replay the master's schedule, so a master
+	// deadlock speaks for every variant. Off by default; the armed-but-idle
+	// cost is one nil check per blocking kernel path.
+	DetectDeadlocks bool
 }
 
 func (o *Options) fill() {
@@ -131,6 +139,11 @@ type Result struct {
 	// Options.Telemetry was set — frozen at kill time if the session was
 	// killed, the final live view otherwise.
 	Flight [][]telemetry.FlightRecord
+	// Deadlock is non-nil if the deadlock detector (Options.DetectDeadlocks)
+	// shut the session down: every live master thread was provably parked at
+	// an untimed internal blocking site. Distinct from Divergence — the
+	// variants agreed perfectly; the program itself stopped making progress.
+	Deadlock *DeadlockReport
 }
 
 // Session is one MVEE run in progress.
@@ -144,6 +157,7 @@ type Session struct {
 	ipc   *shm.Registry
 	cap   *agent.Capture
 	vars  []*variantState
+	dl    *deadlockState
 	start time.Time
 
 	// Lifecycle: Start launches the variants exactly once; done closes
@@ -205,6 +219,9 @@ func NewSession(opts Options, prog Program) *Session {
 		kern.SetInjector(opts.Inject)
 	}
 	s := &Session{opts: opts, prog: prog, kern: kern, done: make(chan struct{})}
+	if opts.DetectDeadlocks && opts.Replay == nil {
+		s.dl = newDeadlockState(opts.MaxThreads)
+	}
 
 	procs := make([]*kernel.Proc, opts.Variants)
 	s.vars = make([]*variantState, opts.Variants)
@@ -218,6 +235,13 @@ func NewSession(opts Options, prog Program) *Session {
 			proc:  proc,
 			futex: kern.FutexTable(proc.Pid),
 		}
+	}
+	if s.dl != nil {
+		// The board arms the master's root process only; fork children
+		// inherit it kernel-side. The callback runs on the board's watcher
+		// goroutine after the snapshot validated.
+		s.dl.board = kernel.NewBlockBoard(opts.MaxThreads, s.onDeadlock)
+		procs[0].SetBlockBoard(s.dl.board)
 	}
 	mcfg := monitor.Config{
 		MaxThreads: opts.MaxThreads,
@@ -345,6 +369,9 @@ func (s *Session) collect() {
 	for _, vs := range s.vars {
 		vs.wg.Wait()
 	}
+	if s.dl != nil {
+		s.dl.board.Close()
+	}
 	s.panicMu.Lock()
 	pv := s.panicVal
 	s.panicMu.Unlock()
@@ -356,6 +383,7 @@ func (s *Session) collect() {
 		SyncOps:    s.vars[0].agent.Ops(),
 		Variants:   s.opts.Variants,
 		Flight:     s.mon.FlightTail(),
+		Deadlock:   s.Deadlock(),
 	}
 	for _, vs := range s.vars[1:] {
 		res.Stalls += vs.agent.Stalls()
@@ -503,6 +531,16 @@ type procState struct{ wg sync.WaitGroup }
 func (t *Thread) run(fn func(*Thread)) {
 	defer t.vs.wg.Done()
 	defer t.ps.wg.Done()
+	if b := t.board(); b != nil {
+		// Master-variant thread accounting for the deadlock detector: the
+		// board's live count must cover every vthread that can ever park,
+		// and the exit must fire on every unwind path. The defer sits
+		// between the WaitGroup defers (so the board is quiesced before
+		// collect can Close it) and the recover (which may still issue the
+		// exit syscalls — none of which park at instrumented sites).
+		b.ThreadStart(t.ID)
+		defer b.ThreadExit(t.ID)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			switch r {
@@ -604,7 +642,7 @@ func (t *Thread) finishThread() {
 // no handler, the process exits. Delivery order is identical across
 // variants because Ret.Sig is part of the replicated record.
 func (t *Thread) Syscall(nr kernel.Sysno, args [6]uint64, data []byte) kernel.Ret {
-	ret := t.sess.mon.InvokeOn(t.vs.id, t.ID, t.proc, kernel.Call{Nr: nr, Args: args, Data: data})
+	ret := t.sess.mon.InvokeOn(t.vs.id, t.ID, t.proc, kernel.Call{Nr: nr, Args: args, Data: data, Tid: t.ID})
 	if ret.Sig != 0 {
 		t.deliver(int(ret.Sig))
 	}
@@ -618,7 +656,7 @@ func (t *Thread) Syscall(nr kernel.Sysno, args [6]uint64, data []byte) kernel.Re
 // recycles ONE scratch buffer across requests instead of paying the
 // exact-sized allocation the bufferless path makes per call.
 func (t *Thread) SyscallInto(nr kernel.Sysno, args [6]uint64, buf []byte) kernel.Ret {
-	ret := t.sess.mon.InvokeOn(t.vs.id, t.ID, t.proc, kernel.Call{Nr: nr, Args: args, Buf: buf})
+	ret := t.sess.mon.InvokeOn(t.vs.id, t.ID, t.proc, kernel.Call{Nr: nr, Args: args, Buf: buf, Tid: t.ID})
 	if ret.Sig != 0 {
 		t.deliver(int(ret.Sig))
 	}
@@ -634,6 +672,9 @@ func (t *Thread) SyscallInto(nr kernel.Sysno, args [6]uint64, buf []byte) kernel
 // boundary: a signal landing mid-batch is stamped on the last record and
 // delivered here after every result is in.
 func (t *Thread) SyscallBatch(calls []kernel.Call, rets []kernel.Ret) {
+	for i := range calls {
+		calls[i].Tid = t.ID
+	}
 	t.sess.mon.InvokeBatchOn(t.vs.id, t.ID, t.proc, calls, rets)
 	// A true batch stamps at most the last record's Sig; the fallback path
 	// may stamp several. Deliver them in record order either way — the

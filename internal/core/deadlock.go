@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/kernel"
+)
+
+// Deadlock detection, core side (DESIGN.md §11). The kernel's BlockBoard
+// proves quiescence — every live master thread parked at an untimed
+// internal blocking site. This file owns what the kernel cannot know: which
+// lock-like resources each thread HOLDS (synclib's mutexes report
+// acquisitions through Thread.NoteAcquire/NoteRelease), turning the
+// blocked-site snapshot into a wait-for graph whose cycle names the
+// culprits. Detection is master-only by construction: the slaves replay the
+// master's sync schedule, so the master blocking forever means every
+// variant blocks forever — one verdict speaks for the session.
+
+// DeadlockReport is the detector's verdict, surfaced on Result.Deadlock. It
+// is deliberately a different type from monitor.Divergence: a divergence
+// means the variants disagreed (possible attack); a deadlock means they
+// agreed perfectly on a program that stopped making progress.
+type DeadlockReport struct {
+	// Threads lists every blocked thread at the moment of detection,
+	// sorted by tid.
+	Threads []BlockedThread
+	// Cycle is the sorted tid set of a wait-for cycle through held sync
+	// variables (the mutex-shaped deadlocks: double-lock, AB-BA, reader
+	// blocking its own upgrade). Empty when the quiescence is not
+	// lock-shaped — a lost cond-var wakeup, a pipe send/recv cycle, an
+	// orphaned waitpid — where Threads still records who slept where.
+	Cycle []int
+}
+
+// BlockedThread is one thread's row in the report.
+type BlockedThread struct {
+	// Tid is the logical thread id (identical across variants).
+	Tid int
+	// Kind is the blocking site class: "futex", "pipe-read", "pipe-write",
+	// "waitpid", "poll" (kernel.BlockKind strings).
+	Kind string
+	// Addr is the waited object for futex (the sync variable's master-
+	// variant address) and waitpid (the selector); 0 otherwise.
+	Addr uint64
+	// FD is the blocked descriptor for pipe sites (for poll: the entry
+	// count of the fd set); 0 otherwise.
+	FD int
+	// Holds lists the sync-variable addresses this thread held at
+	// detection time, in acquisition order.
+	Holds []uint64
+}
+
+// String renders a one-line summary suitable for logs and quarantine rows.
+func (r *DeadlockReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "deadlock: %d blocked", len(r.Threads))
+	if len(r.Cycle) > 0 {
+		sb.WriteString(" cycle=")
+		for i, tid := range r.Cycle {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "t%d", tid)
+		}
+	}
+	for _, bt := range r.Threads {
+		fmt.Fprintf(&sb, "; t%d:%s", bt.Tid, bt.Kind)
+		switch bt.Kind {
+		case "futex":
+			fmt.Fprintf(&sb, "@%#x", bt.Addr)
+		case "pipe-read", "pipe-write":
+			fmt.Fprintf(&sb, " fd=%d", bt.FD)
+		}
+		if len(bt.Holds) > 0 {
+			fmt.Fprintf(&sb, " holds=%d", len(bt.Holds))
+		}
+	}
+	return sb.String()
+}
+
+// deadlockState is the session's detector state: the kernel board, the
+// master variant's holder accounting, and the (write-once) report.
+type deadlockState struct {
+	board *kernel.BlockBoard
+
+	mu sync.Mutex
+	// holds[tid] is the stack of sync-variable addresses thread tid
+	// currently holds, master variant only. The per-tid slices keep their
+	// backing arrays across acquire/release cycles, so steady-state lock
+	// traffic allocates nothing after the first few acquisitions.
+	holds  [][]uint64
+	report *DeadlockReport
+}
+
+func newDeadlockState(maxThreads int) *deadlockState {
+	return &deadlockState{holds: make([][]uint64, maxThreads)}
+}
+
+func (dl *deadlockState) acquire(tid int, addr uint64) {
+	if tid < 0 || tid >= len(dl.holds) {
+		return
+	}
+	dl.mu.Lock()
+	dl.holds[tid] = append(dl.holds[tid], addr)
+	dl.mu.Unlock()
+}
+
+func (dl *deadlockState) release(tid int, addr uint64) {
+	if tid < 0 || tid >= len(dl.holds) {
+		return
+	}
+	dl.mu.Lock()
+	h := dl.holds[tid]
+	// Remove the LAST occurrence: recursive-looking double-acquires of
+	// distinct vars unwind in LIFO order, like real lock stacks.
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] == addr {
+			copy(h[i:], h[i+1:])
+			dl.holds[tid] = h[: len(h)-1 : cap(h)]
+			break
+		}
+	}
+	dl.mu.Unlock()
+}
+
+// noteDeadlock builds (once) the report from the board's validated
+// snapshot. All master threads are parked when this runs, so the holder
+// stacks are stable; the lock only orders it against late NoteRelease calls
+// from other variants' goroutines racing teardown (which never touch holds)
+// and against Session.Deadlock readers.
+func (dl *deadlockState) noteDeadlock(sites []kernel.BlockedSite) *DeadlockReport {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if dl.report != nil {
+		return dl.report
+	}
+	rep := &DeadlockReport{Threads: make([]BlockedThread, 0, len(sites))}
+	for _, site := range sites {
+		bt := BlockedThread{Tid: site.Tid, Kind: site.Kind.String(), Addr: site.Addr, FD: site.FD}
+		if site.Tid >= 0 && site.Tid < len(dl.holds) && len(dl.holds[site.Tid]) > 0 {
+			bt.Holds = append([]uint64(nil), dl.holds[site.Tid]...)
+		}
+		rep.Threads = append(rep.Threads, bt)
+	}
+	rep.Cycle = waitForCycle(sites, dl.holds)
+	dl.report = rep
+	return rep
+}
+
+// waitForCycle extracts a cycle from the wait-for graph over futex sites:
+// thread A waiting on sync variable X depends on every blocked thread that
+// holds X. Pipe and poll sites contribute no edges (ownership of a pipe's
+// other end is not a guest-visible notion), so non-lock deadlocks simply
+// report an empty cycle. The traversal is deterministic: sites arrive
+// sorted by tid and edges are discovered in tid order, so the same blocked
+// snapshot always names the same cycle.
+func waitForCycle(sites []kernel.BlockedSite, holds [][]uint64) []int {
+	adj := make(map[int][]int, len(sites))
+	for _, s := range sites {
+		if s.Kind != kernel.BlockFutex {
+			continue
+		}
+		for _, o := range sites {
+			if o.Tid >= 0 && o.Tid < len(holds) && holdsAddr(holds[o.Tid], s.Addr) {
+				adj[s.Tid] = append(adj[s.Tid], o.Tid)
+			}
+		}
+	}
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make(map[int]int, len(sites))
+	var stack, cycle []int
+	var dfs func(tid int) bool
+	dfs = func(tid int) bool {
+		state[tid] = onStack
+		stack = append(stack, tid)
+		for _, n := range adj[tid] {
+			switch state[n] {
+			case onStack:
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == n {
+						return true
+					}
+				}
+				return true
+			case unvisited:
+				if dfs(n) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[tid] = done
+		return false
+	}
+	for _, s := range sites {
+		if state[s.Tid] == unvisited && dfs(s.Tid) {
+			break
+		}
+	}
+	sort.Ints(cycle)
+	return cycle
+}
+
+func holdsAddr(h []uint64, addr uint64) bool {
+	for _, a := range h {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// onDeadlock is the board's callback (watcher goroutine): freeze the
+// report, then kill the session like an external shutdown — NOT a
+// divergence, so divergence hooks stay silent and Result.Divergence stays
+// nil.
+func (s *Session) onDeadlock(sites []kernel.BlockedSite) {
+	s.dl.noteDeadlock(sites)
+	s.mon.Kill(nil)
+}
+
+// Deadlock returns the detector's report, or nil when no deadlock was
+// detected (or the detector was off). Safe to call concurrently; stable
+// once non-nil.
+func (s *Session) Deadlock() *DeadlockReport {
+	if s.dl == nil {
+		return nil
+	}
+	s.dl.mu.Lock()
+	defer s.dl.mu.Unlock()
+	return s.dl.report
+}
+
+// board returns the kernel BlockBoard for this thread's variant: non-nil
+// only on the master with DetectDeadlocks set. One nil check when disarmed.
+func (t *Thread) board() *kernel.BlockBoard {
+	if dl := t.sess.dl; dl != nil && t.vs.id == 0 {
+		return dl.board
+	}
+	return nil
+}
+
+// NoteAcquire records that this thread now holds the lock-like resource
+// identified by addr (a sync variable's address in this variant). synclib's
+// mutexes call it on every successful acquisition; guests composing their
+// own primitives from SyncVars may call it too. No-op on slaves and when
+// the detector is disarmed — the holder map feeds only the master's
+// wait-for graph.
+func (t *Thread) NoteAcquire(addr uint64) {
+	if dl := t.sess.dl; dl != nil && t.vs.id == 0 {
+		dl.acquire(t.ID, addr)
+	}
+}
+
+// NoteRelease records that this thread released the resource at addr,
+// undoing the matching NoteAcquire.
+func (t *Thread) NoteRelease(addr uint64) {
+	if dl := t.sess.dl; dl != nil && t.vs.id == 0 {
+		dl.release(t.ID, addr)
+	}
+}

@@ -112,7 +112,17 @@ func (t *Thread) RefreshLayout(seed int64) {
 // tearing down, which the next instrumented op or syscall will surface.
 func (t *Thread) FutexWait(v *SyncVar, val uint32) {
 	t.checkKilled()
-	t.vs.futex.Wait(&v.word, val)
+	if b := t.board(); b != nil {
+		// Register the blocking site before the wait: the board's watcher
+		// validates the registration against the futex table's waiter count,
+		// so a Wait that returns immediately (value already changed) is
+		// never counted as asleep.
+		b.FutexPark(t.ID, v.addr, t.vs.futex, &v.word)
+		t.vs.futex.Wait(&v.word, val)
+		b.FutexUnpark(t.ID)
+	} else {
+		t.vs.futex.Wait(&v.word, val)
+	}
 	t.checkKilled()
 }
 

@@ -205,6 +205,7 @@ type Fleet struct {
 	quarMu      sync.Mutex
 	quarantined []Quarantine
 	divergences atomic.Uint64
+	deadlocks   atomic.Uint64
 	crashes     atomic.Uint64
 	recycled    atomic.Uint64
 
@@ -311,11 +312,13 @@ func (f *Fleet) runMember(m *member) {
 	m.healthy.Store(false)
 	m.res = res
 	close(m.done)
-	// Recycle a session that died while serving — a divergence or a
-	// program crash (panic). A session that exited cleanly chose to (the
-	// fleet closing its listener, or the program finishing), and one
-	// that never warmed up would respawn-spin, so neither is replaced.
-	if warm && (res.Divergence != nil || res.Panic != nil) {
+	// Recycle a session that died while serving — a divergence, a program
+	// crash (panic), or a detected deadlock (Options.DetectDeadlocks): a
+	// wedged member would otherwise hold its slot forever while serving
+	// nothing. A session that exited cleanly chose to (the fleet closing
+	// its listener, or the program finishing), and one that never warmed
+	// up would respawn-spin, so neither is replaced.
+	if warm && (res.Divergence != nil || res.Panic != nil || res.Deadlock != nil) {
 		f.quarantine(m, res)
 		f.replace(m)
 	}
@@ -417,6 +420,7 @@ type Stats struct {
 	Errors      uint64 // requests that failed (including divergence kills)
 	Rejected    uint64 // TryDo rejections due to a full queue
 	Divergences uint64 // sessions quarantined because their variants diverged
+	Deadlocks   uint64 // sessions quarantined because the detector proved them wedged
 	Crashes     uint64 // sessions quarantined because the program panicked
 	Recycled    uint64 // replacement sessions spawned
 	Reloads     uint64 // hot-restart sweeps triggered via Reload
@@ -441,6 +445,7 @@ func (f *Fleet) Stats() Stats {
 		Errors:      f.errors.Load(),
 		Rejected:    f.rejected.Load(),
 		Divergences: f.divergences.Load(),
+		Deadlocks:   f.deadlocks.Load(),
 		Crashes:     f.crashes.Load(),
 		Recycled:    f.recycled.Load(),
 		Reloads:     f.reloads.Load(),

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/kernel"
+	"repro/internal/synclib"
 	"repro/internal/variant"
 	"repro/internal/webserver"
 )
@@ -377,6 +378,81 @@ func TestFleetRecyclesCrashedSession(t *testing.T) {
 		t.Fatalf("post-crash echo: %q, %v", resp, err)
 	}
 	if s := f.Stats(); s.Crashes != 1 || s.Divergences != 0 || s.Recycled != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// wedgyEchoProgram echoes requests but self-deadlocks on the payload
+// "wedge" — re-acquiring a non-recursive mutex on the only guest thread,
+// the fleet-serving analogue of bugbench's double-lock entry.
+func wedgyEchoProgram(port uint16) core.Program {
+	return core.Program{Name: "wedgy-echo", Main: func(t *core.Thread) {
+		mu := synclib.NewMutex(t)
+		sfd := t.Syscall(kernel.SysSocket, [6]uint64{}, nil).Val
+		t.Syscall(kernel.SysBind, [6]uint64{sfd, uint64(port)}, nil)
+		if !t.Syscall(kernel.SysListen, [6]uint64{sfd, uint64(port), 64}, nil).Ok() {
+			return
+		}
+		for {
+			acc := t.Syscall(kernel.SysAccept, [6]uint64{sfd}, nil)
+			if !acc.Ok() {
+				return
+			}
+			r := t.Syscall(kernel.SysRecv, [6]uint64{acc.Val, 4096}, nil)
+			if r.Ok() && r.Val > 0 {
+				if string(r.Data) == "wedge" {
+					mu.Lock(t)
+					mu.Lock(t) // waits on itself forever
+				}
+				t.Syscall(kernel.SysSend, [6]uint64{acc.Val}, r.Data)
+			}
+			t.Syscall(kernel.SysClose, [6]uint64{acc.Val}, nil)
+		}
+	}}
+}
+
+// TestFleetRecyclesDeadlockedSession: a session wedged on a guest-level
+// deadlock (no divergence, no crash) is proven dead by the armed detector,
+// quarantined with the DeadlockReport recorded, and hot-replaced — instead
+// of pinning a gateway worker until the request watchdog fires.
+func TestFleetRecyclesDeadlockedSession(t *testing.T) {
+	opts := core.Options{Variants: 2, Agent: agent.WallOfClocks, ASLR: true, Seed: 11,
+		DetectDeadlocks: true}
+	f, err := fleet.New(fleet.Config{
+		Size:    1,
+		Session: opts,
+		Program: wedgyEchoProgram(9150),
+		Port:    9150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if resp, err := f.Do([]byte("hi")); err != nil || string(resp) != "hi" {
+		t.Fatalf("echo: %q, %v", resp, err)
+	}
+	if _, err := f.Do([]byte("wedge")); err == nil {
+		t.Fatal("wedging request was answered")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(f.Quarantined()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	waitHealthy(t, f, 1)
+	quars := f.Quarantined()
+	if len(quars) != 1 || quars[0].Deadlock == nil || quars[0].Divergence != nil || quars[0].Panic != nil {
+		t.Fatalf("deadlock quarantine: %+v", quars)
+	}
+	if got := quars[0].Deadlock.Cycle; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("deadlock cycle: %v, want [0]", got)
+	}
+	if m := f.Members()[0]; m.Gen != 1 {
+		t.Fatalf("wedged slot not respawned: %+v", m)
+	}
+	if resp, err := f.Do([]byte("again")); err != nil || string(resp) != "again" {
+		t.Fatalf("post-deadlock echo: %q, %v", resp, err)
+	}
+	if s := f.Stats(); s.Deadlocks != 1 || s.Crashes != 0 || s.Divergences != 0 || s.Recycled != 1 {
 		t.Fatalf("stats: %+v", s)
 	}
 }

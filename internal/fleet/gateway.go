@@ -244,6 +244,7 @@ func StatsTable(s Stats) string {
 	t.Add("errors", fmt.Sprintf("%d", s.Errors))
 	t.Add("rejected (backpressure)", fmt.Sprintf("%d", s.Rejected))
 	t.Add("divergences quarantined", fmt.Sprintf("%d", s.Divergences))
+	t.Add("deadlocks quarantined", fmt.Sprintf("%d", s.Deadlocks))
 	t.Add("crashes quarantined", fmt.Sprintf("%d", s.Crashes))
 	t.Add("sessions recycled", fmt.Sprintf("%d", s.Recycled))
 	t.Add("hot restarts", fmt.Sprintf("%d", s.Reloads))

@@ -10,7 +10,8 @@ import (
 )
 
 // Quarantine is the forensic record of one session that died while
-// serving — its variants diverged, or the program crashed: enough to
+// serving — its variants diverged, the program crashed, or the deadlock
+// detector proved it permanently wedged: enough to
 // attribute the death (which slot, which generation, which layout seed),
 // to judge its blast radius (requests served, uptime, syscall and
 // sync-op volume), and — when the fleet runs with Config.Forensics — to
@@ -22,6 +23,10 @@ type Quarantine struct {
 	// Divergence is the monitor's verdict: which variant, which thread,
 	// and the rendered master/slave call mismatch. Nil for a crash.
 	Divergence *monitor.Divergence
+	// Deadlock is the detector's verdict when the session was killed
+	// because every live master thread was provably parked (see
+	// core.Options.DetectDeadlocks). Nil for divergences and crashes.
+	Deadlock *core.DeadlockReport
 	// Panic is the program panic that killed the session, if that is
 	// what did (crashed sessions are quarantined and replaced too).
 	Panic any
@@ -46,6 +51,7 @@ func (f *Fleet) quarantine(m *member, res *core.Result) {
 	q := Quarantine{
 		Slot: m.slot, Gen: m.gen, Seed: m.seed,
 		Divergence: res.Divergence,
+		Deadlock:   res.Deadlock,
 		Panic:      res.Panic,
 		Served:     m.served.Load(),
 		Uptime:     res.Duration,
@@ -55,9 +61,12 @@ func (f *Fleet) quarantine(m *member, res *core.Result) {
 		Flight:     res.Flight,
 		When:       time.Now(),
 	}
-	if res.Divergence != nil {
+	switch {
+	case res.Divergence != nil:
 		f.divergences.Add(1)
-	} else {
+	case res.Deadlock != nil:
+		f.deadlocks.Add(1)
+	default:
 		f.crashes.Add(1)
 	}
 	f.quarMu.Lock()

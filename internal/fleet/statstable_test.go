@@ -23,6 +23,7 @@ func TestStatsTableGolden(t *testing.T) {
 		Errors:      3,
 		Rejected:    7,
 		Divergences: 2,
+		Deadlocks:   1,
 		Crashes:     1,
 		Recycled:    3,
 		Reloads:     5,
@@ -36,6 +37,7 @@ func TestStatsTableGolden(t *testing.T) {
 		"errors                   3         \n" +
 		"rejected (backpressure)  7         \n" +
 		"divergences quarantined  2         \n" +
+		"deadlocks quarantined    1         \n" +
 		"crashes quarantined      1         \n" +
 		"sessions recycled        3         \n" +
 		"hot restarts             5         \n" +
@@ -54,7 +56,7 @@ func TestStatsTableGolden(t *testing.T) {
 	}
 	// Belt and braces independent of exact quantile arithmetic: every
 	// metric label renders.
-	for _, label := range []string{"served", "errors", "rejected", "divergences", "crashes",
+	for _, label := range []string{"served", "errors", "rejected", "divergences", "deadlocks", "crashes",
 		"recycled", "hot restarts", "healthy", "uptime", "throughput",
 		"latency samples", "latency mean", "latency p50", "latency p90", "latency p99", "latency max"} {
 		if !strings.Contains(got, label) {

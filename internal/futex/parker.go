@@ -107,3 +107,14 @@ func (p *Parker) Wake() {
 func (p *Parker) Waiters() int {
 	return int(p.waiters.Load())
 }
+
+// Gen returns the current wake generation. A waiter that recorded g at
+// Prepare time and still observes Gen() == g has seen no Wake since — the
+// deadlock detector uses this to prove a poll sleeper is genuinely asleep
+// (any Wake that found waiters bumped the generation).
+func (p *Parker) Gen() uint64 {
+	p.mu.Lock()
+	g := p.gen
+	p.mu.Unlock()
+	return g
+}

@@ -29,6 +29,11 @@ type Kernel struct {
 	// child exits, kills, and teardown. See process.go.
 	treeMu   sync.Mutex
 	treeCond sync.Cond
+	// treeSeq counts treeCond broadcasts (bumped under treeMu by treeWake)
+	// — the waitpid analogue of pipe.wakeSeq: a blocked waitpid's deadlock
+	// cell records the sequence it parked at, and a moved sequence proves a
+	// wake in flight.
+	treeSeq atomic.Uint64
 
 	// clock is the kernel's time source (real by default). Every deadline
 	// site — nanosleep, poll, injected latency, gettimeofday — goes through
@@ -144,13 +149,22 @@ func (k *Kernel) Interrupt() {
 	// Waitpid waiters and nanosleepers park on conds/parkers of their own:
 	// wake them so they observe the stopped flag and return EINTR.
 	k.treeMu.Lock()
-	k.treeCond.Broadcast()
+	k.treeWake()
 	k.treeMu.Unlock()
 	k.procMu.Lock()
 	for _, p := range k.procs {
 		p.sigPark.Wake()
 	}
 	k.procMu.Unlock()
+}
+
+// treeWake broadcasts the tree cond, bumping the wake sequence first so a
+// waitpid deadlock cell registered before this wake is provably stale.
+// Callers hold k.treeMu (which is also what orders the bump against cell
+// registration — waitpid samples treeSeq under the same lock).
+func (k *Kernel) treeWake() {
+	k.treeSeq.Add(1)
+	k.treeCond.Broadcast()
 }
 
 // New creates an empty kernel.
@@ -255,6 +269,11 @@ func (k *Kernel) Connect(port uint16) (ClientConn, Errno) {
 	}
 	c := conn{toServer: k.getPipe(), fromServer: k.getPipe()}
 	cc := ClientConn{c: c, toGen: c.toServer.generation(), fromGen: c.fromServer.generation()}
+	// The host holds one end of both pipes: a guest thread sleeping on
+	// either can be woken from outside the guest, so these sleeps must
+	// never count toward a deadlock verdict.
+	c.toServer.markExternal()
+	c.fromServer.markExternal()
 	k.track(c.toServer)
 	k.track(c.fromServer)
 	if errno := k.enqueueChasing(l, c, port); errno != OK {
@@ -303,7 +322,7 @@ type ClientConn struct {
 
 // Write sends data toward the server.
 func (cc ClientConn) Write(p []byte) (int, error) {
-	n, errno := cc.c.toServer.write(cc.toGen, p, nil)
+	n, errno := cc.c.toServer.write(cc.toGen, p, blocker{})
 	if errno != OK {
 		return n, errno
 	}
@@ -312,7 +331,7 @@ func (cc ClientConn) Write(p []byte) (int, error) {
 
 // Read receives data from the server; it returns n==0 and nil error at EOF.
 func (cc ClientConn) Read(p []byte) (int, error) {
-	n, errno := cc.c.fromServer.read(cc.fromGen, p, nil)
+	n, errno := cc.c.fromServer.read(cc.fromGen, p, blocker{})
 	if errno != OK {
 		return n, errno
 	}
@@ -550,14 +569,14 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 				if count < len(dst) {
 					dst = dst[:count]
 				}
-				n, errno := br.readInto(dst, p.sigIntr)
+				n, errno := br.readInto(dst, p.blk(c.Tid, int(c.Args[0])))
 				if errno != OK {
 					return Ret{Err: errno}
 				}
 				return Ret{Val: uint64(n), Data: dst[:n]}
 			}
 		}
-		data, errno := ar.readAvailable(count, p.sigIntr)
+		data, errno := ar.readAvailable(count, p.blk(c.Tid, int(c.Args[0])))
 		if errno != OK {
 			return Ret{Err: errno}
 		}
@@ -608,24 +627,24 @@ func (k *Kernel) doRead(p *Proc, c Call) Ret {
 }
 
 // availableReader is implemented by stream objects that can hand back an
-// exactly-sized read result (see pipe.readAvailable). The intr predicate
-// (may be nil) interrupts a blocked read with EINTR — the signal-delivery
-// hook.
+// exactly-sized read result (see pipe.readAvailable). The blocker carries
+// the interrupt predicate (EINTR on deliverable signal — the
+// signal-delivery hook) and, when armed, the deadlock-cell identity.
 type availableReader interface {
-	readAvailable(max int, intr func() bool) ([]byte, Errno)
+	readAvailable(max int, w blocker) ([]byte, Errno)
 }
 
 // bufReader is implemented by stream objects that can fill a caller-owned
 // destination buffer with the pending bytes — the Call.Buf receive path,
 // which makes a steady-state serving loop's recv allocation-free.
 type bufReader interface {
-	readInto(dst []byte, intr func() bool) (int, Errno)
+	readInto(dst []byte, w blocker) (int, Errno)
 }
 
 // streamWriter is implemented by stream objects whose writes can block on
 // a full buffer; writeIntr is the interruptible variant of write.
 type streamWriter interface {
-	writeIntr(p []byte, intr func() bool) (int, Errno)
+	writeIntr(p []byte, w blocker) (int, Errno)
 }
 
 func (k *Kernel) doWrite(p *Proc, c Call) Ret {
@@ -642,7 +661,7 @@ func (k *Kernel) doWrite(p *Proc, c Call) Ret {
 		if sw, ok := ref.obj.(streamWriter); ok {
 			// Stream writes can block on a full buffer; route them through
 			// the interruptible path so a signal EINTRs them.
-			n, werrno = sw.writeIntr(c.Data, p.sigIntr)
+			n, werrno = sw.writeIntr(c.Data, p.blk(c.Tid, int(c.Args[0])))
 		} else {
 			n, werrno = ref.obj.write(c.Data, 0)
 		}

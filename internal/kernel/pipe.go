@@ -1,6 +1,9 @@
 package kernel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // pipeBufSize matches Linux's default pipe capacity (64 KiB).
 const pipeBufSize = 64 * 1024
@@ -52,6 +55,19 @@ type pipe struct {
 	readClosed  bool
 	writeClosed bool
 	released    bool // returned to the pool (or due to be); fires once
+
+	// wakeSeq counts cond broadcasts (bumped under mu by wakeLocked). A
+	// sleeper registers its deadlock-detector cell with the sequence it saw
+	// at park time; the detector treats a moved sequence as a wake in
+	// flight and refuses to call the sleeper deadlocked. Monotonic across
+	// recycles — only equality with the parked snapshot matters.
+	wakeSeq atomic.Uint64
+
+	// external marks a pipe with a host-side end (Kernel.Connect's
+	// ClientConn pipes): a guest thread sleeping on it can be woken from
+	// outside the guest, so its sleeps never register deadlock cells.
+	// Guarded by mu; reset by getPipe.
+	external bool
 }
 
 func newPipe() *pipe {
@@ -63,6 +79,23 @@ func newPipe() *pipe {
 // generation returns the pipe's current reuse generation, for a holder to
 // stamp its handle with at acquisition time.
 func (p *pipe) generation() uint64 { return p.hdr.generation() }
+
+// markExternal flags the pipe as host-wakeable for this lifetime; cleared
+// by getPipe at the next recycle.
+func (p *pipe) markExternal() {
+	p.mu.Lock()
+	p.external = true
+	p.mu.Unlock()
+}
+
+// isInternal reports whether sleeps on this pipe are deadlock-detectable
+// (no host-side end).
+func (p *pipe) isInternal() bool {
+	p.mu.Lock()
+	ext := p.external
+	p.mu.Unlock()
+	return !ext
+}
 
 // checkGenLocked validates a handle's generation. Callers hold p.mu.
 func (p *pipe) checkGenLocked(gen uint64) bool { return p.hdr.gen.Load() == gen }
@@ -80,6 +113,7 @@ func (k *Kernel) getPipe() *pipe {
 		p.mu.Lock()
 		p.hdr.gen.Add(1)
 		p.readClosed, p.writeClosed, p.released = false, false, false
+		p.external = false
 		p.mu.Unlock()
 		return p
 	}
@@ -108,12 +142,12 @@ type writeEnd struct {
 }
 
 func (r *readEnd) header() *objHeader                  { return &r.p.hdr }
-func (r *readEnd) read(b []byte, _ int64) (int, Errno) { return r.p.read(r.gen, b, nil) }
-func (r *readEnd) readAvailable(max int, intr func() bool) ([]byte, Errno) {
-	return r.p.readAvailable(r.gen, max, intr)
+func (r *readEnd) read(b []byte, _ int64) (int, Errno) { return r.p.read(r.gen, b, blocker{}) }
+func (r *readEnd) readAvailable(max int, w blocker) ([]byte, Errno) {
+	return r.p.readAvailable(r.gen, max, w)
 }
-func (r *readEnd) readInto(dst []byte, intr func() bool) (int, Errno) {
-	return r.p.read(r.gen, dst, intr)
+func (r *readEnd) readInto(dst []byte, w blocker) (int, Errno) {
+	return r.p.read(r.gen, dst, w)
 }
 func (r *readEnd) write([]byte, int64) (int, Errno) { return 0, EBADF }
 func (r *readEnd) size() (int64, Errno)             { return 0, ESPIPE }
@@ -123,12 +157,12 @@ func (r *readEnd) poll() uint32                     { return r.p.pollReadable(r.
 
 func (w *writeEnd) header() *objHeader                   { return &w.p.hdr }
 func (w *writeEnd) read([]byte, int64) (int, Errno)      { return 0, EBADF }
-func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(w.gen, b, nil) }
-func (w *writeEnd) writeIntr(b []byte, intr func() bool) (int, Errno) {
-	return w.p.write(w.gen, b, intr)
+func (w *writeEnd) write(b []byte, _ int64) (int, Errno) { return w.p.write(w.gen, b, blocker{}) }
+func (w *writeEnd) writeIntr(b []byte, blk blocker) (int, Errno) {
+	return w.p.write(w.gen, b, blk)
 }
-func (w *writeEnd) sendFromFile(ino *inode, off int64, n int, intr func() bool) (int, Errno) {
-	return w.p.writeFromFile(w.gen, ino, off, n, intr)
+func (w *writeEnd) sendFromFile(ino *inode, off int64, n int, blk blocker) (int, Errno) {
+	return w.p.writeFromFile(w.gen, ino, off, n, blk)
 }
 func (w *writeEnd) size() (int64, Errno) { return 0, ESPIPE }
 func (w *writeEnd) close() Errno         { w.p.closeWrite(w.gen); return OK }
@@ -187,13 +221,37 @@ func (p *pipe) waitLocked() {
 	p.waiting--
 }
 
+// wakeLocked is the only way pipe code broadcasts: it bumps the wake
+// sequence first, so a deadlock-detector cell registered before this wake
+// is provably stale. Both happen under p.mu — registration also samples
+// the sequence under p.mu — so a cell and a wake can never interleave
+// half-observed. Callers hold p.mu.
+func (p *pipe) wakeLocked() {
+	p.wakeSeq.Add(1)
+	p.cond.Broadcast()
+}
+
+// sleepLocked parks like waitLocked but, for a board-armed caller on an
+// internal pipe, registers a deadlock cell for the duration of the sleep.
+// External pipes (host-wakeable) skip registration: the detector must
+// never count a sleep the host could end. Callers hold p.mu.
+func (p *pipe) sleepLocked(w blocker, kind BlockKind) {
+	if w.board != nil && !p.external {
+		w.pipePark(kind, &p.wakeSeq, p.wakeSeq.Load())
+		p.waitLocked()
+		w.unpark()
+		return
+	}
+	p.waitLocked()
+}
+
 // kick wakes every waiter parked on the pipe without changing pipe state:
 // the signal-delivery path. A woken waiter whose proc has a deliverable
 // signal pending unwinds with EINTR; everyone else re-checks their
 // predicate and parks again.
 func (p *pipe) kick() {
 	p.mu.Lock()
-	p.cond.Broadcast()
+	p.wakeLocked()
 	p.mu.Unlock()
 }
 
@@ -217,7 +275,7 @@ func (p *pipe) releaseDueLocked() bool {
 // closed read side. The predicate is checked before the first wait too, so
 // a read entered with a signal already pending EINTRs deterministically
 // instead of racing the data. Callers hold p.mu.
-func (p *pipe) waitReadableLocked(intr func() bool) (errno Errno, ok bool) {
+func (p *pipe) waitReadableLocked(w blocker) (errno Errno, ok bool) {
 	for p.unread() == 0 {
 		if p.writeClosed {
 			return OK, false // EOF
@@ -225,10 +283,10 @@ func (p *pipe) waitReadableLocked(intr func() bool) (errno Errno, ok bool) {
 		if p.readClosed {
 			return EBADF, false
 		}
-		if intr != nil && intr() {
+		if w.interrupted() {
 			return EINTR, false
 		}
-		p.waitLocked()
+		p.sleepLocked(w, BlockPipeRead)
 	}
 	return OK, true
 }
@@ -242,18 +300,18 @@ func (p *pipe) consumeLocked(n int) {
 		p.buf = p.buf[:0]
 		p.r = 0
 	}
-	p.cond.Broadcast()
+	p.wakeLocked()
 	// Callers issue the poll wake (space freed: writers polling PollOut
 	// may be ready) after releasing p.mu.
 }
 
-func (p *pipe) read(gen uint64, b []byte, intr func() bool) (int, Errno) {
+func (p *pipe) read(gen uint64, b []byte, w blocker) (int, Errno) {
 	p.mu.Lock()
 	if !p.checkGenLocked(gen) {
 		p.mu.Unlock()
 		return 0, EBADF
 	}
-	errno, ok := p.waitReadableLocked(intr)
+	errno, ok := p.waitReadableLocked(w)
 	if !ok {
 		// This reader may have been the last waiter holding a dead pipe
 		// back from recycling.
@@ -276,13 +334,13 @@ func (p *pipe) read(gen uint64, b []byte, intr func() bool) (int, Errno) {
 // caller buffer. The kernel's read/recv handlers use it so that a request
 // asking for N bytes costs an allocation proportional to the bytes
 // delivered, not to N.
-func (p *pipe) readAvailable(gen uint64, max int, intr func() bool) ([]byte, Errno) {
+func (p *pipe) readAvailable(gen uint64, max int, w blocker) ([]byte, Errno) {
 	p.mu.Lock()
 	if !p.checkGenLocked(gen) {
 		p.mu.Unlock()
 		return nil, EBADF
 	}
-	errno, ok := p.waitReadableLocked(intr)
+	errno, ok := p.waitReadableLocked(w)
 	if !ok {
 		rel := p.releaseDueLocked()
 		p.mu.Unlock()
@@ -303,7 +361,7 @@ func (p *pipe) readAvailable(gen uint64, max int, intr func() bool) ([]byte, Err
 	return out, OK
 }
 
-func (p *pipe) write(gen uint64, b []byte, intr func() bool) (int, Errno) {
+func (p *pipe) write(gen uint64, b []byte, w blocker) (int, Errno) {
 	p.mu.Lock()
 	if !p.checkGenLocked(gen) {
 		p.mu.Unlock()
@@ -342,7 +400,7 @@ func (p *pipe) write(gen uint64, b []byte, intr func() bool) (int, Errno) {
 			// the standard retry-on-EINTR idiom assumes nothing was
 			// written, and handing it (n>0, EINTR) would make it resend
 			// and duplicate bytes in the stream.
-			if intr != nil && intr() {
+			if w.interrupted() {
 				p.mu.Unlock()
 				if written > 0 {
 					p.hdr.pollWake()
@@ -359,7 +417,7 @@ func (p *pipe) write(gen uint64, b []byte, intr func() bool) (int, Errno) {
 			if written > 0 {
 				p.hdr.pollWake()
 			}
-			p.waitLocked()
+			p.sleepLocked(w, BlockPipeWrite)
 			continue
 		}
 		chunk := b[written:]
@@ -375,7 +433,7 @@ func (p *pipe) write(gen uint64, b []byte, intr func() bool) (int, Errno) {
 		}
 		p.buf = append(p.buf, chunk...)
 		written += len(chunk)
-		p.cond.Broadcast() // wake readers
+		p.wakeLocked() // wake readers
 	}
 	p.mu.Unlock()
 	// One poll wake per write, outside the lock (readers polling PollIn
@@ -393,7 +451,7 @@ func (p *pipe) write(gen uint64, b []byte, intr func() bool) (int, Errno) {
 // stream's semantics are concerned; only the source of the bytes differs.
 // The inode's read lock is taken per copied chunk (inside readAt), never
 // held while sleeping for pipe space.
-func (p *pipe) writeFromFile(gen uint64, ino *inode, off int64, total int, intr func() bool) (int, Errno) {
+func (p *pipe) writeFromFile(gen uint64, ino *inode, off int64, total int, w blocker) (int, Errno) {
 	p.mu.Lock()
 	if !p.checkGenLocked(gen) {
 		p.mu.Unlock()
@@ -425,7 +483,7 @@ func (p *pipe) writeFromFile(gen uint64, ino *inode, off int64, total int, intr 
 		}
 		space := pipeBufSize - p.unread()
 		if space == 0 {
-			if intr != nil && intr() {
+			if w.interrupted() {
 				p.mu.Unlock()
 				if written > 0 {
 					p.hdr.pollWake()
@@ -438,7 +496,7 @@ func (p *pipe) writeFromFile(gen uint64, ino *inode, off int64, total int, intr 
 			if written > 0 {
 				p.hdr.pollWake()
 			}
-			p.waitLocked()
+			p.sleepLocked(w, BlockPipeWrite)
 			continue
 		}
 		chunk := total - written
@@ -465,7 +523,7 @@ func (p *pipe) writeFromFile(gen uint64, ino *inode, off int64, total int, intr 
 			break // file ended early (shrank under us): short count
 		}
 		written += n
-		p.cond.Broadcast() // wake readers
+		p.wakeLocked() // wake readers
 	}
 	p.mu.Unlock()
 	p.hdr.pollWake()
@@ -480,7 +538,7 @@ func (p *pipe) closeRead(gen uint64) {
 	}
 	p.readClosed = true
 	rel := p.releaseDueLocked()
-	p.cond.Broadcast()
+	p.wakeLocked()
 	p.mu.Unlock()
 	p.hdr.pollWake() // writers polling the peer see PollErr now
 	if rel {
@@ -496,7 +554,7 @@ func (p *pipe) closeWrite(gen uint64) {
 	}
 	p.writeClosed = true
 	rel := p.releaseDueLocked()
-	p.cond.Broadcast()
+	p.wakeLocked()
 	p.mu.Unlock()
 	p.hdr.pollWake() // readers polling PollIn see EOF (PollIn|PollHup) now
 	if rel {
@@ -511,7 +569,7 @@ func (p *pipe) interruptNow() {
 	p.mu.Lock()
 	p.readClosed, p.writeClosed = true, true
 	rel := p.releaseDueLocked()
-	p.cond.Broadcast()
+	p.wakeLocked()
 	p.mu.Unlock()
 	p.hdr.pollWake()
 	if rel {

@@ -159,6 +159,50 @@ func (k *Kernel) doPoll(p *Proc, c Call) Ret {
 			k.pollPark.Cancel()
 			continue
 		}
+		if p.board != nil && timeout == PollNoTimeout && k.pollAllInternal(p, out, n) {
+			// An untimed poll over exclusively internal descriptors is a
+			// detectable sleep: no timer will end it and no host-side wake
+			// can flip its readiness. The proof is the parker generation
+			// from Prepare — any Wake that saw us waiting bumps it.
+			p.board.park(cell{
+				site: BlockedSite{Tid: c.Tid, Kind: BlockPoll, FD: n},
+				pk:   &k.pollPark, g: g,
+			})
+			k.pollPark.Park(g)
+			p.board.unpark(c.Tid)
+			continue
+		}
 		k.pollPark.Park(g)
 	}
+}
+
+// pollAllInternal reports whether every descriptor in the poll set is
+// backed by internal (guest-only) pipes — the condition under which a
+// parked untimed poller counts toward a deadlock verdict. Anything else —
+// a listener (host Connect enqueues into it), an external connection pipe,
+// a dead fd, a file — disqualifies the set, erring toward false negatives.
+func (k *Kernel) pollAllInternal(p *Proc, out []byte, n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		fd, _, _ := DecodePollFD(out, i)
+		e := p.fdt.get(fd)
+		if e == nil {
+			return false
+		}
+		ok := false
+		switch o := e.obj.(type) {
+		case *readEnd:
+			ok = o.p.isInternal()
+		case *writeEnd:
+			ok = o.p.isInternal()
+		case *socketObj:
+			rx, tx := o.rx.Load(), o.tx.Load()
+			ok = rx != nil && tx != nil && rx.isInternal() && tx.isInternal()
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
 }

@@ -206,6 +206,14 @@ type Proc struct {
 	// syscall boundary (BoundarySig) or blocking-op wakeup (interrupted)
 	// and unwind.
 	exitGroup atomic.Bool
+
+	// board, when non-nil, is the deadlock detector's blocked-site board.
+	// It is armed on a session's MASTER root process only (slaves replay
+	// the master's schedule, so detection on the master speaks for all) and
+	// inherited by forked children. Set before the process serves calls;
+	// read without synchronization on every blocking path (one nil check —
+	// the disarmed cost).
+	board *BlockBoard
 }
 
 // NewProc creates a root process with an empty descriptor table
@@ -361,3 +369,22 @@ func (p *Proc) OpenFDs() int {
 // ordered clone critical section so that corresponding threads receive
 // identical tids in every variant.
 func (p *Proc) NextTid() int { return p.tids.take() }
+
+// SetBlockBoard arms the deadlock detector on this process: every internal
+// blocking site its threads sleep at will register a cell on b. Arm the
+// master root process only, before it serves calls; forked children
+// inherit the board.
+func (p *Proc) SetBlockBoard(b *BlockBoard) { p.board = b }
+
+// Board returns the process's deadlock board (nil when disarmed). The core
+// layer uses it to register futex sleeps, which happen outside the kernel.
+func (p *Proc) Board() *BlockBoard { return p.board }
+
+// blk builds the blocking-call context the kernel's sleep sites take: the
+// process's interrupt predicate plus — when the deadlock board is armed —
+// the identity (board, tid, fd) a registered cell needs. A plain value,
+// built on the caller's stack: the disarmed hot path pays field copies,
+// no allocation.
+func (p *Proc) blk(tid, fd int) blocker {
+	return blocker{intr: p.sigIntr, board: p.board, tid: tid, fd: fd}
+}

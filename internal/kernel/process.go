@@ -111,6 +111,9 @@ func (k *Kernel) doFork(parent *Proc) Ret {
 	child := NewProc(ipid, NewAddressSpace(parent.AS.brkBase, parent.AS.mmapBase))
 	child.kern = k
 	child.tids = parent.tids
+	// The detector covers the whole master tree: a forked child's threads
+	// park at the same instrumented sites, on the same board.
+	child.board = parent.board
 
 	k.treeMu.Lock()
 	child.ns = parent.ns
@@ -259,7 +262,7 @@ func (k *Kernel) finishExit(p *Proc) {
 	if parent == nil || p.autoReap {
 		k.reapLocked(p)
 	}
-	k.treeCond.Broadcast()
+	k.treeWake()
 	k.treeMu.Unlock()
 
 	if parent != nil {
@@ -340,7 +343,19 @@ func (k *Kernel) doWaitpid(p *Proc, c Call) Ret {
 		if k.stopped() {
 			return Ret{Err: EINTR}
 		}
-		k.treeCond.Wait()
+		if p.board != nil {
+			// Register the deadlock cell under treeMu — the same lock
+			// treeWake bumps the sequence under, so the sampled sequence
+			// and the park are atomic with respect to wakes.
+			p.board.park(cell{
+				site: BlockedSite{Tid: c.Tid, Kind: BlockWaitpid, Addr: sel},
+				seqw: &k.treeSeq, seq: k.treeSeq.Load(),
+			})
+			k.treeCond.Wait()
+			p.board.unpark(c.Tid)
+		} else {
+			k.treeCond.Wait()
+		}
 	}
 }
 

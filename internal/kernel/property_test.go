@@ -18,7 +18,7 @@ func TestPipeFIFOProperty(t *testing.T) {
 			if total+len(c) > pipeBufSize/2 {
 				break // stay below capacity: this test is single-threaded
 			}
-			n, errno := p.write(gen, c, nil)
+			n, errno := p.write(gen, c, blocker{})
 			if errno != OK || n != len(c) {
 				return false
 			}
@@ -34,7 +34,7 @@ func TestPipeFIFOProperty(t *testing.T) {
 				size = int(readSizes[i%len(readSizes)])%64 + 1
 			}
 			buf := make([]byte, size)
-			n, errno := p.read(gen, buf, nil)
+			n, errno := p.read(gen, buf, blocker{})
 			if errno != OK {
 				return false
 			}

@@ -290,7 +290,7 @@ func (k *Kernel) doKill(p *Proc, c Call) Ret {
 func (k *Kernel) signalKick(target *Proc) {
 	target.sigPark.Wake()
 	k.treeMu.Lock()
-	k.treeCond.Broadcast()
+	k.treeWake()
 	k.treeMu.Unlock()
 	k.pollPark.Wake()
 	k.intMu.Lock()

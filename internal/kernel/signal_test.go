@@ -11,7 +11,7 @@ import "testing"
 func TestPipeWriteEINTROnlyAtZeroProgress(t *testing.T) {
 	p := newPipe()
 	gen := p.generation()
-	always := func() bool { return true }
+	always := blocker{intr: func() bool { return true }}
 
 	// A write that fits completes fully even with a signal pending.
 	if n, errno := p.write(gen, make([]byte, 2048), always); errno != OK || n != 2048 {
@@ -30,14 +30,14 @@ func TestPipeWriteEINTROnlyAtZeroProgress(t *testing.T) {
 func TestPipeReadEINTRBeforeBlocking(t *testing.T) {
 	p := newPipe()
 	gen := p.generation()
-	always := func() bool { return true }
+	always := blocker{intr: func() bool { return true }}
 
 	// Empty pipe + pending signal: EINTR, deterministically, before any wait.
 	if _, errno := p.readAvailable(gen, 16, always); errno != EINTR {
 		t.Fatalf("empty read = %v, want EINTR", errno)
 	}
 	// Data pending beats the signal (poll-with-ready-fds semantics).
-	p.write(gen, []byte("data"), nil)
+	p.write(gen, []byte("data"), blocker{})
 	if out, errno := p.readAvailable(gen, 16, always); errno != OK || string(out) != "data" {
 		t.Fatalf("ready read = (%q, %v), want (\"data\", OK)", out, errno)
 	}

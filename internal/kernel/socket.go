@@ -79,23 +79,23 @@ func (s *socketObj) read(b []byte, _ int64) (int, Errno) {
 	if rx == nil {
 		return 0, EINVAL // unconnected placeholder (see SysSocket)
 	}
-	return rx.read(s.rxGen.Load(), b, nil)
+	return rx.read(s.rxGen.Load(), b, blocker{})
 }
 
-func (s *socketObj) readAvailable(max int, intr func() bool) ([]byte, Errno) {
+func (s *socketObj) readAvailable(max int, w blocker) ([]byte, Errno) {
 	rx := s.rx.Load()
 	if rx == nil {
 		return nil, EINVAL
 	}
-	return rx.readAvailable(s.rxGen.Load(), max, intr)
+	return rx.readAvailable(s.rxGen.Load(), max, w)
 }
 
-func (s *socketObj) readInto(dst []byte, intr func() bool) (int, Errno) {
+func (s *socketObj) readInto(dst []byte, w blocker) (int, Errno) {
 	rx := s.rx.Load()
 	if rx == nil {
 		return 0, EINVAL
 	}
-	return rx.read(s.rxGen.Load(), dst, intr)
+	return rx.read(s.rxGen.Load(), dst, w)
 }
 
 func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
@@ -103,22 +103,22 @@ func (s *socketObj) write(b []byte, _ int64) (int, Errno) {
 	if tx == nil {
 		return 0, EINVAL
 	}
-	return tx.write(s.txGen.Load(), b, nil)
+	return tx.write(s.txGen.Load(), b, blocker{})
 }
 
-func (s *socketObj) writeIntr(b []byte, intr func() bool) (int, Errno) {
+func (s *socketObj) writeIntr(b []byte, w blocker) (int, Errno) {
 	tx := s.tx.Load()
 	if tx == nil {
 		return 0, EINVAL
 	}
-	return tx.write(s.txGen.Load(), b, intr)
+	return tx.write(s.txGen.Load(), b, w)
 }
-func (s *socketObj) sendFromFile(ino *inode, off int64, n int, intr func() bool) (int, Errno) {
+func (s *socketObj) sendFromFile(ino *inode, off int64, n int, w blocker) (int, Errno) {
 	tx := s.tx.Load()
 	if tx == nil {
 		return 0, EINVAL
 	}
-	return tx.writeFromFile(s.txGen.Load(), ino, off, n, intr)
+	return tx.writeFromFile(s.txGen.Load(), ino, off, n, w)
 }
 func (s *socketObj) size() (int64, Errno) { return 0, ESPIPE }
 func (s *socketObj) seekable() bool       { return false }

@@ -237,6 +237,10 @@ type Call struct {
 	// and guests must supply Buf uniformly across variants — SPMD guest
 	// code does so by construction.
 	Buf []byte
+	// Tid is the calling guest thread's id, VARIANT-LOCAL like Buf: never
+	// compared, never encoded. The deadlock detector keys its blocked-site
+	// cells on it; callers that don't arm a BlockBoard may leave it zero.
+	Tid int
 }
 
 // Ret is the kernel's (or the monitor's replicated) reply to a Call.

@@ -31,7 +31,10 @@ func EncodeIovec(dst []byte, segs ...[]byte) []byte {
 // segment lengths must sum exactly to the remaining bytes — a trailing gap
 // or overhang is EINVAL, not silence.
 func decodeIovec(data []byte, cnt int) ([]byte, Errno) {
-	if cnt < 0 || len(data) < cnt*iovLenSize {
+	// Bound by division, not cnt*iovLenSize: the count arrives as a raw
+	// guest-controlled Args word, and the multiplication would wrap for
+	// huge counts, sailing past the length check into the prefix loop.
+	if cnt < 0 || cnt > len(data)/iovLenSize {
 		return nil, EINVAL
 	}
 	sum := 0
@@ -56,7 +59,7 @@ func (k *Kernel) doWritev(p *Proc, c Call) Ret {
 	if errno != OK {
 		return Ret{Err: errno}
 	}
-	return k.doWrite(p, Call{Nr: SysWrite, Args: c.Args, Data: payload})
+	return k.doWrite(p, Call{Nr: SysWrite, Args: c.Args, Data: payload, Tid: c.Tid})
 }
 
 // fileSender is implemented by stream objects that can pull bytes straight
@@ -64,7 +67,7 @@ func (k *Kernel) doWritev(p *Proc, c Call) Ret {
 // the file bytes are copied exactly once (inode → pipe buffer), never
 // through a guest-visible intermediate.
 type fileSender interface {
-	sendFromFile(ino *inode, off int64, n int, intr func() bool) (int, Errno)
+	sendFromFile(ino *inode, off int64, n int, w blocker) (int, Errno)
 }
 
 // doSendfile implements SysSendfile: transfer Args[3] bytes of the regular
@@ -114,7 +117,14 @@ func (k *Kernel) doSendfile(p *Proc, c Call) Ret {
 	}
 	if c.Args[2] != SendfileCurOffset {
 		off := int64(c.Args[2])
-		n, werrno := snd.sendFromFile(f.ino, off, clamp(off), p.sigIntr)
+		if off < 0 {
+			// A "negative" offset (any uint64 in int64's negative range
+			// other than the SendfileCurOffset sentinel) is EINVAL, like
+			// Linux — and it must be refused here: clamp() would pass it
+			// through and readAt would slice the inode at a negative index.
+			return Ret{Err: EINVAL}
+		}
+		n, werrno := snd.sendFromFile(f.ino, off, clamp(off), p.blk(c.Tid, int(c.Args[0])))
 		if n == 0 && werrno != OK {
 			return Ret{Err: werrno}
 		}
@@ -132,7 +142,7 @@ func (k *Kernel) doSendfile(p *Proc, c Call) Ret {
 		return Ret{Err: EBADF}
 	}
 	off := e.offset
-	n, werrno := snd.sendFromFile(f.ino, off, clamp(off), p.sigIntr)
+	n, werrno := snd.sendFromFile(f.ino, off, clamp(off), p.blk(c.Tid, int(c.Args[0])))
 	e.offset = off + int64(n)
 	e.mu.Unlock()
 	if n == 0 && werrno != OK {

@@ -2,24 +2,33 @@ package kernel
 
 import "testing"
 
-func TestSendfileNegativeOffset(t *testing.T) {
+// Sendfile offset edge cases: an offset at or past EOF transfers nothing
+// (clamp floors the count at zero), and a negative offset — Args[2] is
+// uint64, so int64(-100) arrives as a huge value distinct from the
+// SendfileCurOffset sentinel — is EINVAL, not a panic (it used to reach
+// inode.readAt and slice at a negative index).
+func TestSendfileOffsetOutOfRange(t *testing.T) {
 	defer func() {
 		if r := recover(); r != nil {
 			t.Fatalf("panicked: %v", r)
 		}
 	}()
-	k := NewKernel()
-	p := k.InitProc()
-	w := k.Syscall(p, Call{Nr: SysOpen, Args: [6]uint64{OCreat | OWronly}, Data: []byte("/f")})
-	k.Syscall(p, Call{Nr: SysWrite, Args: [6]uint64{w.Val}, Data: []byte("hello world")})
-	k.Syscall(p, Call{Nr: SysClose, Args: [6]uint64{w.Val}})
-	rfd := k.Syscall(p, Call{Nr: SysOpen, Args: [6]uint64{ORdonly}, Data: []byte("/f")}).Val
-	// a socketpair-ish stream: use a pipe
-	pr := k.Syscall(p, Call{Nr: SysPipe})
-	_ = pr
-	outfd := pr.Val // read end? need write end
-	_ = outfd
-	// Args[2] = ^uint64(0) - 99 → off = -100 (not SendfileCurOffset)
-	ret := k.Syscall(p, Call{Nr: SysSendfile, Args: [6]uint64{pr.Val2(), rfd, ^uint64(0) - 99, 5}})
-	t.Logf("ret=%+v", ret)
+	k := New()
+	p := k.NewProc(0x10000, 0x20000)
+	k.WriteFile("/f", []byte("hello world"))
+	rfd := k.Do(p, Call{Nr: SysOpen, Data: []byte("/f")})
+	if rfd.Err != OK {
+		t.Fatalf("open: %v", rfd.Err)
+	}
+	pr := k.Do(p, Call{Nr: SysPipe2})
+	if pr.Err != OK {
+		t.Fatalf("pipe2: %v", pr.Err)
+	}
+	wfd := pr.Val2
+	if ret := k.Do(p, Call{Nr: SysSendfile, Args: [6]uint64{wfd, rfd.Val, 100, 5}}); ret.Err != OK || ret.Val != 0 {
+		t.Fatalf("sendfile(off=100) = (%d, %v), want (0, OK)", ret.Val, ret.Err)
+	}
+	if ret := k.Do(p, Call{Nr: SysSendfile, Args: [6]uint64{wfd, rfd.Val, ^uint64(0) - 99, 5}}); ret.Err != EINVAL {
+		t.Fatalf("sendfile(off=-100) = %v, want EINVAL", ret.Err)
+	}
 }

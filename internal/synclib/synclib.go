@@ -30,18 +30,24 @@ func NewMutex(t *core.Thread) *Mutex {
 // possible waiters") until the previous state was 0.
 func (m *Mutex) Lock(t *core.Thread) {
 	if t.CAS(m.w, 0, 1) {
+		t.NoteAcquire(m.w.Addr())
 		return
 	}
 	for t.Xchg(m.w, 2) != 0 {
 		t.FutexWait(m.w, 2)
 	}
+	t.NoteAcquire(m.w.Addr())
 }
 
 // TryLock attempts to acquire m without blocking; it reports success. The
 // trylock covert channel PoC (§5.4) is built on the replication of exactly
 // this operation's outcome.
 func (m *Mutex) TryLock(t *core.Thread) bool {
-	return t.CAS(m.w, 0, 1)
+	if t.CAS(m.w, 0, 1) {
+		t.NoteAcquire(m.w.Addr())
+		return true
+	}
+	return false
 }
 
 // Unlock releases m and wakes the waiters if contention was announced.
@@ -53,6 +59,7 @@ func (m *Mutex) TryLock(t *core.Thread) bool {
 // waiter re-runs the acquire protocol) and guarantees slave liveness: the
 // due thread is always among the woken.
 func (m *Mutex) Unlock(t *core.Thread) {
+	t.NoteRelease(m.w.Addr())
 	if t.Xchg(m.w, 0) == 2 {
 		t.FutexWake(m.w, 1<<30)
 	}
@@ -213,10 +220,16 @@ func (rw *RWMutex) RLock(t *core.Thread) {
 	rw.m.Lock(t)
 	t.Add(rw.readers, 1)
 	rw.m.Unlock(t)
+	// A reader "holds" rzero in wait-for terms: writers sleep on rzero
+	// until the last reader leaves, so the read side is what a blocked
+	// writer depends on (and a reader upgrading in place depends on
+	// itself — the classic self-deadlock).
+	t.NoteAcquire(rw.rzero.Addr())
 }
 
 // RUnlock releases a read acquisition.
 func (rw *RWMutex) RUnlock(t *core.Thread) {
+	t.NoteRelease(rw.rzero.Addr())
 	if t.Add(rw.readers, ^uint32(0)) == 0 { // decrement
 		t.Add(rw.rzero, 1)
 		t.FutexWake(rw.rzero, 1<<30)
@@ -258,7 +271,12 @@ func (o *Once) Do(t *core.Thread, fn func()) {
 		return
 	}
 	if t.CAS(o.state, 0, 1) {
+		// The winner owns the Once until completion: threads that lose the
+		// race sleep on state, so a winner that re-enters Do (or never
+		// finishes fn) is a holder in the wait-for graph.
+		t.NoteAcquire(o.state.Addr())
 		fn()
+		t.NoteRelease(o.state.Addr())
 		t.Store(o.state, 2)
 		t.FutexWake(o.state, 1<<30)
 		return

@@ -16,9 +16,9 @@ cd "$(dirname "$0")/.."
 # The default set tracks the replication hot path and the serving path —
 # fast enough to run on every PR. The full paper regeneration
 # (Figure5/Table1) is available via BENCH_PATTERN but takes minutes.
-PATTERN="${BENCH_PATTERN:-BenchmarkReplicationHotPath|BenchmarkTelemetryMatrix|BenchmarkAgentMicro|BenchmarkWallClockAssignment|BenchmarkNginxThroughput|BenchmarkEventedKeepAlive|BenchmarkPolicyComparison|BenchmarkConnectPath|BenchmarkLaggingSlaveWait|BenchmarkPollServer|BenchmarkPreforkServer|BenchmarkHotRestart|BenchmarkChaosOverhead}"
+PATTERN="${BENCH_PATTERN:-BenchmarkReplicationHotPath|BenchmarkTelemetryMatrix|BenchmarkAgentMicro|BenchmarkWallClockAssignment|BenchmarkNginxThroughput|BenchmarkEventedKeepAlive|BenchmarkPolicyComparison|BenchmarkConnectPath|BenchmarkLaggingSlaveWait|BenchmarkPollServer|BenchmarkPreforkServer|BenchmarkHotRestart|BenchmarkChaosOverhead|BenchmarkDeadlockDetectorOverhead}"
 TIME="${BENCH_TIME:-3x}"
-OUT="${BENCH_OUT:-BENCH_9.json}"
+OUT="${BENCH_OUT:-BENCH_10.json}"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . |
